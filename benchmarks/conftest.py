@@ -1,0 +1,59 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper.  The paper's
+experiments run for an hour of wall-clock time on a physical testbed; here
+they run in *virtual time*, scaled by ``REPRO_BENCH_DURATION_SCALE``
+(default 0.2 → 12-minute experiments) so the whole suite completes in a few
+minutes.  Set the variable to ``1.0`` to run the full-length experiments.
+
+Each benchmark prints the same rows/series the paper reports and writes them
+to ``benchmarks/results/<name>.txt`` so they can be inspected after the run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest  # noqa: E402
+
+from repro.tpcw.population import PopulationScale  # noqa: E402
+
+#: Directory where benchmark reports are written.
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def duration_scale() -> float:
+    """Virtual-time scale factor for the paper's one-hour experiments."""
+    return float(os.environ.get("REPRO_BENCH_DURATION_SCALE", "0.2"))
+
+
+def bench_population_scale() -> PopulationScale:
+    """Database population used by the benchmarks (the paper-equivalent scale)."""
+    if os.environ.get("REPRO_BENCH_TINY", "0") == "1":
+        return PopulationScale.tiny()
+    return PopulationScale.standard()
+
+
+def bench_seed() -> int:
+    """Seed shared by all benchmark experiments."""
+    return int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a report and persist it under ``benchmarks/results/``."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def population_scale() -> PopulationScale:
+    """Session-wide population scale fixture."""
+    return bench_population_scale()

@@ -1,0 +1,53 @@
+"""Fig. 7 — root-cause determination under different injection sizes.
+
+The paper keeps A at 100 KB, lowers B to 10 KB and raises C and D to 1 MB
+(N=100 everywhere).  Expectation: C — a moderately used component with a
+large leak — becomes the most suspicious, A stays important (second), B
+drops to third, and D remains flat because it is still visited too rarely to
+trigger injections.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_population_scale, bench_seed, duration_scale, emit_report
+
+from repro.experiments.reporting import leak_scenario_report
+from repro.experiments.scenarios import (
+    COMPONENT_A,
+    COMPONENT_B,
+    COMPONENT_C,
+    COMPONENT_D,
+    fig7_injection_sizes,
+)
+
+
+def test_fig7_injection_sizes(benchmark):
+    """Reproduce Fig. 7: heterogeneous injection sizes change the ranking."""
+
+    def run():
+        return fig7_injection_sizes(
+            duration_scale=duration_scale(),
+            seed=bench_seed(),
+            scale=bench_population_scale(),
+        )
+
+    scenario = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_report(
+        "fig7_injection_sizes",
+        leak_scenario_report(
+            scenario,
+            title="Fig. 7: A=100 KB, B=10 KB, C=1 MB, D=1 MB (N=100)",
+            expectation="C becomes the top suspect, A second, B third, D flat",
+            components=[COMPONENT_A, COMPONENT_B, COMPONENT_C, COMPONENT_D],
+        ),
+    )
+
+    growth = scenario.growth()
+    ranking = scenario.root_cause.ranking()
+
+    # C's 1 MB leak dominates despite its lower usage.
+    assert ranking[0] == COMPONENT_C
+    assert ranking[1] == COMPONENT_A
+    assert growth[COMPONENT_C] > growth[COMPONENT_A] > growth[COMPONENT_B] > 0
+    # D's leak never fires (usage too low): flat relative to the others.
+    assert growth[COMPONENT_D] <= 0.5 * growth[COMPONENT_B] or growth[COMPONENT_D] < 2 * 1024 * 1024

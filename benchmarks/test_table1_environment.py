@@ -1,0 +1,44 @@
+"""Table I — experimental environment.
+
+Regenerates the paper's Table I (machine description of the three-tier
+testbed) side by side with the simulated equivalent used by this
+reproduction, and benchmarks how long building a paper-scale deployment
+takes (schema + population + container + servlets).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_seed, emit_report
+
+from repro.experiments.environment import environment_rows
+from repro.experiments.reporting import format_table
+from repro.tpcw.application import build_deployment
+from repro.tpcw.population import PopulationScale
+
+
+def test_table1_environment(benchmark):
+    """Print Table I (paper vs. reproduction) and time deployment construction."""
+
+    def build():
+        return build_deployment(scale=PopulationScale.standard(), seed=bench_seed())
+
+    deployment = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = environment_rows(deployment.server.config)
+    counts = [
+        {"table": name, "rows": len(deployment.database.table(name))}
+        for name in deployment.database.table_names()
+    ]
+    report = "\n".join(
+        [
+            "== Table I: experimental environment (paper vs. reproduction) ==",
+            format_table(rows, ["tier", "attribute", "paper", "reproduction"]),
+            "",
+            "populated TPC-W store (standard reproduction scale):",
+            format_table(counts),
+        ]
+    )
+    emit_report("table1_environment", report)
+
+    assert len(deployment.interaction_names()) == 14
+    assert len(deployment.database.table("item")) == PopulationScale.standard().num_items

@@ -1,0 +1,38 @@
+"""repro — reproduction of the AOP/JMX software-aging root-cause framework.
+
+This package reproduces, in pure Python, the monitoring framework described in
+
+    J. Alonso, J. Torres, J. Ll. Berral, R. Gavaldà,
+    "J2EE Instrumentation for software aging root cause application
+    component determination with AspectJ", IPDPS Workshops (2010).
+
+The original system instruments a J2EE application (TPC-W on Tomcat/MySQL)
+with AspectJ aspects that sample JMX monitoring agents around every
+application-component execution, builds a per-component resource-consumption
+map, and ranks components by their likelihood of being the *root cause* of
+software aging (memory leaks in the case study).
+
+Because no J2EE stack exists in Python, every substrate the paper depends on
+is implemented here as well (see ``DESIGN.md``):
+
+* :mod:`repro.sim`        -- discrete-event simulation engine (virtual time).
+* :mod:`repro.jvm`        -- simulated JVM heap / object graphs / GC / threads.
+* :mod:`repro.jmx`        -- JMX-like MBean server, object names, notifications.
+* :mod:`repro.aop`        -- AspectJ-like pointcuts, advices and a runtime weaver.
+* :mod:`repro.db`         -- small in-memory relational engine + JDBC-like API.
+* :mod:`repro.container`  -- servlet container (requests, sessions, pools).
+* :mod:`repro.tpcw`       -- the TPC-W bookstore application and EB workload.
+* :mod:`repro.faults`     -- fault injection (memory leaks, CPU hogs, ...).
+* :mod:`repro.core`       -- the paper's contribution: Aspect Components,
+  monitoring agents, the JMX Manager Agent, the resource-component map and
+  the root-cause determination strategies.
+* :mod:`repro.baselines`  -- Pinpoint-like and black-box baselines.
+* :mod:`repro.analysis`   -- trend / statistics utilities.
+* :mod:`repro.experiments`-- ready-made experiment scenarios (Figs. 3-7).
+"""
+
+from __future__ import annotations
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

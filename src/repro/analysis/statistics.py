@@ -1,0 +1,42 @@
+"""Small descriptive-statistics helpers shared by strategies and reports."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def normalize_scores(scores: Dict[str, float]) -> Dict[str, float]:
+    """Scale non-negative scores so they sum to 1 (all-zero stays all-zero).
+
+    Negative scores are clipped to zero first: a shrinking component cannot
+    carry negative responsibility for resource exhaustion.
+    """
+    clipped = {key: max(0.0, float(value)) for key, value in scores.items()}
+    total = sum(clipped.values())
+    if total <= 0:
+        return {key: 0.0 for key in clipped}
+    return {key: value / total for key, value in clipped.items()}
+
+
+def summary(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / min / max / std / count of a sequence."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return {"count": 0, "mean": 0.0, "median": 0.0, "min": 0.0, "max": 0.0, "std": 0.0}
+    return {
+        "count": int(data.size),
+        "mean": float(data.mean()),
+        "median": float(np.median(data)),
+        "min": float(data.min()),
+        "max": float(data.max()),
+        "std": float(data.std()),
+    }
+
+
+def relative_difference(measured: float, reference: float) -> float:
+    """``(measured - reference) / reference`` guarded against zero reference."""
+    if reference == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return (measured - reference) / reference

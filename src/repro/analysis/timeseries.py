@@ -1,0 +1,52 @@
+"""Helpers over :class:`~repro.sim.metrics.TimeSeries` objects."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.trend import linear_slope
+from repro.sim.metrics import TimeSeries
+
+
+def growth_of(series: TimeSeries) -> float:
+    """Last value minus first value (0 for series with fewer than 2 points)."""
+    if len(series) < 2:
+        return 0.0
+    values = series.values
+    return float(values[-1] - values[0])
+
+
+def series_slope(series: TimeSeries) -> float:
+    """Least-squares slope of a time series (value units per second)."""
+    if len(series) < 2:
+        return 0.0
+    return linear_slope(series.times, series.values)
+
+
+def moving_average(series: TimeSeries, window_points: int = 5) -> TimeSeries:
+    """Centred moving average over a fixed number of points."""
+    if window_points < 1:
+        raise ValueError(f"window_points must be >= 1, got {window_points}")
+    out = TimeSeries(f"{series.name}.ma{window_points}")
+    if len(series) == 0:
+        return out
+    values = series.values
+    times = series.times
+    half = window_points // 2
+    for index in range(len(values)):
+        lo = max(0, index - half)
+        hi = min(len(values), index + half + 1)
+        out.record(times[index], float(np.mean(values[lo:hi])))
+    return out
+
+
+def final_fraction_mean(series: TimeSeries, fraction: float = 0.25) -> float:
+    """Mean of the last ``fraction`` of the series (steady-state estimate)."""
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if len(series) == 0:
+        return 0.0
+    values = series.values
+    start = int(np.floor(len(values) * (1.0 - fraction)))
+    start = min(start, len(values) - 1)
+    return float(values[start:].mean())

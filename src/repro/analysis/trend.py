@@ -1,0 +1,122 @@
+"""Trend estimation: Mann-Kendall test, least-squares and Theil-Sen slopes.
+
+Software aging manifests as a *monotonic trend* in a resource metric (heap,
+component size, thread count).  The refined root-cause strategies use the
+non-parametric Mann-Kendall test to decide whether a component's size series
+is genuinely trending and a robust slope estimate to quantify how fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclass
+class TrendResult:
+    """Outcome of a Mann-Kendall trend test."""
+
+    statistic: float          #: the S statistic
+    z_score: float            #: normal-approximation z score
+    p_value: float            #: two-sided p-value
+    increasing: bool          #: whether the detected trend is upward
+    significant: bool         #: p_value < alpha
+
+    @property
+    def trending_up(self) -> bool:
+        """Significant *and* increasing."""
+        return self.significant and self.increasing
+
+
+def mann_kendall(values: Sequence[float], alpha: float = 0.05) -> TrendResult:
+    """Mann-Kendall trend test (normal approximation with tie correction).
+
+    Parameters
+    ----------
+    values:
+        The observations, ordered in time.
+    alpha:
+        Significance level.
+    """
+    data = np.asarray(list(values), dtype=float)
+    n = data.shape[0]
+    if n < 3:
+        return TrendResult(statistic=0.0, z_score=0.0, p_value=1.0, increasing=False, significant=False)
+
+    # S = sum of signs of all pairwise forward differences.
+    s = 0.0
+    for i in range(n - 1):
+        s += np.sign(data[i + 1:] - data[i]).sum()
+
+    # Variance with tie correction.
+    _, tie_counts = np.unique(data, return_counts=True)
+    tie_term = (tie_counts * (tie_counts - 1) * (2 * tie_counts + 5)).sum()
+    variance = (n * (n - 1) * (2 * n + 5) - tie_term) / 18.0
+    if variance <= 0:
+        return TrendResult(statistic=float(s), z_score=0.0, p_value=1.0, increasing=s > 0, significant=False)
+
+    if s > 0:
+        z = (s - 1) / np.sqrt(variance)
+    elif s < 0:
+        z = (s + 1) / np.sqrt(variance)
+    else:
+        z = 0.0
+    p_value = 2.0 * (1.0 - scipy_stats.norm.cdf(abs(z)))
+    return TrendResult(
+        statistic=float(s),
+        z_score=float(z),
+        p_value=float(p_value),
+        increasing=bool(s > 0),
+        significant=bool(p_value < alpha),
+    )
+
+
+def linear_slope(times: Sequence[float], values: Sequence[float]) -> float:
+    """Ordinary least-squares slope of ``values`` against ``times``."""
+    t = np.asarray(list(times), dtype=float)
+    y = np.asarray(list(values), dtype=float)
+    if t.shape[0] != y.shape[0]:
+        raise ValueError(f"times and values must have equal length ({t.shape[0]} vs {y.shape[0]})")
+    if t.shape[0] < 2:
+        return 0.0
+    t_centered = t - t.mean()
+    denominator = float((t_centered ** 2).sum())
+    if denominator == 0.0:
+        return 0.0
+    return float((t_centered * (y - y.mean())).sum() / denominator)
+
+
+def theil_sen_slope(times: Sequence[float], values: Sequence[float], max_pairs: int = 250_000) -> float:
+    """Theil-Sen (median-of-pairwise-slopes) estimator, robust to outliers.
+
+    For long series the number of pairs is capped by striding through the
+    observations, keeping the estimator O(``max_pairs``).
+    """
+    t = np.asarray(list(times), dtype=float)
+    y = np.asarray(list(values), dtype=float)
+    if t.shape[0] != y.shape[0]:
+        raise ValueError(f"times and values must have equal length ({t.shape[0]} vs {y.shape[0]})")
+    n = t.shape[0]
+    if n < 2:
+        return 0.0
+    total_pairs = n * (n - 1) // 2
+    if total_pairs > max_pairs:
+        stride = int(np.ceil(np.sqrt(total_pairs / max_pairs)))
+        t = t[::stride]
+        y = y[::stride]
+        n = t.shape[0]
+        if n < 2:
+            return 0.0
+    slopes = []
+    for i in range(n - 1):
+        dt = t[i + 1:] - t[i]
+        dy = y[i + 1:] - y[i]
+        valid = dt != 0
+        if valid.any():
+            slopes.append(dy[valid] / dt[valid])
+    if not slopes:
+        return 0.0
+    return float(np.median(np.concatenate(slopes)))

@@ -1,0 +1,58 @@
+"""Aspect-Oriented Programming substrate (AspectJ analogue).
+
+AspectJ gives the paper three capabilities:
+
+1. a *join-point model* — "the execution of any application-component
+   method" is something that can be named,
+2. a *pointcut language* to select join points without touching source code,
+3. *advice* (before/after/around) woven into the selected join points at
+   load- or runtime.
+
+This package reproduces those capabilities for Python objects.  Weaving is
+performed at runtime by wrapping matching methods on instances or classes
+(the dynamic-proxy / monkey-patching analogue of AspectJ load-time weaving);
+the original method is always restorable (*unweaving*), which is how the
+paper's "deactivate the Aspect Component at runtime" knob is implemented.
+
+Public surface:
+
+* :class:`~repro.aop.joinpoint.JoinPoint` — reflective info about an
+  intercepted execution.
+* :func:`~repro.aop.pointcut.parse_pointcut` /
+  :class:`~repro.aop.pointcut.Pointcut` — AspectJ-like expressions such as
+  ``execution(org.tpcw.servlet.*.do*)`` with ``&&``, ``||``, ``!``.
+* :class:`~repro.aop.aspect.Aspect` and the :func:`~repro.aop.aspect.before`,
+  :func:`~repro.aop.aspect.after`, :func:`~repro.aop.aspect.after_returning`,
+  :func:`~repro.aop.aspect.after_throwing`, :func:`~repro.aop.aspect.around`
+  decorators.
+* :class:`~repro.aop.weaver.Weaver` — applies aspects to targets and undoes it.
+* :class:`~repro.aop.registry.AspectRegistry` — enable/disable aspects at
+  runtime.
+"""
+
+from __future__ import annotations
+
+from repro.aop.advice import Advice, AdviceKind
+from repro.aop.aspect import Aspect, after, after_returning, after_throwing, around, before
+from repro.aop.joinpoint import JoinPoint
+from repro.aop.pointcut import Pointcut, PointcutSyntaxError, parse_pointcut
+from repro.aop.registry import AspectRegistry
+from repro.aop.weaver import Weaver, WeavingError
+
+__all__ = [
+    "JoinPoint",
+    "Pointcut",
+    "PointcutSyntaxError",
+    "parse_pointcut",
+    "Advice",
+    "AdviceKind",
+    "Aspect",
+    "before",
+    "after",
+    "after_returning",
+    "after_throwing",
+    "around",
+    "Weaver",
+    "WeavingError",
+    "AspectRegistry",
+]

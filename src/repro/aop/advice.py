@@ -1,0 +1,55 @@
+"""Advice: the code executed at matched join points."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.aop.pointcut import Pointcut
+
+
+class AdviceKind(enum.Enum):
+    """The five AspectJ advice kinds supported by the weaver."""
+
+    BEFORE = "before"
+    AFTER = "after"                    # "after finally": runs on return and on raise
+    AFTER_RETURNING = "after_returning"
+    AFTER_THROWING = "after_throwing"
+    AROUND = "around"
+
+
+@dataclass
+class Advice:
+    """A bound advice: a kind, a pointcut and the advice body.
+
+    Attributes
+    ----------
+    kind:
+        One of :class:`AdviceKind`.
+    pointcut:
+        The pointcut selecting the join points this advice applies to.
+    body:
+        The advice implementation.  Signature conventions:
+
+        * ``before`` / ``after`` / ``after_returning`` / ``after_throwing``
+          advices receive ``(join_point)``;
+        * ``around`` advices receive ``(join_point, proceed)`` where
+          ``proceed()`` executes the rest of the chain (ultimately the
+          original method) and returns its result.
+    name:
+        Label used in error messages and weaver listings.
+    order:
+        Advices with lower ``order`` run closer to the outside of the chain
+        (i.e. earlier for ``before``, later for ``after``).
+    """
+
+    kind: AdviceKind
+    pointcut: Pointcut
+    body: Callable
+    name: str = ""
+    order: int = 0
+
+    def applies_to(self, declaring_type: str, method_name: str) -> bool:
+        """Static check against a signature (used when weaving)."""
+        return self.pointcut.matches_signature(declaring_type, method_name)

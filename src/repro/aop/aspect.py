@@ -1,0 +1,125 @@
+"""Aspect definition API.
+
+An aspect is a class bundling advices (each bound to a pointcut), exactly
+like an ``@Aspect`` class in AspectJ.  Advices are declared with decorators::
+
+    class ResponseTimeAspect(Aspect):
+        @around("execution(org.tpcw.servlet.*.service)")
+        def time_it(self, join_point, proceed):
+            start = self.clock.now
+            try:
+                return proceed()
+            finally:
+                self.samples.append(self.clock.now - start)
+
+The decorators only attach metadata; :meth:`Aspect.advices` builds the bound
+:class:`~repro.aop.advice.Advice` list the weaver consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.aop.advice import Advice, AdviceKind
+from repro.aop.pointcut import Pointcut, parse_pointcut
+
+
+def _make_decorator(kind: AdviceKind):
+    def decorator_factory(pointcut_expression: str, *, order: int = 0):
+        if not isinstance(pointcut_expression, str):
+            raise TypeError(
+                f"@{kind.value} takes a pointcut expression string, "
+                f"got {type(pointcut_expression).__name__}"
+            )
+
+        def decorator(func: Callable) -> Callable:
+            declarations = getattr(func, "__aspect_advices__", [])
+            declarations.append(
+                {"kind": kind, "expression": pointcut_expression, "order": order}
+            )
+            func.__aspect_advices__ = declarations  # type: ignore[attr-defined]
+            return func
+
+        return decorator
+
+    return decorator_factory
+
+
+#: Declare a before advice bound to a pointcut expression.
+before = _make_decorator(AdviceKind.BEFORE)
+#: Declare an after (finally) advice bound to a pointcut expression.
+after = _make_decorator(AdviceKind.AFTER)
+#: Declare an after-returning advice bound to a pointcut expression.
+after_returning = _make_decorator(AdviceKind.AFTER_RETURNING)
+#: Declare an after-throwing advice bound to a pointcut expression.
+after_throwing = _make_decorator(AdviceKind.AFTER_THROWING)
+#: Declare an around advice bound to a pointcut expression.
+around = _make_decorator(AdviceKind.AROUND)
+
+
+class Aspect:
+    """Base class for aspects.
+
+    Subclasses declare advices with the module-level decorators; instances
+    are handed to a :class:`~repro.aop.weaver.Weaver`.  Aspects can be
+    enabled/disabled at runtime; a disabled aspect's advices become no-ops
+    without unweaving (cheap toggle, used by the Manager Agent's
+    activate/deactivate operations).
+    """
+
+    #: Human-readable name; defaults to the class name.
+    aspect_name: Optional[str] = None
+
+    def __init__(self) -> None:
+        self._enabled = True
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """The aspect's display name."""
+        return self.aspect_name or type(self).__name__
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the aspect's advices currently run."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """Turn the aspect's advices back on."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Turn the aspect's advices off (they become pass-throughs)."""
+        self._enabled = False
+
+    # ------------------------------------------------------------------ #
+    def advices(self) -> List[Advice]:
+        """All advices declared on this aspect, bound to this instance."""
+        pointcut_cache: Dict[str, Pointcut] = {}
+        result: List[Advice] = []
+        for attribute_name in dir(type(self)):
+            member = getattr(type(self), attribute_name, None)
+            declarations = getattr(member, "__aspect_advices__", None)
+            if not declarations:
+                continue
+            bound = getattr(self, attribute_name)
+            for declaration in declarations:
+                expression = declaration["expression"]
+                pointcut = pointcut_cache.get(expression)
+                if pointcut is None:
+                    pointcut = parse_pointcut(expression)
+                    pointcut_cache[expression] = pointcut
+                result.append(
+                    Advice(
+                        kind=declaration["kind"],
+                        pointcut=pointcut,
+                        body=bound,
+                        name=f"{self.name}.{attribute_name}",
+                        order=declaration["order"],
+                    )
+                )
+        result.sort(key=lambda advice: (advice.order, advice.name))
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(enabled={self._enabled})"

@@ -1,0 +1,96 @@
+"""Join points: the interceptable points in program execution.
+
+Only *method execution* join points are modelled (the only kind the paper
+uses: "before and after the application component execution").  A
+:class:`JoinPoint` carries the reflective information advices receive in
+AspectJ (``thisJoinPoint``): the target object, the signature, the call
+arguments and — once execution finished — the return value or exception.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass
+class Signature:
+    """A method signature ``<declaring_type>.<method_name>``.
+
+    ``declaring_type`` uses the Java-style fully qualified name the target
+    exposes (see :func:`declaring_type_of`), so pointcuts written against the
+    paper's TPC-W class names match our Python servlet objects.
+    """
+
+    declaring_type: str
+    method_name: str
+
+    @property
+    def full_name(self) -> str:
+        """``declaring_type.method_name``."""
+        return f"{self.declaring_type}.{self.method_name}"
+
+    def __str__(self) -> str:
+        return self.full_name
+
+
+def declaring_type_of(target: Any) -> str:
+    """The fully qualified type name pointcuts are matched against.
+
+    Targets may expose an explicit ``java_class_name`` attribute (the TPC-W
+    servlets do, so that pointcuts can be written with the original Java
+    names); otherwise ``module.ClassName`` of the Python class is used.
+    """
+    explicit = getattr(target, "java_class_name", None)
+    if isinstance(explicit, str) and explicit:
+        return explicit
+    cls = target if isinstance(target, type) else type(target)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+@dataclass
+class JoinPoint:
+    """A method-execution join point.
+
+    Attributes
+    ----------
+    kind:
+        Always ``"method-execution"`` in this model.
+    target:
+        The object whose method is executing.
+    signature:
+        The matched signature.
+    args, kwargs:
+        The call arguments.
+    component:
+        Logical component name used for attribution (usually the servlet
+        name); filled in by the weaver from the target's ``component_name``
+        attribute when present.
+    timestamp:
+        Simulated time at which the execution started (filled by callers
+        that have access to the clock; 0.0 otherwise).
+    result, exception:
+        Populated after the underlying method returns or raises.
+    context:
+        Scratch space where advices can stash per-execution data (the Aspect
+        Component stores its "before" resource snapshot here).
+    """
+
+    kind: str
+    target: Any
+    signature: Signature
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    component: str = ""
+    timestamp: float = 0.0
+    result: Any = None
+    exception: Optional[BaseException] = None
+    context: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def full_name(self) -> str:
+        """The signature's fully qualified name."""
+        return self.signature.full_name
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.signature.full_name})"

@@ -1,0 +1,78 @@
+"""Aspect registry.
+
+A small directory of named aspects, with bulk enable/disable.  The JMX
+Manager Agent drives this through its management operations ("activate or
+deactivate ACs on demand", per the paper) and the External Front-end exposes
+it to administrators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.aop.aspect import Aspect
+
+
+class AspectRegistry:
+    """Name-indexed collection of aspects with runtime toggling."""
+
+    def __init__(self) -> None:
+        self._aspects: Dict[str, Aspect] = {}
+
+    def add(self, aspect: Aspect, name: Optional[str] = None) -> str:
+        """Register an aspect; returns the name it was registered under."""
+        key = name or aspect.name
+        if key in self._aspects:
+            raise KeyError(f"an aspect named {key!r} is already registered")
+        self._aspects[key] = aspect
+        return key
+
+    def remove(self, name: str) -> Aspect:
+        """Remove and return the named aspect."""
+        aspect = self._aspects.pop(name, None)
+        if aspect is None:
+            raise KeyError(f"no aspect named {name!r}")
+        return aspect
+
+    def get(self, name: str) -> Aspect:
+        """The named aspect."""
+        aspect = self._aspects.get(name)
+        if aspect is None:
+            raise KeyError(f"no aspect named {name!r}")
+        return aspect
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._aspects
+
+    def __len__(self) -> int:
+        return len(self._aspects)
+
+    def names(self) -> List[str]:
+        """Sorted registered names."""
+        return sorted(self._aspects)
+
+    def enable(self, name: str) -> None:
+        """Enable the named aspect."""
+        self.get(name).enable()
+
+    def disable(self, name: str) -> None:
+        """Disable the named aspect."""
+        self.get(name).disable()
+
+    def enable_all(self) -> None:
+        """Enable every registered aspect."""
+        for aspect in self._aspects.values():
+            aspect.enable()
+
+    def disable_all(self) -> None:
+        """Disable every registered aspect."""
+        for aspect in self._aspects.values():
+            aspect.disable()
+
+    def enabled_names(self) -> List[str]:
+        """Names of currently enabled aspects (sorted)."""
+        return sorted(name for name, aspect in self._aspects.items() if aspect.enabled)
+
+    def status(self) -> Dict[str, bool]:
+        """Mapping of aspect name to enabled flag."""
+        return {name: aspect.enabled for name, aspect in sorted(self._aspects.items())}

@@ -1,0 +1,272 @@
+"""Runtime weaver.
+
+Applies the advices of registered aspects to target objects by replacing
+matching bound methods with interception wrappers (the Python analogue of
+AspectJ's load-time weaving).  Weaving is always reversible: the weaver
+remembers what it replaced and :meth:`Weaver.unweave` restores it, which is
+how the framework honours the paper's requirement that monitoring can be
+switched off at runtime without redeploying the application.
+
+Advice chain semantics for a single woven method call::
+
+    around_1( around_2( ... {
+        before_*;                       # in order
+        result = original(*args)        # or raises
+        after_returning_* / after_throwing_*
+        after_*                         # finally
+    } ... ))
+
+A disabled aspect's advices are skipped at call time (checked through the
+``enabled_probe`` captured at weave time), so toggling needs no re-weaving.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.aop.advice import Advice, AdviceKind
+from repro.aop.aspect import Aspect
+from repro.aop.joinpoint import JoinPoint, Signature, declaring_type_of
+
+
+class WeavingError(RuntimeError):
+    """Raised for invalid weaving operations (double weave, missing method...)."""
+
+
+@dataclass
+class _WovenMethod:
+    """Bookkeeping for one replaced method."""
+
+    target: Any
+    method_name: str
+    original: Callable
+    wrapper: Callable
+    advices: List[Tuple[Advice, Aspect]] = field(default_factory=list)
+
+
+class Weaver:
+    """Weaves aspects into target objects.
+
+    Parameters
+    ----------
+    clock:
+        Optional clock-like object with a ``now`` attribute; when provided,
+        join points are stamped with the current simulated time.
+    """
+
+    def __init__(self, clock: Optional[Any] = None) -> None:
+        self._clock = clock
+        self._aspects: List[Aspect] = []
+        self._woven: Dict[Tuple[int, str], _WovenMethod] = {}
+
+    # ------------------------------------------------------------------ #
+    # Aspect management
+    # ------------------------------------------------------------------ #
+    def register_aspect(self, aspect: Aspect) -> None:
+        """Add an aspect whose advices will be considered by future weaves."""
+        if not isinstance(aspect, Aspect):
+            raise TypeError(f"expected an Aspect, got {type(aspect).__name__}")
+        if aspect in self._aspects:
+            raise WeavingError(f"aspect {aspect.name!r} is already registered")
+        self._aspects.append(aspect)
+
+    def unregister_aspect(self, aspect: Aspect) -> None:
+        """Remove an aspect (does not touch already-woven methods)."""
+        try:
+            self._aspects.remove(aspect)
+        except ValueError as exc:
+            raise WeavingError(f"aspect {aspect.name!r} is not registered") from exc
+
+    @property
+    def aspects(self) -> List[Aspect]:
+        """Registered aspects, in registration order."""
+        return list(self._aspects)
+
+    # ------------------------------------------------------------------ #
+    # Weaving
+    # ------------------------------------------------------------------ #
+    def weave_object(
+        self,
+        target: Any,
+        method_names: Optional[List[str]] = None,
+        component: Optional[str] = None,
+    ) -> List[str]:
+        """Weave all registered aspects into ``target``.
+
+        Parameters
+        ----------
+        target:
+            The object whose methods are to be intercepted.
+        method_names:
+            Restrict weaving to these method names; by default every public
+            callable attribute defined by the target's class is considered.
+        component:
+            Logical component name recorded on join points.  Defaults to the
+            target's ``component_name`` attribute or its class name.
+
+        Returns
+        -------
+        list of str
+            Names of methods that were actually woven (at least one advice
+            matched).
+        """
+        declaring_type = declaring_type_of(target)
+        component_name = component or getattr(target, "component_name", None) or declaring_type
+        candidate_names = (
+            method_names
+            if method_names is not None
+            else [
+                name
+                for name in dir(type(target))
+                if not name.startswith("_") and callable(getattr(type(target), name, None))
+            ]
+        )
+
+        woven_names: List[str] = []
+        for method_name in candidate_names:
+            matched: List[Tuple[Advice, Aspect]] = []
+            for aspect in self._aspects:
+                for advice in aspect.advices():
+                    if advice.applies_to(declaring_type, method_name):
+                        matched.append((advice, aspect))
+            if not matched:
+                continue
+            self._weave_method(target, declaring_type, method_name, component_name, matched)
+            woven_names.append(method_name)
+        return woven_names
+
+    def _weave_method(
+        self,
+        target: Any,
+        declaring_type: str,
+        method_name: str,
+        component_name: str,
+        matched: List[Tuple[Advice, Aspect]],
+    ) -> None:
+        key = (id(target), method_name)
+        if key in self._woven:
+            raise WeavingError(
+                f"method {declaring_type}.{method_name} on this instance is already woven"
+            )
+        original = getattr(target, method_name, None)
+        if original is None or not callable(original):
+            raise WeavingError(f"{declaring_type} has no callable method {method_name!r}")
+
+        signature = Signature(declaring_type=declaring_type, method_name=method_name)
+        clock = self._clock
+
+        befores = [(a, s) for a, s in matched if a.kind is AdviceKind.BEFORE]
+        afters = [(a, s) for a, s in matched if a.kind is AdviceKind.AFTER]
+        after_returnings = [(a, s) for a, s in matched if a.kind is AdviceKind.AFTER_RETURNING]
+        after_throwings = [(a, s) for a, s in matched if a.kind is AdviceKind.AFTER_THROWING]
+        arounds = [(a, s) for a, s in matched if a.kind is AdviceKind.AROUND]
+
+        @functools.wraps(original)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            join_point = JoinPoint(
+                kind="method-execution",
+                target=target,
+                signature=signature,
+                args=args,
+                kwargs=kwargs,
+                component=component_name,
+                timestamp=float(getattr(clock, "now", 0.0)) if clock is not None else 0.0,
+            )
+
+            def run_core() -> Any:
+                for advice, aspect in befores:
+                    if aspect.enabled:
+                        advice.body(join_point)
+                try:
+                    result = original(*args, **kwargs)
+                except BaseException as exc:
+                    join_point.exception = exc
+                    for advice, aspect in after_throwings:
+                        if aspect.enabled:
+                            advice.body(join_point)
+                    for advice, aspect in afters:
+                        if aspect.enabled:
+                            advice.body(join_point)
+                    raise
+                join_point.result = result
+                for advice, aspect in after_returnings:
+                    if aspect.enabled:
+                        advice.body(join_point)
+                for advice, aspect in afters:
+                    if aspect.enabled:
+                        advice.body(join_point)
+                return result
+
+            # Build the around chain from the inside (core) out.
+            call_chain: Callable[[], Any] = run_core
+            for advice, aspect in reversed(arounds):
+                call_chain = self._wrap_around(advice, aspect, join_point, call_chain)
+            return call_chain()
+
+        wrapper.__woven__ = True  # type: ignore[attr-defined]
+        setattr(target, method_name, wrapper)
+        self._woven[key] = _WovenMethod(
+            target=target,
+            method_name=method_name,
+            original=original,
+            wrapper=wrapper,
+            advices=matched,
+        )
+
+    @staticmethod
+    def _wrap_around(
+        advice: Advice, aspect: Aspect, join_point: JoinPoint, inner: Callable[[], Any]
+    ) -> Callable[[], Any]:
+        def call() -> Any:
+            if not aspect.enabled:
+                return inner()
+            return advice.body(join_point, inner)
+
+        return call
+
+    # ------------------------------------------------------------------ #
+    # Unweaving / introspection
+    # ------------------------------------------------------------------ #
+    def unweave_object(self, target: Any) -> List[str]:
+        """Restore every woven method of ``target``; returns restored names."""
+        restored: List[str] = []
+        for key in [k for k in self._woven if k[0] == id(target)]:
+            record = self._woven.pop(key)
+            # The original was a bound method resolved from the class; removing
+            # the instance attribute restores normal lookup.
+            try:
+                delattr(record.target, record.method_name)
+            except AttributeError:
+                setattr(record.target, record.method_name, record.original)
+            restored.append(record.method_name)
+        return sorted(restored)
+
+    def unweave_all(self) -> int:
+        """Restore every woven method everywhere; returns how many."""
+        count = 0
+        for key in list(self._woven):
+            record = self._woven.pop(key)
+            try:
+                delattr(record.target, record.method_name)
+            except AttributeError:
+                setattr(record.target, record.method_name, record.original)
+            count += 1
+        return count
+
+    def is_woven(self, target: Any, method_name: str) -> bool:
+        """Whether the given instance method is currently woven."""
+        return (id(target), method_name) in self._woven
+
+    @property
+    def woven_count(self) -> int:
+        """Number of currently woven methods."""
+        return len(self._woven)
+
+    def woven_signatures(self) -> List[str]:
+        """Fully qualified names of all woven methods (sorted)."""
+        out = []
+        for record in self._woven.values():
+            out.append(f"{declaring_type_of(record.target)}.{record.method_name}")
+        return sorted(out)

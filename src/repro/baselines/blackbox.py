@@ -1,0 +1,120 @@
+"""Black-box host monitor (Ganglia / Nagios analogue).
+
+Samples only *system-level* metrics — used heap, free heap, live threads,
+active DB connections — with no notion of application components.  It can
+raise an aging alarm (a significant upward trend in a resource) and estimate
+time-to-exhaustion, which is exactly what the related-work tools the paper
+cites can do; what it structurally cannot do is name the guilty component,
+which is the gap the paper's framework fills.  The comparison benchmark
+shows both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.trend import TrendResult, linear_slope, mann_kendall
+from repro.db.jdbc import DataSource
+from repro.jvm.runtime import JvmRuntime
+from repro.sim.metrics import TimeSeries
+
+
+@dataclass
+class BlackBoxReport:
+    """Outcome of a black-box analysis pass."""
+
+    aging_detected: bool
+    trending_metrics: List[str]
+    slopes: Dict[str, float] = field(default_factory=dict)
+    time_to_exhaustion_seconds: Optional[float] = None
+    #: Always ``None``: a black-box monitor cannot attribute to components.
+    root_cause_component: Optional[str] = None
+
+
+class BlackBoxMonitor:
+    """Periodically samples system metrics and detects resource trends.
+
+    Parameters
+    ----------
+    runtime:
+        The JVM whose heap/threads are observed.
+    datasource:
+        Optional data source whose pool occupancy is observed.
+    alpha:
+        Significance level for the Mann-Kendall trend test.
+    """
+
+    MONITORED_METRICS = ("heap_used", "threads", "connections_active")
+
+    def __init__(
+        self,
+        runtime: JvmRuntime,
+        datasource: Optional[DataSource] = None,
+        alpha: float = 0.05,
+    ) -> None:
+        self._runtime = runtime
+        self._datasource = datasource
+        self.alpha = alpha
+        self.series: Dict[str, TimeSeries] = {
+            metric: TimeSeries(metric) for metric in self.MONITORED_METRICS
+        }
+
+    # ------------------------------------------------------------------ #
+    def sample(self, timestamp: float) -> Dict[str, float]:
+        """Take one host-level sample."""
+        values = {
+            "heap_used": float(self._runtime.used_memory()),
+            "threads": float(self._runtime.thread_count()),
+            "connections_active": float(
+                self._datasource.active_connections if self._datasource is not None else 0
+            ),
+        }
+        for metric, value in values.items():
+            self.series[metric].record(timestamp, value)
+        return values
+
+    def sample_count(self) -> int:
+        """Number of samples taken (all metrics are sampled together)."""
+        return len(self.series["heap_used"])
+
+    # ------------------------------------------------------------------ #
+    def trend_of(self, metric: str) -> TrendResult:
+        """Mann-Kendall trend of one monitored metric."""
+        series = self.series.get(metric)
+        if series is None:
+            raise KeyError(f"unknown metric {metric!r} (monitored: {self.MONITORED_METRICS})")
+        return mann_kendall(series.values, alpha=self.alpha)
+
+    def analyze(self) -> BlackBoxReport:
+        """Detect aging from the host-level series.
+
+        ``time_to_exhaustion_seconds`` extrapolates the heap trend linearly
+        to the configured heap capacity (the standard black-box estimate).
+        """
+        trending: List[str] = []
+        slopes: Dict[str, float] = {}
+        for metric, series in self.series.items():
+            if len(series) < 3:
+                continue
+            trend = mann_kendall(series.values, alpha=self.alpha)
+            slope = linear_slope(series.times, series.values)
+            slopes[metric] = slope
+            if trend.trending_up and slope > 0:
+                trending.append(metric)
+
+        time_to_exhaustion: Optional[float] = None
+        heap_series = self.series["heap_used"]
+        heap_slope = slopes.get("heap_used", 0.0)
+        if "heap_used" in trending and heap_slope > 0 and len(heap_series) > 0:
+            remaining = self._runtime.total_memory() - heap_series.values[-1]
+            if remaining > 0:
+                time_to_exhaustion = float(remaining / heap_slope)
+
+        return BlackBoxReport(
+            aging_detected=bool(trending),
+            trending_metrics=sorted(trending),
+            slopes=slopes,
+            time_to_exhaustion_seconds=time_to_exhaustion,
+            root_cause_component=None,
+        )

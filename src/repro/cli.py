@@ -1,0 +1,188 @@
+"""Command-line interface.
+
+A small operational front door so the library can be driven without writing
+Python — useful for the "administrator" persona the paper's External
+Front-end targets::
+
+    python -m repro.cli quickstart                 # install + leak + diagnose
+    python -m repro.cli fig3 --duration-scale 0.1  # overhead experiment
+    python -m repro.cli fig4                       # single-leak experiment
+    python -m repro.cli fig5                       # four identical leaks (+ Fig. 6 map)
+    python -m repro.cli fig7                       # heterogeneous leak sizes
+    python -m repro.cli environment                # Table I, paper vs. reproduction
+
+All experiments run in virtual time; ``--duration-scale`` scales the paper's
+one-hour runs, ``--tiny`` switches to the small test database population.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.experiments.environment import environment_rows
+from repro.experiments.reporting import fig3_report, fig6_report, format_table, leak_scenario_report
+from repro.experiments.scenarios import (
+    fig3_overhead,
+    fig4_single_leak,
+    fig5_multi_leak,
+    fig6_manager_map,
+    fig7_injection_sizes,
+)
+from repro.tpcw.population import PopulationScale
+
+
+def _population(args: argparse.Namespace) -> PopulationScale:
+    return PopulationScale.tiny() if args.tiny else PopulationScale.standard()
+
+
+def _cmd_environment(args: argparse.Namespace) -> int:
+    print("== Table I: experimental environment (paper vs. reproduction) ==")
+    print(format_table(environment_rows(), ["tier", "attribute", "paper", "reproduction"]))
+    return 0
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    from repro.core.framework import FrameworkConfig, MonitoringFramework
+    from repro.faults.injector import FaultInjector
+    from repro.faults.memory_leak import MemoryLeakFault
+    from repro.sim.engine import SimulationEngine
+    from repro.tpcw.application import build_deployment
+    from repro.tpcw.workload import WorkloadGenerator, WorkloadPhase
+
+    engine = SimulationEngine()
+    deployment = build_deployment(scale=_population(args), seed=args.seed, clock=engine.clock)
+    framework = MonitoringFramework(
+        deployment, engine=engine, config=FrameworkConfig(snapshot_interval=30.0)
+    )
+    framework.install()
+    FaultInjector(deployment).inject(
+        args.component,
+        MemoryLeakFault(leak_bytes=args.leak_kb * 1024, period_n=args.period_n,
+                        streams=deployment.streams),
+    )
+    generator = WorkloadGenerator(engine, deployment)
+    generator.schedule_phases([WorkloadPhase(0.0, args.ebs)])
+    duration = 3600.0 * args.duration_scale
+    framework.schedule_snapshots(duration=duration, interval=30.0)
+    generator.run(duration)
+
+    print(
+        f"{generator.completed_requests} requests served at "
+        f"{generator.mean_throughput():.2f} req/s "
+        f"(mean response time {generator.mean_response_time() * 1000:.1f} ms)\n"
+    )
+    print(framework.frontend.map_report())
+    print()
+    print(framework.frontend.root_cause_report())
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    result = fig3_overhead(
+        duration_scale=args.duration_scale, seed=args.seed, scale=_population(args)
+    )
+    print(fig3_report(result))
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    scenario = fig4_single_leak(
+        duration_scale=args.duration_scale, seed=args.seed, scale=_population(args), ebs=args.ebs
+    )
+    print(
+        leak_scenario_report(
+            scenario,
+            title="Fig. 4: injection in component A (100 KB, N=100)",
+            expectation="A grows to MBs, the rest stay flat, A gets 100% responsibility",
+        )
+    )
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    scenario = fig5_multi_leak(
+        duration_scale=args.duration_scale, seed=args.seed, scale=_population(args), ebs=args.ebs
+    )
+    print(
+        leak_scenario_report(
+            scenario,
+            title="Fig. 5: 100 KB (N=100) injected in components A, B, C and D",
+            expectation="A and B grow fastest and similarly, C slower, D flat",
+        )
+    )
+    print()
+    print(fig6_report(fig6_manager_map(scenario)))
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    scenario = fig7_injection_sizes(
+        duration_scale=args.duration_scale, seed=args.seed, scale=_population(args), ebs=args.ebs
+    )
+    print(
+        leak_scenario_report(
+            scenario,
+            title="Fig. 7: A=100 KB, B=10 KB, C=1 MB, D=1 MB (N=100)",
+            expectation="C first, A second, B third, D flat",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Software-aging root-cause determination (Alonso et al. 2010) — reproduction CLI",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser, include_ebs: bool = True) -> None:
+        sub.add_argument("--seed", type=int, default=42, help="master random seed")
+        sub.add_argument(
+            "--duration-scale",
+            type=float,
+            default=0.1,
+            help="scale of the paper's one-hour experiments (1.0 = full length)",
+        )
+        sub.add_argument("--tiny", action="store_true", help="use the small test database population")
+        if include_ebs:
+            sub.add_argument("--ebs", type=int, default=100, help="number of Emulated Browsers")
+
+    environment_parser = subparsers.add_parser("environment", help="print Table I (paper vs. reproduction)")
+    environment_parser.set_defaults(handler=_cmd_environment)
+
+    quickstart_parser = subparsers.add_parser("quickstart", help="install the framework, inject a leak, diagnose")
+    add_common(quickstart_parser)
+    quickstart_parser.add_argument("--component", default="home", help="component to inject the leak into")
+    quickstart_parser.add_argument("--leak-kb", type=int, default=100, help="leak size in KB")
+    quickstart_parser.add_argument("--period-n", type=int, default=20, help="injection countdown parameter N")
+    quickstart_parser.set_defaults(handler=_cmd_quickstart)
+
+    for name, handler, help_text in [
+        ("fig3", _cmd_fig3, "overhead experiment (monitored vs. unmonitored throughput)"),
+        ("fig4", _cmd_fig4, "single-leak experiment"),
+        ("fig5", _cmd_fig5, "four identical leaks (+ the Fig. 6 map)"),
+        ("fig7", _cmd_fig7, "heterogeneous leak sizes"),
+    ]:
+        sub = subparsers.add_parser(name, help=help_text)
+        add_common(sub, include_ebs=(name != "fig3"))
+        sub.set_defaults(handler=handler)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

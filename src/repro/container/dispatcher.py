@@ -1,0 +1,107 @@
+"""Request dispatch and the servlet filter chain."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.container.servlet import (
+    HttpServletRequest,
+    HttpServletResponse,
+    ServletException,
+)
+from repro.container.session import SessionManager
+from repro.container.webapp import ServletRegistration, WebApplication
+
+
+class ServletFilter:
+    """Base class for servlet filters (``javax.servlet.Filter`` analogue).
+
+    Subclasses override :meth:`do_filter` and must call
+    ``chain.do_filter(request, response)`` to continue processing.
+    """
+
+    filter_name: str = "filter"
+
+    def do_filter(self, request: HttpServletRequest, response: HttpServletResponse, chain: "FilterChain") -> None:
+        """Process the request and pass it down the chain."""
+        chain.do_filter(request, response)
+
+
+class FilterChain:
+    """Runs the configured filters and finally the target servlet."""
+
+    def __init__(self, filters: List[ServletFilter], terminal: Callable[[HttpServletRequest, HttpServletResponse], None]) -> None:
+        self._filters = list(filters)
+        self._terminal = terminal
+        self._index = 0
+
+    def do_filter(self, request: HttpServletRequest, response: HttpServletResponse) -> None:
+        """Invoke the next element of the chain."""
+        if self._index < len(self._filters):
+            current = self._filters[self._index]
+            self._index += 1
+            current.do_filter(request, response, self)
+        else:
+            self._terminal(request, response)
+
+
+class RequestDispatcher:
+    """Maps request URIs to servlets and runs the filter chain.
+
+    Parameters
+    ----------
+    application:
+        The deployed web application.
+    session_manager:
+        Used to attach a session factory to every request.
+    """
+
+    def __init__(self, application: WebApplication, session_manager: SessionManager) -> None:
+        self.application = application
+        self.session_manager = session_manager
+        self.dispatched_count = 0
+        self.not_found_count = 0
+        self.error_count = 0
+
+    def resolve(self, uri: str) -> Optional[ServletRegistration]:
+        """The registration serving ``uri`` (or ``None``)."""
+        return self.application.find_by_uri(uri)
+
+    def dispatch(
+        self,
+        request: HttpServletRequest,
+        response: HttpServletResponse,
+        timestamp: float = 0.0,
+    ) -> HttpServletResponse:
+        """Route a request to its servlet through the filter chain.
+
+        Unknown URIs produce a 404; a :class:`ServletException` or any other
+        exception escaping the servlet produces a 500 (and is recorded but
+        not propagated — the container isolates request failures, as Tomcat
+        does).
+        """
+        registration = self.resolve(request.uri)
+        if registration is None:
+            response.set_status(HttpServletResponse.SC_NOT_FOUND)
+            self.not_found_count += 1
+            return response
+
+        request._session_factory = (
+            lambda session_id, create: self.session_manager.get_session(session_id, create, timestamp)
+        )
+        request.arrival_time = timestamp
+
+        def terminal(req: HttpServletRequest, resp: HttpServletResponse) -> None:
+            registration.servlet.service(req, resp)
+
+        chain = FilterChain(self.application.filters, terminal)
+        try:
+            chain.do_filter(request, response)
+            self.dispatched_count += 1
+        except ServletException:
+            response.set_status(HttpServletResponse.SC_INTERNAL_SERVER_ERROR)
+            self.error_count += 1
+        except Exception:
+            response.set_status(HttpServletResponse.SC_INTERNAL_SERVER_ERROR)
+            self.error_count += 1
+        return response

@@ -1,0 +1,241 @@
+"""The application server facade.
+
+:class:`ApplicationServer` executes one request end-to-end in virtual time:
+
+1. the dispatcher routes the request through the filter chain to the target
+   servlet, which *really executes* (issuing SQL against the data tier and
+   allocating simulated heap objects);
+2. the server then derives the request's simulated resource demands —
+   servlet CPU time, accumulated database cost, GC pauses triggered by the
+   allocations, and any *external* cost charged by the monitoring framework
+   (the Aspect Component registers an overhead provider here); and
+3. books those demands on the capacity resources (worker thread pool, the
+   application server's CPUs, the database server's CPUs) to obtain the
+   request's completion time and response time under contention.
+
+The split between a "4-way application server" and a "2-way database
+server" follows Table I of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.container.dispatcher import RequestDispatcher
+from repro.container.servlet import HttpServletRequest, HttpServletResponse
+from repro.container.session import SessionManager
+from repro.container.threadpool import WorkerThreadPool
+from repro.container.webapp import WebApplication
+from repro.db.jdbc import DataSource
+from repro.jvm.heap import DEFAULT_HEAP_BYTES
+from repro.jvm.runtime import JvmRuntime
+from repro.sim.metrics import MetricRegistry
+from repro.sim.random import RandomStreams
+from repro.sim.resources import CapacityResource, ResourceBusyError
+
+
+@dataclass
+class ServerConfig:
+    """Capacity and timing parameters of the simulated testbed.
+
+    Defaults follow Table I of the paper: a 4-way Xeon application server
+    with a 1 GB JVM heap and a 2-way Xeon database server.
+    """
+
+    app_cpu_cores: int = 4
+    db_cpu_cores: int = 2
+    max_threads: int = 150
+    accept_queue: int = 400
+    heap_bytes: int = DEFAULT_HEAP_BYTES
+    #: Coefficient of variation of per-request CPU service times.
+    service_time_cv: float = 0.25
+    #: Multiplier applied to database cost (lets ablations slow the DB down).
+    db_speed_factor: float = 1.0
+    #: Fallback CPU demand for servlets that do not declare one (seconds).
+    default_cpu_demand: float = 0.10
+
+
+@dataclass
+class RequestOutcome:
+    """Everything the harness wants to know about one completed request."""
+
+    request: HttpServletRequest
+    response: HttpServletResponse
+    arrival_time: float
+    completion_time: float
+    response_time: float
+    servlet_name: str = ""
+    cpu_seconds: float = 0.0
+    db_seconds: float = 0.0
+    gc_pause_seconds: float = 0.0
+    monitoring_overhead_seconds: float = 0.0
+    rejected: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request completed without an error status."""
+        return not self.rejected and not self.response.is_error
+
+
+class ApplicationServer:
+    """The simulated Tomcat instance hosting one web application.
+
+    Parameters
+    ----------
+    application:
+        The deployed :class:`~repro.container.webapp.WebApplication`.
+    datasource:
+        The JDBC data source the servlets use (its accumulated query cost is
+        read around each request to attribute database time).
+    runtime:
+        Simulated JVM; a fresh one (with ``config.heap_bytes``) is created
+        when omitted.
+    config:
+        Capacity configuration.
+    streams:
+        Random streams for service-time noise; deterministic means are used
+        when omitted.
+    """
+
+    def __init__(
+        self,
+        application: WebApplication,
+        datasource: DataSource,
+        runtime: Optional[JvmRuntime] = None,
+        config: Optional[ServerConfig] = None,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.application = application
+        self.datasource = datasource
+        self.runtime = runtime or JvmRuntime(heap_bytes=self.config.heap_bytes)
+        self.streams = streams
+        self.sessions = SessionManager(self.runtime)
+        self.dispatcher = RequestDispatcher(application, self.sessions)
+        self.thread_pool = WorkerThreadPool(
+            self.runtime, max_threads=self.config.max_threads, max_queue=self.config.accept_queue
+        )
+        self.app_cpu = CapacityResource(self.config.app_cpu_cores, name="app-server-cpu")
+        self.db_cpu = CapacityResource(self.config.db_cpu_cores, name="db-server-cpu")
+        self.metrics = MetricRegistry()
+        #: Callables returning *pending* extra seconds to fold into the next
+        #: request's service time.  The monitoring framework's overhead
+        #: account registers itself here; the container stays unaware of it.
+        self.external_cost_providers: List[Callable[[], float]] = []
+        self._completed = 0
+        self._rejected = 0
+
+    # ------------------------------------------------------------------ #
+    def add_external_cost_provider(self, provider: Callable[[], float]) -> None:
+        """Register a provider of additional per-request service cost."""
+        if not callable(provider):
+            raise TypeError("external cost provider must be callable")
+        self.external_cost_providers.append(provider)
+
+    def _drain_external_cost(self) -> float:
+        total = 0.0
+        for provider in self.external_cost_providers:
+            value = float(provider())
+            if value < 0:
+                raise ValueError("external cost providers must return non-negative values")
+            total += value
+        return total
+
+    def _cpu_demand_for(self, servlet, request: HttpServletRequest) -> float:
+        mean = float(getattr(servlet, "base_cpu_demand_seconds", self.config.default_cpu_demand))
+        if self.streams is None or self.config.service_time_cv <= 0:
+            return mean
+        return self.streams.lognormal_service_time(
+            "container.service-time", mean, self.config.service_time_cv
+        )
+
+    # ------------------------------------------------------------------ #
+    def handle(self, request: HttpServletRequest, arrival_time: float) -> RequestOutcome:
+        """Process one request arriving at ``arrival_time`` (virtual seconds)."""
+        response = HttpServletResponse()
+        registration = self.dispatcher.resolve(request.uri)
+        servlet_name = registration.name if registration is not None else ""
+
+        # Execute the servlet code (real Python execution, simulated resources).
+        db_cost_before = self.datasource.total_cost_seconds
+        self.dispatcher.dispatch(request, response, timestamp=arrival_time)
+        db_seconds = (self.datasource.total_cost_seconds - db_cost_before) * self.config.db_speed_factor
+
+        servlet = registration.servlet if registration is not None else None
+        cpu_seconds = self._cpu_demand_for(servlet, request) if servlet is not None else 0.002
+        monitoring_overhead = self._drain_external_cost()
+        gc_pause = self.runtime.consume_pending_gc_pause()
+
+        if servlet is not None:
+            self.runtime.record_cpu_time(servlet_name, cpu_seconds)
+        if monitoring_overhead > 0:
+            self.runtime.record_cpu_time("monitoring-framework", monitoring_overhead)
+
+        app_demand = cpu_seconds + monitoring_overhead + gc_pause
+
+        # Book the worker thread for the whole processing span, then the CPUs.
+        try:
+            thread_start, _ = self.thread_pool.book(arrival_time, app_demand + db_seconds)
+        except ResourceBusyError:
+            response.set_status(HttpServletResponse.SC_SERVICE_UNAVAILABLE)
+            self._rejected += 1
+            self.metrics.counter("requests.rejected").increment()
+            return RequestOutcome(
+                request=request,
+                response=response,
+                arrival_time=arrival_time,
+                completion_time=arrival_time,
+                response_time=0.0,
+                servlet_name=servlet_name,
+                rejected=True,
+            )
+
+        _, cpu_finish = self.app_cpu.acquire(thread_start, app_demand)
+        _, db_finish = self.db_cpu.acquire(cpu_finish, db_seconds)
+        completion = db_finish
+        response_time = completion - arrival_time
+
+        self._completed += 1
+        self.metrics.counter("requests.completed").increment()
+        # Indexed by arrival time: arrivals are monotone in event order, while
+        # completions may finish out of order across concurrent requests.
+        self.metrics.series("response_time").record(arrival_time, response_time)
+
+        return RequestOutcome(
+            request=request,
+            response=response,
+            arrival_time=arrival_time,
+            completion_time=completion,
+            response_time=response_time,
+            servlet_name=servlet_name,
+            cpu_seconds=cpu_seconds,
+            db_seconds=db_seconds,
+            gc_pause_seconds=gc_pause,
+            monitoring_overhead_seconds=monitoring_overhead,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def completed_requests(self) -> int:
+        """Requests that completed (successfully or with an error page)."""
+        return self._completed
+
+    @property
+    def rejected_requests(self) -> int:
+        """Requests rejected because the accept queue overflowed."""
+        return self._rejected
+
+    def utilization_report(self, elapsed_seconds: float) -> dict:
+        """Utilisation of the main capacity resources over the elapsed time."""
+        return {
+            "app_cpu": self.app_cpu.utilization(elapsed_seconds),
+            "db_cpu": self.db_cpu.utilization(elapsed_seconds),
+            "worker_threads": self.thread_pool.utilization(elapsed_seconds),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ApplicationServer(app={self.application.name!r}, "
+            f"completed={self._completed}, rejected={self._rejected})"
+        )

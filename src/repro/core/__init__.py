@@ -1,0 +1,76 @@
+"""The paper's contribution: AOP/JMX monitoring and root-cause determination.
+
+Architecture (Fig. 1 of the paper):
+
+* :mod:`repro.core.aspect_component`   -- the Aspect Component (AC) woven
+  around every application component, plus its AC Proxy MBean.
+* :mod:`repro.core.monitoring_agents`  -- JMX Monitoring Agents that read
+  resource state on demand (object size, heap, CPU, threads, connections).
+* :mod:`repro.core.manager_agent`      -- the JMX Manager Agent: collects
+  per-component samples, builds the resource-component map, ranks suspects,
+  and activates/deactivates ACs at runtime.
+* :mod:`repro.core.resource_map`       -- the resource-consumption vs.
+  usage-frequency map (Figs. 2 and 6).
+* :mod:`repro.core.rootcause`          -- root-cause determination strategies
+  (the paper's map strategy plus trend-based refinements).
+* :mod:`repro.core.sizing`             -- the one-level "real object size"
+  computation used by the object-size agent.
+* :mod:`repro.core.overhead`           -- accounting of the monitoring
+  overhead the framework itself adds (Fig. 3).
+* :mod:`repro.core.frontend`           -- the External Front-end.
+* :mod:`repro.core.framework`          -- one-call installation of the whole
+  monitoring stack onto a TPC-W deployment.
+"""
+
+from __future__ import annotations
+
+from repro.core.aspect_component import AspectComponent, AspectComponentProxy
+from repro.core.framework import FrameworkConfig, MonitoringFramework
+from repro.core.frontend import MonitoringFrontEnd
+from repro.core.manager_agent import ManagerAgent
+from repro.core.monitoring_agents import (
+    ConnectionPoolAgent,
+    CpuAgent,
+    HeapAgent,
+    MonitoringAgent,
+    ObjectSizeAgent,
+    ThreadAgent,
+)
+from repro.core.overhead import OverheadAccount
+from repro.core.resource_map import ComponentSample, ComponentStats, ResourceComponentMap
+from repro.core.rootcause import (
+    PaperMapStrategy,
+    RootCauseReport,
+    RootCauseStrategy,
+    Suspicion,
+    TrendStrategy,
+    WeightedCompositeStrategy,
+)
+from repro.core.sizing import deep_object_size, retained_component_size
+
+__all__ = [
+    "AspectComponent",
+    "AspectComponentProxy",
+    "MonitoringAgent",
+    "ObjectSizeAgent",
+    "HeapAgent",
+    "CpuAgent",
+    "ThreadAgent",
+    "ConnectionPoolAgent",
+    "ManagerAgent",
+    "ComponentSample",
+    "ComponentStats",
+    "ResourceComponentMap",
+    "RootCauseStrategy",
+    "PaperMapStrategy",
+    "TrendStrategy",
+    "WeightedCompositeStrategy",
+    "Suspicion",
+    "RootCauseReport",
+    "OverheadAccount",
+    "MonitoringFrontEnd",
+    "MonitoringFramework",
+    "FrameworkConfig",
+    "deep_object_size",
+    "retained_component_size",
+]

@@ -1,0 +1,156 @@
+"""The External Front-end.
+
+A thin administrative client that talks to the JMX Manager Agent through a
+remote connector (Section III-B.4 of the paper): inspect component status in
+real time, read the resource-component map, get the current root-cause
+ranking, and switch individual Aspect Components (or whole monitoring
+agents) on and off.  Output is plain text, suitable for a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.manager_agent import MANAGER_OBJECT_NAME
+from repro.core.monitoring_agents import AGENT_DOMAIN
+from repro.core.resource_map import DEFAULT_METRIC
+from repro.core.rootcause import RootCauseReport
+from repro.jmx.connector import JmxConnector
+
+
+def _format_bytes(value: float) -> str:
+    """Human-readable byte formatting for reports."""
+    magnitude = abs(value)
+    if magnitude >= 1024 * 1024:
+        return f"{value / (1024 * 1024):.2f} MB"
+    if magnitude >= 1024:
+        return f"{value / 1024:.1f} KB"
+    return f"{value:.0f} B"
+
+
+def _format_table(rows: List[Dict[str, object]], columns: List[str]) -> str:
+    """Render a list of dict rows as a fixed-width text table."""
+    if not rows:
+        return "(no data)"
+    widths = {column: len(column) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(str(row.get(column, ""))))
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append("  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+class MonitoringFrontEnd:
+    """Administrator-facing client of the monitoring framework.
+
+    Parameters
+    ----------
+    connector:
+        A :class:`~repro.jmx.connector.JmxConnector` to the MBeanServer that
+        hosts the manager agent, the agents and the AC proxies.
+    """
+
+    def __init__(self, connector: JmxConnector) -> None:
+        self._connector = connector
+        self._manager = connector.proxy(MANAGER_OBJECT_NAME)
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    def component_status(self) -> Dict[str, bool]:
+        """Enabled flag of every monitored component."""
+        return self._manager.call("component_status")
+
+    def list_agents(self) -> List[str]:
+        """ObjectNames of every registered monitoring agent."""
+        return [str(name) for name in self._connector.query_names(f"{AGENT_DOMAIN}:*")]
+
+    def resource_map_rows(self, metric: str = DEFAULT_METRIC) -> List[Dict[str, object]]:
+        """The resource-component map as rows."""
+        return self._manager.call("build_map", metric)
+
+    def root_cause(self, metric: str = DEFAULT_METRIC) -> RootCauseReport:
+        """The current root-cause report."""
+        return self._manager.call("determine_root_cause", metric)
+
+    # ------------------------------------------------------------------ #
+    # Control
+    # ------------------------------------------------------------------ #
+    def activate(self, component: str) -> bool:
+        """Activate monitoring of one component."""
+        return self._manager.call("activate_component", component)
+
+    def deactivate(self, component: str) -> bool:
+        """Deactivate monitoring of one component."""
+        return self._manager.call("deactivate_component", component)
+
+    def activate_all(self) -> int:
+        """Activate every Aspect Component."""
+        return self._manager.call("activate_all")
+
+    def deactivate_all(self) -> int:
+        """Deactivate every Aspect Component."""
+        return self._manager.call("deactivate_all")
+
+    def take_snapshot(self, timestamp: Optional[float] = None) -> Dict[str, float]:
+        """Trigger a polling snapshot through the manager."""
+        return self._manager.call("snapshot", timestamp)
+
+    # ------------------------------------------------------------------ #
+    # Text reports
+    # ------------------------------------------------------------------ #
+    def status_report(self) -> str:
+        """One-screen overview: components, sample counts, agent list."""
+        status = self.component_status()
+        rows = [
+            {"component": name, "monitoring": "on" if enabled else "off"}
+            for name, enabled in sorted(status.items())
+        ]
+        lines = [
+            "== Monitoring framework status ==",
+            f"manager: {MANAGER_OBJECT_NAME}",
+            f"components known: {self._manager.get('ComponentCount')}",
+            f"samples received: {self._manager.get('SampleCount')}",
+            f"snapshots taken:  {self._manager.get('SnapshotCount')}",
+            "",
+            _format_table(rows, ["component", "monitoring"]),
+            "",
+            "agents: " + ", ".join(self.list_agents()),
+        ]
+        return "\n".join(lines)
+
+    def map_report(self, metric: str = DEFAULT_METRIC) -> str:
+        """The resource-consumption vs. usage map as a text table (Fig. 6)."""
+        rows = self.resource_map_rows(metric)
+        for row in rows:
+            consumed_key = f"{metric}_consumed"
+            last_key = f"{metric}_last"
+            if consumed_key in row:
+                row[consumed_key] = _format_bytes(float(row[consumed_key]))
+            if last_key in row:
+                row[last_key] = _format_bytes(float(row[last_key]))
+        columns = ["component", "invocations", "usage_per_second",
+                   f"{metric}_consumed", f"{metric}_last", "quadrant"]
+        return "== Resource-component map ==\n" + _format_table(rows, columns)
+
+    def root_cause_report(self, metric: str = DEFAULT_METRIC) -> str:
+        """The ranked root-cause suspects as a text table."""
+        report = self.root_cause(metric)
+        rows = []
+        for suspicion in report.ranked():
+            rows.append(
+                {
+                    "rank": suspicion.rank,
+                    "component": suspicion.component,
+                    "score": _format_bytes(suspicion.score)
+                    if metric == DEFAULT_METRIC
+                    else f"{suspicion.score:.3f}",
+                    "responsibility": f"{100.0 * suspicion.responsibility:.1f}%",
+                }
+            )
+        header = f"== Root cause ranking (strategy: {report.strategy}, metric: {metric}) =="
+        return header + "\n" + _format_table(rows, ["rank", "component", "score", "responsibility"])

@@ -1,0 +1,236 @@
+"""The JMX Manager Agent.
+
+The core of the proposal (Section III-B.3): it collects the metrics reported
+by the Aspect Components, builds the resource-component map, offers a first
+root-cause analysis, and can activate or deactivate ACs on demand (to reduce
+overhead or focus monitoring on a subset of components).
+
+Besides the AC-pushed samples the manager can also *poll*: :meth:`snapshot`
+reads the object-size agent for every known component and the heap agent for
+the whole JVM, producing the evenly spaced per-component size series that
+Figs. 4, 5 and 7 plot (rarely used components would otherwise have almost no
+data points).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.aspect_component import ASPECT_DOMAIN
+from repro.core.monitoring_agents import AGENT_DOMAIN
+from repro.core.resource_map import DEFAULT_METRIC, ComponentSample, ResourceComponentMap
+from repro.core.rootcause import PaperMapStrategy, RootCauseReport, RootCauseStrategy
+from repro.jmx.mbean import MBean, attribute, operation
+from repro.jmx.mbean_server import MBeanServer
+from repro.jmx.notifications import NotificationBroadcaster
+from repro.jmx.object_name import ObjectName
+
+#: Canonical ObjectName of the manager agent.
+MANAGER_OBJECT_NAME = ObjectName.of("repro.core", type="ManagerAgent")
+
+#: Notification emitted when a component's consumption crosses the alert threshold.
+AGING_SUSPECT_NOTIFICATION = "repro.aging.suspect"
+
+
+class ManagerAgent(MBean, NotificationBroadcaster):
+    """Collects samples, builds the map and ranks root-cause suspects.
+
+    Parameters
+    ----------
+    mbean_server:
+        Server used to reach agents and AC proxies.
+    clock:
+        Clock-like object used to timestamp snapshots.
+    strategy:
+        Root-cause strategy (defaults to the paper's map strategy).
+    alert_growth_bytes:
+        When a component's accumulated consumption first exceeds this many
+        bytes, the manager emits an ``repro.aging.suspect`` notification.
+    """
+
+    description = "JMX Manager Agent: resource-component map and root-cause analysis"
+
+    def __init__(
+        self,
+        mbean_server: MBeanServer,
+        clock: Optional[object] = None,
+        strategy: Optional[RootCauseStrategy] = None,
+        alert_growth_bytes: float = 10 * 1024 * 1024,
+    ) -> None:
+        MBean.__init__(self)
+        NotificationBroadcaster.__init__(self)
+        self._server = mbean_server
+        self._clock = clock
+        self.strategy = strategy or PaperMapStrategy()
+        self.alert_growth_bytes = float(alert_growth_bytes)
+        self.map = ResourceComponentMap()
+        self._known_components: List[str] = []
+        self._alerted: set = set()
+        self._snapshot_count = 0
+
+    # ------------------------------------------------------------------ #
+    def _now(self) -> float:
+        return float(getattr(self._clock, "now", 0.0)) if self._clock is not None else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Sample intake (called by ACs through the MBeanServer)
+    # ------------------------------------------------------------------ #
+    @operation
+    def record_sample(self, sample: ComponentSample) -> None:
+        """Fold one Aspect-Component sample into the map."""
+        if not isinstance(sample, ComponentSample):
+            raise TypeError(f"expected a ComponentSample, got {type(sample).__name__}")
+        if sample.component not in self._known_components:
+            self._known_components.append(sample.component)
+        self.map.add_sample(sample)
+        self._check_alert(sample.component)
+
+    @operation
+    def register_component(self, component: str) -> None:
+        """Declare a component so it shows up in the map even if never sampled."""
+        if component not in self._known_components:
+            self._known_components.append(component)
+        self.map.register_component(component)
+
+    # ------------------------------------------------------------------ #
+    # Polling
+    # ------------------------------------------------------------------ #
+    @operation
+    def snapshot(self, timestamp: Optional[float] = None) -> Dict[str, float]:
+        """Poll the object-size agent for every known component.
+
+        Returns the component -> object_size mapping recorded, and also
+        records whole-JVM heap usage under the pseudo component ``"<jvm>"``.
+        """
+        when = timestamp if timestamp is not None else self._now()
+        sizes: Dict[str, float] = {}
+        object_size_agents = self._server.query_names(f"{AGENT_DOMAIN}:type=object-size,*")
+        for agent_name in object_size_agents:
+            for component in self._known_components:
+                values = self._server.invoke(agent_name, "sample", component)
+                if not values:
+                    continue
+                size = float(values.get("object_size", 0.0))
+                sizes[component] = size
+                self.map.record_observation(component, "object_size", when, size)
+                self._check_alert(component)
+        heap_agents = self._server.query_names(f"{AGENT_DOMAIN}:type=heap,*")
+        for agent_name in heap_agents:
+            values = self._server.invoke(agent_name, "sample", "<jvm>")
+            if values:
+                self.map.record_observation(
+                    "<jvm>", "heap_used", when, float(values.get("heap_used", 0.0))
+                )
+        self._snapshot_count += 1
+        return sizes
+
+    def _check_alert(self, component: str) -> None:
+        if component in self._alerted:
+            return
+        growth = self.map.consumption(component, DEFAULT_METRIC)
+        if growth >= self.alert_growth_bytes:
+            self._alerted.add(component)
+            self.send_notification(
+                AGING_SUSPECT_NOTIFICATION,
+                source=str(MANAGER_OBJECT_NAME),
+                message=(
+                    f"component {component!r} accumulated {growth:.0f} bytes of "
+                    f"{DEFAULT_METRIC} (threshold {self.alert_growth_bytes:.0f})"
+                ),
+                timestamp=self._now(),
+                component=component,
+                growth_bytes=growth,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Map / analysis
+    # ------------------------------------------------------------------ #
+    @operation
+    def build_map(self, metric: str = DEFAULT_METRIC) -> List[Dict[str, float]]:
+        """The resource-component map as printable rows (Fig. 6)."""
+        return self.map.to_rows(metric)
+
+    @operation
+    def determine_root_cause(self, metric: str = DEFAULT_METRIC) -> RootCauseReport:
+        """Run the configured strategy over the current map."""
+        return self.strategy.analyze(self.map, metric)
+
+    @operation
+    def list_components(self) -> List[str]:
+        """Components known to the manager (sorted)."""
+        return sorted(self._known_components)
+
+    # ------------------------------------------------------------------ #
+    # AC control
+    # ------------------------------------------------------------------ #
+    def _proxy_names(self, component: Optional[str] = None) -> List[ObjectName]:
+        pattern = (
+            f"{ASPECT_DOMAIN}:type=AspectComponent,component={component}"
+            if component is not None
+            else f"{ASPECT_DOMAIN}:type=AspectComponent,*"
+        )
+        return self._server.query_names(pattern)
+
+    @operation
+    def activate_component(self, component: str) -> bool:
+        """Activate monitoring of one component; returns whether it was found."""
+        names = self._proxy_names(component)
+        for name in names:
+            self._server.invoke(name, "activate")
+        return bool(names)
+
+    @operation
+    def deactivate_component(self, component: str) -> bool:
+        """Deactivate monitoring of one component; returns whether it was found."""
+        names = self._proxy_names(component)
+        for name in names:
+            self._server.invoke(name, "deactivate")
+        return bool(names)
+
+    @operation
+    def activate_all(self) -> int:
+        """Activate every AC; returns how many were reached."""
+        names = self._proxy_names()
+        for name in names:
+            self._server.invoke(name, "activate")
+        return len(names)
+
+    @operation
+    def deactivate_all(self) -> int:
+        """Deactivate every AC; returns how many were reached."""
+        names = self._proxy_names()
+        for name in names:
+            self._server.invoke(name, "deactivate")
+        return len(names)
+
+    @operation
+    def component_status(self) -> Dict[str, bool]:
+        """Enabled flag of every AC proxy."""
+        status: Dict[str, bool] = {}
+        for name in self._proxy_names():
+            component = name.get("component") or ""
+            status[component] = bool(self._server.get_attribute(name, "Enabled"))
+        return status
+
+    # ------------------------------------------------------------------ #
+    # Attributes
+    # ------------------------------------------------------------------ #
+    @attribute
+    def ComponentCount(self) -> int:
+        """Number of components known to the manager."""
+        return len(self._known_components)
+
+    @attribute
+    def SampleCount(self) -> int:
+        """Number of AC samples received."""
+        return self.map.sample_count
+
+    @attribute
+    def SnapshotCount(self) -> int:
+        """Number of polling snapshots taken."""
+        return self._snapshot_count
+
+    @attribute
+    def StrategyName(self) -> str:
+        """The active root-cause strategy."""
+        return self.strategy.name

@@ -1,0 +1,242 @@
+"""Root-cause determination strategies.
+
+The paper's strategy (Section III-C) is deliberately simple: a component is
+more likely to be the aging root cause the more resources it has accumulated
+and the more frequently it is used.  :class:`PaperMapStrategy` implements it
+verbatim over the resource-component map.  The paper also calls for "more
+intelligent decision makers" as future work; :class:`TrendStrategy`
+(Mann-Kendall significance + robust slope) and
+:class:`WeightedCompositeStrategy` are the refinements exercised by the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.statistics import normalize_scores
+from repro.analysis.trend import mann_kendall, theil_sen_slope
+from repro.core.resource_map import DEFAULT_METRIC, ResourceComponentMap
+
+
+@dataclass
+class Suspicion:
+    """One component's entry in a root-cause report."""
+
+    component: str
+    score: float
+    rank: int
+    responsibility: float = 0.0
+    details: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class RootCauseReport:
+    """The outcome of one analysis run."""
+
+    strategy: str
+    metric: str
+    suspicions: List[Suspicion] = field(default_factory=list)
+
+    def ranked(self) -> List[Suspicion]:
+        """Suspicions sorted by rank (1 = most suspicious)."""
+        return sorted(self.suspicions, key=lambda suspicion: suspicion.rank)
+
+    def ranking(self) -> List[str]:
+        """Component names in rank order."""
+        return [suspicion.component for suspicion in self.ranked()]
+
+    def top(self) -> Optional[Suspicion]:
+        """The most suspicious component (``None`` for an empty report)."""
+        ranked = self.ranked()
+        return ranked[0] if ranked else None
+
+    def responsibility(self, component: str) -> float:
+        """The normalised share of responsibility assigned to ``component``."""
+        for suspicion in self.suspicions:
+            if suspicion.component == component:
+                return suspicion.responsibility
+        return 0.0
+
+    def to_rows(self) -> List[Dict[str, float]]:
+        """Printable rows, rank order."""
+        return [
+            {
+                "rank": suspicion.rank,
+                "component": suspicion.component,
+                "score": round(suspicion.score, 3),
+                "responsibility": round(suspicion.responsibility, 4),
+            }
+            for suspicion in self.ranked()
+        ]
+
+
+def _build_report(
+    strategy_name: str,
+    metric: str,
+    scores: Dict[str, float],
+    details: Optional[Dict[str, Dict[str, float]]] = None,
+    usage_tiebreak: Optional[Dict[str, float]] = None,
+) -> RootCauseReport:
+    """Assemble a report from raw scores (shared by all strategies)."""
+    responsibilities = normalize_scores(scores)
+    tiebreak = usage_tiebreak or {}
+    ordered = sorted(
+        scores,
+        key=lambda name: (-scores[name], -tiebreak.get(name, 0.0), name),
+    )
+    suspicions = []
+    for rank, name in enumerate(ordered, start=1):
+        suspicions.append(
+            Suspicion(
+                component=name,
+                score=float(scores[name]),
+                rank=rank,
+                responsibility=responsibilities.get(name, 0.0),
+                details=(details or {}).get(name, {}),
+            )
+        )
+    return RootCauseReport(strategy=strategy_name, metric=metric, suspicions=suspicions)
+
+
+class RootCauseStrategy:
+    """Interface implemented by all strategies."""
+
+    name = "abstract"
+
+    def analyze(
+        self, resource_map: ResourceComponentMap, metric: str = DEFAULT_METRIC
+    ) -> RootCauseReport:
+        """Produce a ranked report from the resource-component map."""
+        raise NotImplementedError
+
+
+class PaperMapStrategy(RootCauseStrategy):
+    """The paper's consumption × usage map strategy.
+
+    A component's suspicion score is its accumulated consumption of the
+    metric (how much the component's "real size" has grown over the
+    observation window); usage frequency breaks ties — exactly the reading
+    of Fig. 2: among equal consumers the more-used component is more
+    suspicious, and a component that consumed nothing is not suspicious at
+    all regardless of usage.
+    """
+
+    name = "paper-map"
+
+    def analyze(
+        self, resource_map: ResourceComponentMap, metric: str = DEFAULT_METRIC
+    ) -> RootCauseReport:
+        scores: Dict[str, float] = {}
+        details: Dict[str, Dict[str, float]] = {}
+        usage: Dict[str, float] = {}
+        for component in resource_map.application_components():
+            consumption = max(0.0, resource_map.consumption(component, metric))
+            frequency = resource_map.usage_frequency(component)
+            scores[component] = consumption
+            usage[component] = frequency
+            details[component] = {
+                "consumption": consumption,
+                "usage_per_second": frequency,
+                "invocations": float(resource_map.stats(component).invocations),
+            }
+        return _build_report(self.name, metric, scores, details, usage)
+
+
+class TrendStrategy(RootCauseStrategy):
+    """Trend-aware refinement.
+
+    A component only receives a score when the Mann-Kendall test finds a
+    statistically significant upward trend in its metric series; the score is
+    the robust (Theil-Sen) slope extrapolated over the observation window,
+    i.e. "how many bytes will this component have accumulated by the end of
+    the window if it keeps going".  This suppresses components whose size
+    merely fluctuates.
+    """
+
+    name = "trend"
+
+    def __init__(self, alpha: float = 0.05, min_points: int = 5) -> None:
+        if not 0 < alpha < 1:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if min_points < 3:
+            raise ValueError(f"min_points must be >= 3, got {min_points}")
+        self.alpha = alpha
+        self.min_points = min_points
+
+    def analyze(
+        self, resource_map: ResourceComponentMap, metric: str = DEFAULT_METRIC
+    ) -> RootCauseReport:
+        window = max(resource_map.observation_window(), 1.0)
+        scores: Dict[str, float] = {}
+        details: Dict[str, Dict[str, float]] = {}
+        usage: Dict[str, float] = {}
+        for component in resource_map.application_components():
+            series = resource_map.series(component, metric)
+            usage[component] = resource_map.usage_frequency(component)
+            if len(series) < self.min_points:
+                scores[component] = 0.0
+                details[component] = {"points": float(len(series)), "slope": 0.0, "p_value": 1.0}
+                continue
+            trend = mann_kendall(series.values, alpha=self.alpha)
+            slope = theil_sen_slope(series.times, series.values)
+            score = slope * window if trend.trending_up and slope > 0 else 0.0
+            scores[component] = score
+            details[component] = {
+                "points": float(len(series)),
+                "slope": slope,
+                "p_value": trend.p_value,
+                "significant": 1.0 if trend.significant else 0.0,
+            }
+        return _build_report(self.name, metric, scores, details, usage)
+
+
+class WeightedCompositeStrategy(RootCauseStrategy):
+    """Combines several strategies with weights (normalised per strategy).
+
+    The default combination (paper map + trend, equal weight) keeps the paper
+    strategy's sensitivity while adding the trend strategy's robustness to
+    noisy, non-monotonic series.
+    """
+
+    name = "composite"
+
+    def __init__(
+        self,
+        strategies: Optional[Sequence[RootCauseStrategy]] = None,
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.strategies = list(strategies) if strategies is not None else [
+            PaperMapStrategy(),
+            TrendStrategy(),
+        ]
+        if weights is None:
+            weights = [1.0] * len(self.strategies)
+        if len(weights) != len(self.strategies):
+            raise ValueError(
+                f"{len(self.strategies)} strategies but {len(weights)} weights"
+            )
+        if any(weight < 0 for weight in weights):
+            raise ValueError("weights must be non-negative")
+        if sum(weights) <= 0:
+            raise ValueError("at least one weight must be positive")
+        self.weights = list(weights)
+
+    def analyze(
+        self, resource_map: ResourceComponentMap, metric: str = DEFAULT_METRIC
+    ) -> RootCauseReport:
+        combined: Dict[str, float] = {name: 0.0 for name in resource_map.application_components()}
+        details: Dict[str, Dict[str, float]] = {name: {} for name in combined}
+        usage = {name: resource_map.usage_frequency(name) for name in combined}
+        for strategy, weight in zip(self.strategies, self.weights):
+            report = strategy.analyze(resource_map, metric)
+            for suspicion in report.suspicions:
+                combined[suspicion.component] = (
+                    combined.get(suspicion.component, 0.0)
+                    + weight * suspicion.responsibility
+                )
+                details.setdefault(suspicion.component, {})[
+                    f"{strategy.name}_responsibility"
+                ] = suspicion.responsibility
+        return _build_report(self.name, metric, combined, details, usage)

@@ -1,0 +1,544 @@
+"""Database engine: DDL, query execution and a latency cost model.
+
+The executor interprets the AST produced by :mod:`repro.db.sql` against the
+in-memory tables.  Besides result rows it reports a *simulated execution
+cost* derived from the work performed (rows scanned, index hits, rows
+returned); the JDBC layer hands that cost to the servlet container, which
+adds it to the request's simulated service time — this is how database load
+shows up in TPC-W response times without any real I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.db.sql import (
+    Aggregate,
+    ColumnRef,
+    Condition,
+    DeleteStatement,
+    InsertStatement,
+    Literal,
+    Parameter,
+    SelectStatement,
+    SqlSyntaxError,
+    Statement,
+    UpdateStatement,
+    parse_sql,
+)
+from repro.db.table import Column, Table
+
+
+class SqlExecutionError(RuntimeError):
+    """Raised when a parsed statement cannot be executed (unknown table, ...)."""
+
+
+@dataclass
+class QueryStats:
+    """Cumulative execution statistics for one :class:`Database`."""
+
+    queries_executed: int = 0
+    rows_scanned: int = 0
+    rows_returned: int = 0
+    index_lookups: int = 0
+    total_cost_seconds: float = 0.0
+    by_statement_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, scanned: int, returned: int, cost: float, index_lookups: int) -> None:
+        """Fold one query's counters into the totals."""
+        self.queries_executed += 1
+        self.rows_scanned += scanned
+        self.rows_returned += returned
+        self.index_lookups += index_lookups
+        self.total_cost_seconds += cost
+        self.by_statement_kind[kind] = self.by_statement_kind.get(kind, 0) + 1
+
+
+@dataclass
+class QueryResult:
+    """The outcome of executing one statement."""
+
+    rows: List[Dict[str, Any]]
+    rowcount: int
+    cost_seconds: float
+    rows_scanned: int
+
+
+@dataclass
+class CostModel:
+    """Simulated latency model for query execution.
+
+    The constants are calibrated so a primary-key lookup costs ~0.5 ms and a
+    full scan of a 10 k-row table costs ~10 ms — the right order of magnitude
+    for the paper's era of hardware (Table I) and enough to make the database
+    a visible part of TPC-W response time.
+    """
+
+    base_seconds: float = 4e-4
+    per_row_scanned: float = 1e-6
+    per_row_returned: float = 5e-6
+    per_index_lookup: float = 5e-5
+    per_insert: float = 3e-4
+
+    def cost(self, scanned: int, returned: int, index_lookups: int, inserts: int = 0) -> float:
+        """Total simulated seconds for one statement."""
+        return (
+            self.base_seconds
+            + self.per_row_scanned * scanned
+            + self.per_row_returned * returned
+            + self.per_index_lookup * index_lookups
+            + self.per_insert * inserts
+        )
+
+
+class Database:
+    """An in-memory SQL database.
+
+    Parameters
+    ----------
+    name:
+        Database name (informational).
+    cost_model:
+        Latency model used to compute simulated per-query cost.
+    """
+
+    def __init__(self, name: str = "tpcw", cost_model: Optional[CostModel] = None) -> None:
+        self.name = name
+        self.cost_model = cost_model or CostModel()
+        self._tables: Dict[str, Table] = {}
+        self.stats = QueryStats()
+
+    # ------------------------------------------------------------------ #
+    # DDL
+    # ------------------------------------------------------------------ #
+    def create_table(self, name: str, columns: List[Column]) -> Table:
+        """Create a table; raises if the name is taken."""
+        if name in self._tables:
+            raise SqlExecutionError(f"table {name!r} already exists")
+        table = Table(name, columns)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table; raises if missing."""
+        if name not in self._tables:
+            raise SqlExecutionError(f"no such table: {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        table = self._tables.get(name)
+        if table is None:
+            raise SqlExecutionError(f"no such table: {name!r}")
+        return table
+
+    def table_names(self) -> List[str]:
+        """Sorted table names."""
+        return sorted(self._tables)
+
+    def has_table(self, name: str) -> bool:
+        """Whether the named table exists."""
+        return name in self._tables
+
+    # ------------------------------------------------------------------ #
+    # Execution entry point
+    # ------------------------------------------------------------------ #
+    def execute(self, sql: "str | Statement", params: Sequence[Any] = ()) -> QueryResult:
+        """Parse (if needed) and execute one statement."""
+        statement = parse_sql(sql) if isinstance(sql, str) else sql
+        if isinstance(statement, SelectStatement):
+            return self._execute_select(statement, params)
+        if isinstance(statement, InsertStatement):
+            return self._execute_insert(statement, params)
+        if isinstance(statement, UpdateStatement):
+            return self._execute_update(statement, params)
+        if isinstance(statement, DeleteStatement):
+            return self._execute_delete(statement, params)
+        raise SqlExecutionError(f"unsupported statement type: {type(statement).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # Helpers shared by executors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _bind(value: Union[Literal, Parameter, ColumnRef], params: Sequence[Any]) -> Any:
+        if isinstance(value, Literal):
+            return value.value
+        if isinstance(value, Parameter):
+            if value.index >= len(params):
+                raise SqlExecutionError(
+                    f"statement expects at least {value.index + 1} parameters, got {len(params)}"
+                )
+            return params[value.index]
+        raise SqlExecutionError("column references are not valid here")
+
+    @staticmethod
+    def _like_match(value: Any, pattern: Any) -> bool:
+        if value is None or pattern is None:
+            return False
+        import fnmatch
+
+        translated = str(pattern).replace("%", "*").replace("_", "?")
+        return fnmatch.fnmatchcase(str(value), translated)
+
+    @classmethod
+    def _compare(cls, op: str, left: Any, right: Any) -> bool:
+        if op == "LIKE":
+            return cls._like_match(left, right)
+        if left is None or right is None:
+            # SQL three-valued logic collapsed to: NULL compares equal only
+            # under '=' against NULL, everything else is false.
+            if op == "=":
+                return left is None and right is None
+            if op == "!=":
+                return (left is None) != (right is None)
+            return False
+        if op == "=":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == ">":
+            return left > right
+        if op == "<=":
+            return left <= right
+        if op == ">=":
+            return left >= right
+        raise SqlExecutionError(f"unsupported operator {op!r}")
+
+    # ------------------------------------------------------------------ #
+    # SELECT
+    # ------------------------------------------------------------------ #
+    def _execute_select(self, statement: SelectStatement, params: Sequence[Any]) -> QueryResult:
+        scanned = 0
+        index_lookups = 0
+
+        base_table = self.table(statement.table)
+        base_qualifier = statement.alias or statement.table
+
+        # Split WHERE into conditions usable for base-table index pruning and
+        # the rest (applied per joined row).
+        def refers_to_base(ref: ColumnRef) -> bool:
+            if ref.table is not None:
+                return ref.table == base_qualifier or ref.table == statement.table
+            return base_table.has_column(ref.name)
+
+        index_conditions: List[Tuple[str, Any]] = []
+        residual_conditions: List[Condition] = []
+        for condition in statement.where:
+            usable = (
+                condition.op == "="
+                and not isinstance(condition.rhs, ColumnRef)
+                and refers_to_base(condition.lhs)
+                and base_table.has_index(condition.lhs.name)
+            )
+            if usable:
+                index_conditions.append(
+                    (condition.lhs.name, self._bind(condition.rhs, params))
+                )
+            else:
+                residual_conditions.append(condition)
+
+        # Base row set.
+        if index_conditions:
+            row_id_sets = []
+            for column_name, value in index_conditions:
+                row_id_sets.append(base_table.lookup_ids(column_name, value))
+                index_lookups += 1
+            row_ids = set.intersection(*row_id_sets) if row_id_sets else set()
+            base_rows = [base_table.row_by_id(rid) for rid in row_ids]
+            scanned += len(base_rows)
+        else:
+            base_rows = list(base_table.rows())
+            scanned += len(base_rows)
+
+        # Execution rows: qualifier -> row dict.
+        exec_rows: List[Dict[str, Dict[str, Any]]] = [
+            {base_qualifier: row} for row in base_rows
+        ]
+
+        # Joins (nested loop with index acceleration when the join key of the
+        # joined table is indexed).
+        for join in statement.joins:
+            join_table = self.table(join.table)
+            join_qualifier = join.alias or join.table
+            new_exec_rows: List[Dict[str, Dict[str, Any]]] = []
+
+            # Figure out which side of the ON condition belongs to the new table.
+            def side_is_new(ref: ColumnRef) -> bool:
+                if ref.table is not None:
+                    return ref.table == join_qualifier or ref.table == join.table
+                return join_table.has_column(ref.name)
+
+            if side_is_new(join.left) and not side_is_new(join.right):
+                new_ref, old_ref = join.left, join.right
+            elif side_is_new(join.right) and not side_is_new(join.left):
+                new_ref, old_ref = join.right, join.left
+            else:
+                raise SqlExecutionError(
+                    f"cannot determine join sides for ON {join.left} = {join.right}"
+                )
+
+            use_index = join_table.has_index(new_ref.name)
+            for exec_row in exec_rows:
+                old_value = self._resolve(old_ref, exec_row)
+                if use_index:
+                    ids = join_table.lookup_ids(new_ref.name, old_value)
+                    index_lookups += 1
+                    matches = [join_table.row_by_id(rid) for rid in ids]
+                    scanned += len(matches)
+                else:
+                    matches = []
+                    for row in join_table.rows():
+                        scanned += 1
+                        if row.get(new_ref.name) == old_value:
+                            matches.append(row)
+                for match in matches:
+                    merged = dict(exec_row)
+                    merged[join_qualifier] = match
+                    new_exec_rows.append(merged)
+            exec_rows = new_exec_rows
+
+        # Residual WHERE conditions.
+        filtered: List[Dict[str, Dict[str, Any]]] = []
+        for exec_row in exec_rows:
+            keep = True
+            for condition in residual_conditions:
+                left = self._resolve(condition.lhs, exec_row)
+                if isinstance(condition.rhs, ColumnRef):
+                    right = self._resolve(condition.rhs, exec_row)
+                else:
+                    right = self._bind(condition.rhs, params)
+                if not self._compare(condition.op, left, right):
+                    keep = False
+                    break
+            if keep:
+                filtered.append(exec_row)
+
+        # Projection / aggregation.
+        has_aggregates = any(isinstance(i.expression, Aggregate) for i in statement.items)
+        if has_aggregates or statement.group_by:
+            result_rows = self._project_aggregates(statement, filtered)
+            # Aggregate queries can only order by output columns / aliases.
+            for order in reversed(statement.order_by):
+                key_name = self._order_key_name(order, statement, result_rows)
+                result_rows.sort(
+                    key=lambda row: (row.get(key_name) is None, row.get(key_name)),
+                    reverse=order.descending,
+                )
+        else:
+            result_rows = [self._project_row(statement, exec_row) for exec_row in filtered]
+            # Non-aggregate queries may order by columns that are not part of
+            # the select list (standard SQL); resolve order keys against the
+            # underlying execution rows, falling back to the projected output.
+            for order in reversed(statement.order_by):
+                key_name = self._order_key_name(order, statement, result_rows)
+                paired = list(zip(result_rows, filtered))
+
+                def sort_key(pair):
+                    projected, exec_row = pair
+                    if key_name in projected:
+                        value = projected[key_name]
+                    elif isinstance(order.expression, ColumnRef):
+                        try:
+                            value = self._resolve(order.expression, exec_row)
+                        except SqlExecutionError:
+                            value = None
+                    else:
+                        value = None
+                    return (value is None, value)
+
+                paired.sort(key=sort_key, reverse=order.descending)
+                result_rows = [projected for projected, _ in paired]
+                filtered = [exec_row for _, exec_row in paired]
+
+        # LIMIT.
+        if statement.limit is not None:
+            result_rows = result_rows[: statement.limit]
+
+        cost = self.cost_model.cost(scanned, len(result_rows), index_lookups)
+        self.stats.record("SELECT", scanned, len(result_rows), cost, index_lookups)
+        return QueryResult(
+            rows=result_rows, rowcount=len(result_rows), cost_seconds=cost, rows_scanned=scanned
+        )
+
+    @staticmethod
+    def _order_key_name(order, statement: SelectStatement, result_rows: List[Dict[str, Any]]) -> str:
+        if isinstance(order.expression, str):
+            return order.expression
+        ref: ColumnRef = order.expression
+        # Prefer a select-list alias matching the bare column name.
+        for item in statement.items:
+            if item.alias and isinstance(item.expression, ColumnRef) and item.expression.name == ref.name:
+                return item.alias
+            if item.alias == ref.name:
+                return item.alias
+        return ref.name
+
+    def _resolve(self, ref: ColumnRef, exec_row: Dict[str, Dict[str, Any]]) -> Any:
+        if ref.table is not None:
+            row = exec_row.get(ref.table)
+            if row is None:
+                raise SqlExecutionError(f"unknown table qualifier {ref.table!r}")
+            if ref.name not in row:
+                raise SqlExecutionError(f"unknown column {ref}")
+            return row[ref.name]
+        matches = [row for row in exec_row.values() if ref.name in row]
+        if not matches:
+            raise SqlExecutionError(f"unknown column {ref.name!r}")
+        return matches[0][ref.name]
+
+    def _project_row(
+        self, statement: SelectStatement, exec_row: Dict[str, Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        if statement.star:
+            merged: Dict[str, Any] = {}
+            for row in exec_row.values():
+                merged.update(row)
+            return merged
+        out: Dict[str, Any] = {}
+        for item in statement.items:
+            if isinstance(item.expression, Aggregate):  # pragma: no cover - guarded by caller
+                raise SqlExecutionError("aggregate outside aggregation context")
+            name = item.alias or item.expression.name
+            out[name] = self._resolve(item.expression, exec_row)
+        return out
+
+    def _project_aggregates(
+        self, statement: SelectStatement, exec_rows: List[Dict[str, Dict[str, Any]]]
+    ) -> List[Dict[str, Any]]:
+        if statement.star:
+            raise SqlExecutionError("SELECT * cannot be combined with aggregates")
+
+        def group_key(exec_row: Dict[str, Dict[str, Any]]) -> Tuple:
+            return tuple(self._resolve(ref, exec_row) for ref in statement.group_by)
+
+        groups: Dict[Tuple, List[Dict[str, Dict[str, Any]]]] = {}
+        for exec_row in exec_rows:
+            groups.setdefault(group_key(exec_row), []).append(exec_row)
+        if not statement.group_by and not groups:
+            groups[()] = []
+
+        result: List[Dict[str, Any]] = []
+        for key, members in groups.items():
+            out: Dict[str, Any] = {}
+            for item in statement.items:
+                expression = item.expression
+                if isinstance(expression, ColumnRef):
+                    name = item.alias or expression.name
+                    out[name] = self._resolve(expression, members[0]) if members else None
+                    # Plain columns in an aggregate query must be group keys.
+                    if statement.group_by and expression.name not in [
+                        ref.name for ref in statement.group_by
+                    ]:
+                        raise SqlExecutionError(
+                            f"column {expression.name!r} must appear in GROUP BY"
+                        )
+                else:
+                    name = item.alias or expression.default_name()
+                    out[name] = self._evaluate_aggregate(expression, members)
+            result.append(out)
+        return result
+
+    def _evaluate_aggregate(
+        self, aggregate: Aggregate, members: List[Dict[str, Dict[str, Any]]]
+    ) -> Any:
+        if aggregate.function == "COUNT":
+            if aggregate.argument is None:
+                return len(members)
+            return sum(
+                1 for m in members if self._resolve(aggregate.argument, m) is not None
+            )
+        if aggregate.argument is None:
+            raise SqlExecutionError(f"{aggregate.function} requires a column argument")
+        values = [
+            value
+            for value in (self._resolve(aggregate.argument, m) for m in members)
+            if value is not None
+        ]
+        if not values:
+            return None
+        if aggregate.function == "SUM":
+            return sum(values)
+        if aggregate.function == "AVG":
+            return sum(values) / len(values)
+        if aggregate.function == "MIN":
+            return min(values)
+        if aggregate.function == "MAX":
+            return max(values)
+        raise SqlExecutionError(f"unsupported aggregate {aggregate.function!r}")
+
+    # ------------------------------------------------------------------ #
+    # INSERT / UPDATE / DELETE
+    # ------------------------------------------------------------------ #
+    def _execute_insert(self, statement: InsertStatement, params: Sequence[Any]) -> QueryResult:
+        table = self.table(statement.table)
+        values = {
+            column: self._bind(value, params)
+            for column, value in zip(statement.columns, statement.values)
+        }
+        table.insert(values)
+        cost = self.cost_model.cost(0, 0, 0, inserts=1)
+        self.stats.record("INSERT", 0, 0, cost, 0)
+        return QueryResult(rows=[], rowcount=1, cost_seconds=cost, rows_scanned=0)
+
+    def _matching_row_ids(
+        self, table: Table, where: List[Condition], params: Sequence[Any]
+    ) -> Tuple[List[int], int, int]:
+        """Row ids matching a WHERE conjunction, with (scanned, index_lookups)."""
+        scanned = 0
+        index_lookups = 0
+        candidate_ids: Optional[set] = None
+        residual: List[Condition] = []
+        for condition in where:
+            if (
+                condition.op == "="
+                and not isinstance(condition.rhs, ColumnRef)
+                and table.has_column(condition.lhs.name)
+                and table.has_index(condition.lhs.name)
+            ):
+                ids = table.lookup_ids(condition.lhs.name, self._bind(condition.rhs, params))
+                index_lookups += 1
+                candidate_ids = ids if candidate_ids is None else (candidate_ids & ids)
+            else:
+                residual.append(condition)
+        if candidate_ids is None:
+            candidate_ids = {row_id for row_id, _ in table.rows_with_ids()}
+        matched: List[int] = []
+        for row_id in candidate_ids:
+            row = table.row_by_id(row_id)
+            scanned += 1
+            keep = True
+            for condition in residual:
+                left = row.get(condition.lhs.name)
+                right = (
+                    row.get(condition.rhs.name)
+                    if isinstance(condition.rhs, ColumnRef)
+                    else self._bind(condition.rhs, params)
+                )
+                if not self._compare(condition.op, left, right):
+                    keep = False
+                    break
+            if keep:
+                matched.append(row_id)
+        return matched, scanned, index_lookups
+
+    def _execute_update(self, statement: UpdateStatement, params: Sequence[Any]) -> QueryResult:
+        table = self.table(statement.table)
+        row_ids, scanned, index_lookups = self._matching_row_ids(table, statement.where, params)
+        changes = {
+            column: self._bind(value, params) for column, value in statement.assignments
+        }
+        updated = table.update_rows(row_ids, changes)
+        cost = self.cost_model.cost(scanned, 0, index_lookups)
+        self.stats.record("UPDATE", scanned, 0, cost, index_lookups)
+        return QueryResult(rows=[], rowcount=updated, cost_seconds=cost, rows_scanned=scanned)
+
+    def _execute_delete(self, statement: DeleteStatement, params: Sequence[Any]) -> QueryResult:
+        table = self.table(statement.table)
+        row_ids, scanned, index_lookups = self._matching_row_ids(table, statement.where, params)
+        deleted = table.delete_rows(row_ids)
+        cost = self.cost_model.cost(scanned, 0, index_lookups)
+        self.stats.record("DELETE", scanned, 0, cost, index_lookups)
+        return QueryResult(rows=[], rowcount=deleted, cost_seconds=cost, rows_scanned=scanned)

@@ -1,0 +1,233 @@
+"""JDBC-like access layer with a bounded connection pool.
+
+The TPC-W servlets obtain connections from a :class:`DataSource`, prepare
+statements, execute them and iterate :class:`ResultSet`s — mirroring the
+structure of the original TPC-W Java servlet code.  Two behaviours matter
+for the reproduction:
+
+* every executed statement reports the engine's *simulated cost*, which the
+  servlet accumulates into its request service time; and
+* the pool is bounded (Tomcat's DBCP default-ish size), so a connection-leak
+  fault (a servlet that "forgets" to call :meth:`Connection.close`)
+  eventually exhausts it — one of the future-work aging causes the extension
+  benchmarks explore.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.db.engine import Database, QueryResult
+
+
+class SQLError(RuntimeError):
+    """Generic JDBC-level error (closed connection, bad statement, ...)."""
+
+
+class ConnectionPoolExhaustedError(SQLError):
+    """Raised when no pooled connection is available."""
+
+
+class ResultSet:
+    """Forward-only cursor over a query result."""
+
+    def __init__(self, result: QueryResult) -> None:
+        self._rows = result.rows
+        self._index = -1
+        self.cost_seconds = result.cost_seconds
+
+    def next(self) -> bool:
+        """Advance to the next row; returns ``False`` past the end."""
+        if self._index + 1 >= len(self._rows):
+            return False
+        self._index += 1
+        return True
+
+    def _current(self) -> Dict[str, Any]:
+        if self._index < 0:
+            raise SQLError("ResultSet.next() has not been called")
+        if self._index >= len(self._rows):
+            raise SQLError("ResultSet is exhausted")
+        return self._rows[self._index]
+
+    def get(self, column: str) -> Any:
+        """Value of ``column`` in the current row."""
+        row = self._current()
+        if column not in row:
+            raise SQLError(f"result has no column {column!r} (columns: {sorted(row)})")
+        return row[column]
+
+    def get_int(self, column: str) -> int:
+        """Integer value of ``column`` (NULL maps to 0, JDBC-style)."""
+        value = self.get(column)
+        return int(value) if value is not None else 0
+
+    def get_float(self, column: str) -> float:
+        """Float value of ``column`` (NULL maps to 0.0)."""
+        value = self.get(column)
+        return float(value) if value is not None else 0.0
+
+    def get_string(self, column: str) -> Optional[str]:
+        """String value of ``column`` (may be ``None``)."""
+        value = self.get(column)
+        return None if value is None else str(value)
+
+    def all_rows(self) -> List[Dict[str, Any]]:
+        """Remaining implementation detail: the full row list (test helper)."""
+        return list(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class PreparedStatement:
+    """A parameterised statement bound to a connection."""
+
+    def __init__(self, connection: "Connection", sql: str) -> None:
+        self._connection = connection
+        self.sql = sql
+        self._params: Dict[int, Any] = {}
+
+    def set(self, index: int, value: Any) -> None:
+        """Bind the 1-based parameter ``index`` (JDBC convention) to ``value``."""
+        if index < 1:
+            raise SQLError(f"parameter indexes are 1-based, got {index}")
+        self._params[index - 1] = value
+
+    def _ordered_params(self) -> Sequence[Any]:
+        if not self._params:
+            return ()
+        size = max(self._params) + 1
+        return tuple(self._params.get(i) for i in range(size))
+
+    def execute_query(self) -> ResultSet:
+        """Execute a SELECT and return a :class:`ResultSet`."""
+        return self._connection.execute_query(self.sql, self._ordered_params())
+
+    def execute_update(self) -> int:
+        """Execute an INSERT/UPDATE/DELETE and return the affected row count."""
+        return self._connection.execute_update(self.sql, self._ordered_params())
+
+
+class Connection:
+    """A pooled database connection."""
+
+    def __init__(self, datasource: "DataSource", connection_id: int) -> None:
+        self._datasource = datasource
+        self.connection_id = connection_id
+        self._closed = False
+        self.query_count = 0
+        self.accumulated_cost_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SQLError(f"connection {self.connection_id} is closed")
+
+    def prepare_statement(self, sql: str) -> PreparedStatement:
+        """Create a prepared statement on this connection."""
+        self._check_open()
+        return PreparedStatement(self, sql)
+
+    def execute_query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Execute a SELECT directly."""
+        self._check_open()
+        result = self._datasource.database.execute(sql, params)
+        self.query_count += 1
+        self.accumulated_cost_seconds += result.cost_seconds
+        self._datasource.record_cost(result.cost_seconds)
+        return ResultSet(result)
+
+    def execute_update(self, sql: str, params: Sequence[Any] = ()) -> int:
+        """Execute an INSERT/UPDATE/DELETE directly."""
+        self._check_open()
+        result = self._datasource.database.execute(sql, params)
+        self.query_count += 1
+        self.accumulated_cost_seconds += result.cost_seconds
+        self._datasource.record_cost(result.cost_seconds)
+        return result.rowcount
+
+    def close(self) -> None:
+        """Return the connection to the pool (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._datasource._release(self)
+
+    @property
+    def is_closed(self) -> bool:
+        """Whether the connection has been returned to the pool."""
+        return self._closed
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class DataSource:
+    """A bounded connection pool over a :class:`~repro.db.engine.Database`.
+
+    Parameters
+    ----------
+    database:
+        The backing database engine.
+    pool_size:
+        Maximum simultaneously open connections (Tomcat DBCP-style bound).
+    """
+
+    def __init__(self, database: Database, pool_size: int = 32) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        self.database = database
+        self.pool_size = int(pool_size)
+        self._next_id = 1
+        self._in_use: Dict[int, Connection] = {}
+        self.total_borrowed = 0
+        self.total_cost_seconds = 0.0
+        self.exhaustion_events = 0
+
+    # ------------------------------------------------------------------ #
+    def get_connection(self) -> Connection:
+        """Borrow a connection.
+
+        Raises
+        ------
+        ConnectionPoolExhaustedError
+            If ``pool_size`` connections are already in use (leaked
+            connections count — that is the point of the leak fault).
+        """
+        if len(self._in_use) >= self.pool_size:
+            self.exhaustion_events += 1
+            raise ConnectionPoolExhaustedError(
+                f"connection pool exhausted ({self.pool_size} in use)"
+            )
+        connection = Connection(self, self._next_id)
+        self._next_id += 1
+        self._in_use[connection.connection_id] = connection
+        self.total_borrowed += 1
+        return connection
+
+    def _release(self, connection: Connection) -> None:
+        self._in_use.pop(connection.connection_id, None)
+
+    def record_cost(self, cost_seconds: float) -> None:
+        """Accumulate simulated query cost (read by the container/agents)."""
+        self.total_cost_seconds += cost_seconds
+
+    @property
+    def active_connections(self) -> int:
+        """Connections currently borrowed and not yet closed."""
+        return len(self._in_use)
+
+    @property
+    def available_connections(self) -> int:
+        """Connections that could still be borrowed."""
+        return self.pool_size - len(self._in_use)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DataSource(db={self.database.name!r}, active={self.active_connections}/"
+            f"{self.pool_size})"
+        )

@@ -1,0 +1,251 @@
+"""Tables, columns and secondary indexes."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
+
+
+class ColumnType(enum.Enum):
+    """Supported column types (a pragmatic subset of MySQL's)."""
+
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    VARCHAR = "VARCHAR"
+    DATE = "DATE"      # stored as float (simulated epoch seconds)
+    BOOLEAN = "BOOLEAN"
+
+    def validate(self, value: Any) -> bool:
+        """Whether ``value`` is acceptable for this column type (NULL always is)."""
+        if value is None:
+            return True
+        if self is ColumnType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is ColumnType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is ColumnType.VARCHAR:
+            return isinstance(value, str)
+        if self is ColumnType.DATE:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is ColumnType.BOOLEAN:
+            return isinstance(value, bool)
+        return False  # pragma: no cover - exhaustive enum
+
+
+@dataclass(frozen=True)
+class Column:
+    """A table column definition."""
+
+    name: str
+    type: ColumnType
+    primary_key: bool = False
+    nullable: bool = True
+
+
+class UniqueViolationError(ValueError):
+    """Raised when inserting a duplicate primary-key value."""
+
+
+class _SecondaryIndex:
+    """Equality index: column value -> set of row ids."""
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._buckets: Dict[Any, Set[int]] = {}
+
+    def add(self, value: Any, row_id: int) -> None:
+        self._buckets.setdefault(value, set()).add(row_id)
+
+    def remove(self, value: Any, row_id: int) -> None:
+        bucket = self._buckets.get(value)
+        if bucket is not None:
+            bucket.discard(row_id)
+            if not bucket:
+                del self._buckets[value]
+
+    def lookup(self, value: Any) -> Set[int]:
+        return set(self._buckets.get(value, set()))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class Table:
+    """An in-memory table with a primary key and optional secondary indexes.
+
+    Rows are dictionaries keyed by column name; each row gets an internal
+    integer ``row id`` used by indexes.  All mutation goes through
+    :meth:`insert`, :meth:`update_rows` and :meth:`delete_rows` so that index
+    maintenance and validation stay in one place.
+    """
+
+    def __init__(self, name: str, columns: List[Column]) -> None:
+        if not columns:
+            raise ValueError(f"table {name!r} must have at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in table {name!r}: {names}")
+        primary = [c for c in columns if c.primary_key]
+        if len(primary) > 1:
+            raise ValueError(f"table {name!r} has multiple primary key columns")
+        self.name = name
+        self.columns = list(columns)
+        self._columns_by_name = {c.name: c for c in columns}
+        self.primary_key: Optional[str] = primary[0].name if primary else None
+        self._rows: Dict[int, Dict[str, Any]] = {}
+        self._next_row_id = 1
+        self._pk_index: Dict[Any, int] = {}
+        self._secondary: Dict[str, _SecondaryIndex] = {}
+
+    # ------------------------------------------------------------------ #
+    # Schema
+    # ------------------------------------------------------------------ #
+    def column(self, name: str) -> Column:
+        """The column definition for ``name``."""
+        column = self._columns_by_name.get(name)
+        if column is None:
+            raise KeyError(f"table {self.name!r} has no column {name!r}")
+        return column
+
+    def has_column(self, name: str) -> bool:
+        """Whether the table defines a column named ``name``."""
+        return name in self._columns_by_name
+
+    def column_names(self) -> List[str]:
+        """Column names in declaration order."""
+        return [c.name for c in self.columns]
+
+    def create_index(self, column_name: str) -> None:
+        """Create an equality index over ``column_name`` (idempotent)."""
+        self.column(column_name)
+        if column_name in self._secondary:
+            return
+        index = _SecondaryIndex(column_name)
+        for row_id, row in self._rows.items():
+            index.add(row.get(column_name), row_id)
+        self._secondary[column_name] = index
+
+    def has_index(self, column_name: str) -> bool:
+        """Whether an equality index exists on the column."""
+        return column_name in self._secondary or column_name == self.primary_key
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def _validate_row(self, values: Dict[str, Any]) -> Dict[str, Any]:
+        row: Dict[str, Any] = {}
+        for column in self.columns:
+            value = values.get(column.name)
+            if value is None and not column.nullable and not column.primary_key:
+                raise ValueError(
+                    f"column {column.name!r} of table {self.name!r} is not nullable"
+                )
+            if not column.type.validate(value):
+                raise TypeError(
+                    f"value {value!r} is not valid for column {column.name!r} "
+                    f"({column.type.value}) of table {self.name!r}"
+                )
+            row[column.name] = value
+        unknown = set(values) - set(self._columns_by_name)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)} for table {self.name!r}")
+        return row
+
+    def insert(self, values: Dict[str, Any]) -> int:
+        """Insert a row; returns the internal row id."""
+        row = self._validate_row(values)
+        if self.primary_key is not None:
+            pk_value = row.get(self.primary_key)
+            if pk_value is None:
+                raise ValueError(f"primary key {self.primary_key!r} must not be NULL")
+            if pk_value in self._pk_index:
+                raise UniqueViolationError(
+                    f"duplicate primary key {pk_value!r} in table {self.name!r}"
+                )
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        self._rows[row_id] = row
+        if self.primary_key is not None:
+            self._pk_index[row[self.primary_key]] = row_id
+        for column_name, index in self._secondary.items():
+            index.add(row.get(column_name), row_id)
+        return row_id
+
+    def update_rows(self, row_ids: Iterable[int], changes: Dict[str, Any]) -> int:
+        """Apply ``changes`` to the given rows; returns the number updated."""
+        for column_name, value in changes.items():
+            column = self.column(column_name)
+            if not column.type.validate(value):
+                raise TypeError(
+                    f"value {value!r} is not valid for column {column_name!r} "
+                    f"({column.type.value})"
+                )
+            if column.primary_key:
+                raise ValueError("updating primary key columns is not supported")
+        count = 0
+        for row_id in row_ids:
+            row = self._rows.get(row_id)
+            if row is None:
+                continue
+            for column_name, value in changes.items():
+                index = self._secondary.get(column_name)
+                if index is not None:
+                    index.remove(row.get(column_name), row_id)
+                    index.add(value, row_id)
+                row[column_name] = value
+            count += 1
+        return count
+
+    def delete_rows(self, row_ids: Iterable[int]) -> int:
+        """Delete the given rows; returns the number deleted."""
+        count = 0
+        for row_id in list(row_ids):
+            row = self._rows.pop(row_id, None)
+            if row is None:
+                continue
+            if self.primary_key is not None:
+                self._pk_index.pop(row.get(self.primary_key), None)
+            for column_name, index in self._secondary.items():
+                index.remove(row.get(column_name), row_id)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        """Iterate over row dicts (copies are not made; do not mutate)."""
+        return iter(self._rows.values())
+
+    def rows_with_ids(self) -> Iterator[tuple]:
+        """Iterate over ``(row_id, row)`` pairs."""
+        return iter(self._rows.items())
+
+    def get_by_pk(self, value: Any) -> Optional[Dict[str, Any]]:
+        """The row whose primary key equals ``value``, or ``None``."""
+        if self.primary_key is None:
+            raise ValueError(f"table {self.name!r} has no primary key")
+        row_id = self._pk_index.get(value)
+        if row_id is None:
+            return None
+        return self._rows[row_id]
+
+    def lookup_ids(self, column_name: str, value: Any) -> Set[int]:
+        """Row ids whose ``column_name`` equals ``value`` (uses indexes when possible)."""
+        if column_name == self.primary_key:
+            row_id = self._pk_index.get(value)
+            return {row_id} if row_id is not None else set()
+        index = self._secondary.get(column_name)
+        if index is not None:
+            return index.lookup(value)
+        return {
+            row_id for row_id, row in self._rows.items() if row.get(column_name) == value
+        }
+
+    def row_by_id(self, row_id: int) -> Dict[str, Any]:
+        """The row stored under the internal ``row_id``."""
+        return self._rows[row_id]

@@ -1,0 +1,46 @@
+"""Experiment harness reproducing the paper's evaluation.
+
+* :mod:`repro.experiments.environment` -- Table I (the paper's testbed) and
+  the simulated equivalent used here.
+* :mod:`repro.experiments.runner`      -- generic experiment runner: build a
+  deployment, optionally install monitoring, inject faults, drive the EB
+  workload, and collect every series the figures need.
+* :mod:`repro.experiments.scenarios`   -- one function per figure
+  (Fig. 3 overhead, Fig. 4 single leak, Fig. 5/6 multi leak + map,
+  Fig. 7 heterogeneous injection sizes) plus the ablation scenarios.
+* :mod:`repro.experiments.reporting`   -- text rendering of results and
+  paper-vs-measured comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.environment import PAPER_TESTBED, simulated_environment
+from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
+from repro.experiments.scenarios import (
+    Fig3Result,
+    LeakScenarioResult,
+    fig3_overhead,
+    fig4_single_leak,
+    fig5_multi_leak,
+    fig6_manager_map,
+    fig7_injection_sizes,
+    scope_overhead_ablation,
+    strategy_ablation,
+)
+
+__all__ = [
+    "PAPER_TESTBED",
+    "simulated_environment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "Fig3Result",
+    "LeakScenarioResult",
+    "fig3_overhead",
+    "fig4_single_leak",
+    "fig5_multi_leak",
+    "fig6_manager_map",
+    "fig7_injection_sizes",
+    "scope_overhead_ablation",
+    "strategy_ablation",
+]

@@ -1,0 +1,80 @@
+"""Experimental environment: the paper's testbed (Table I) and ours.
+
+The paper's Table I describes three physical machines (clients, application
+server, database server).  We reproduce the *capacities that matter to the
+results* inside the simulation: a 4-way application server with a 1 GB JVM
+heap, a 2-way database server, and a client tier whose size is irrelevant
+(EBs are simulated).  :func:`simulated_environment` reports the mapping so
+the Table I benchmark can print both side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.container.server import ServerConfig
+
+#: Table I of the paper, transcribed.
+PAPER_TESTBED: Dict[str, Dict[str, str]] = {
+    "clients": {
+        "hardware": "2-way Intel XEON 2.4 GHz with 2 GB RAM",
+        "operating_system": "Linux 2.6.8-3-686",
+        "jvm": "-",
+        "software": "TPC-W Clients",
+    },
+    "application_server": {
+        "hardware": "4-way Intel XEON 1.4 GHz with 2 GB RAM",
+        "operating_system": "Linux 2.6.15",
+        "jvm": "jdk1.5 with 1GB heap",
+        "software": "Tomcat 5.5.26",
+    },
+    "database_server": {
+        "hardware": "2-way Intel XEON 2.4 GHz with 2 GB RAM",
+        "operating_system": "Linux 2.6.8-2-686",
+        "jvm": "-",
+        "software": "MySql 5.0.67",
+    },
+}
+
+
+def simulated_environment(config: ServerConfig | None = None) -> Dict[str, Dict[str, str]]:
+    """The simulated equivalent of Table I for a given server configuration."""
+    config = config or ServerConfig()
+    return {
+        "clients": {
+            "hardware": "simulated Emulated Browsers (discrete-event, closed loop)",
+            "operating_system": "n/a (virtual time)",
+            "jvm": "-",
+            "software": "repro.tpcw.workload.WorkloadGenerator",
+        },
+        "application_server": {
+            "hardware": f"{config.app_cpu_cores}-way simulated CPU, "
+            f"{config.max_threads} worker threads",
+            "operating_system": "n/a (virtual time)",
+            "jvm": f"simulated JVM with {config.heap_bytes // (1024 * 1024)} MB heap",
+            "software": "repro.container.ApplicationServer (Tomcat analogue)",
+        },
+        "database_server": {
+            "hardware": f"{config.db_cpu_cores}-way simulated CPU",
+            "operating_system": "n/a (virtual time)",
+            "jvm": "-",
+            "software": "repro.db.Database (MySQL analogue)",
+        },
+    }
+
+
+def environment_rows(config: ServerConfig | None = None) -> List[Dict[str, str]]:
+    """Paper vs. simulated environment as printable rows (Table I bench)."""
+    simulated = simulated_environment(config)
+    rows: List[Dict[str, str]] = []
+    for tier in ("clients", "application_server", "database_server"):
+        for attribute_name in ("hardware", "operating_system", "jvm", "software"):
+            rows.append(
+                {
+                    "tier": tier,
+                    "attribute": attribute_name,
+                    "paper": PAPER_TESTBED[tier][attribute_name],
+                    "reproduction": simulated[tier][attribute_name],
+                }
+            )
+    return rows

@@ -1,0 +1,236 @@
+"""Generic experiment runner.
+
+One :func:`run_experiment` call performs everything the paper's evaluation
+needs for a single run: build a fresh deployment, optionally install the
+monitoring framework (Fig. 3 compares a monitored and an unmonitored run of
+the same workload), inject the configured faults, drive the phased EB
+workload, take periodic manager and black-box snapshots, and package every
+series the figures plot into an :class:`ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines.blackbox import BlackBoxMonitor
+from repro.baselines.pinpoint import PinpointAnalyzer
+from repro.container.server import ServerConfig
+from repro.core.framework import FrameworkConfig, MonitoringFramework
+from repro.core.rootcause import RootCauseReport, RootCauseStrategy
+from repro.faults.injector import FaultInjector, FaultSpec
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import TimeSeries
+from repro.tpcw.application import TpcwDeployment, build_deployment
+from repro.tpcw.mixes import mix_by_name
+from repro.tpcw.population import PopulationScale
+from repro.tpcw.workload import WorkloadGenerator, WorkloadPhase
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything that defines one experiment run."""
+
+    name: str = "experiment"
+    seed: int = 42
+    scale: Optional[PopulationScale] = None
+    #: Phased EB schedule; a single constant phase when only ``constant_ebs`` is set.
+    phases: List[WorkloadPhase] = field(default_factory=list)
+    constant_ebs: int = 100
+    duration: float = 3600.0
+    mix_name: str = "shopping"
+    think_time_mean: float = 7.0
+    #: Whether the monitoring framework is installed (Fig. 3 compares both).
+    monitored: bool = True
+    #: When set (and ``monitored``), only these components stay activated; the
+    #: manager deactivates every other Aspect Component before the run starts
+    #: (the paper's "focus the monitoring over a set of determined objects").
+    monitored_components: Optional[List[str]] = None
+    faults: List[FaultSpec] = field(default_factory=list)
+    snapshot_interval: float = 60.0
+    sample_cost_seconds: float = 2.5e-3
+    server_config: Optional[ServerConfig] = None
+    strategy: Optional[RootCauseStrategy] = None
+    #: Install the future-work agents (CPU / threads / connections).
+    monitor_extended_resources: bool = False
+    #: Feed request traces to a Pinpoint baseline analyser.
+    collect_pinpoint_traces: bool = False
+    #: Sample a black-box host monitor alongside (never adds overhead).
+    collect_blackbox_samples: bool = True
+
+    def effective_phases(self) -> List[WorkloadPhase]:
+        """The phase list, defaulting to one constant-EB phase."""
+        if self.phases:
+            return list(self.phases)
+        return [WorkloadPhase(start_time=0.0, eb_count=self.constant_ebs)]
+
+
+@dataclass
+class ExperimentResult:
+    """Collected outputs of one experiment run."""
+
+    config: ExperimentConfig
+    duration: float
+    completed_requests: int
+    error_count: int
+    rejected_requests: int
+    throughput: TimeSeries
+    response_times: TimeSeries
+    interaction_counts: Dict[str, int]
+    component_series: Dict[str, TimeSeries]
+    heap_series: TimeSeries
+    resource_map_rows: List[Dict[str, object]]
+    root_cause: Optional[RootCauseReport]
+    overhead_seconds: float
+    monitoring_samples: int
+    fault_descriptions: List[str]
+    utilization: Dict[str, float]
+    mean_response_time: float
+    pinpoint: Optional[PinpointAnalyzer] = None
+    blackbox: Optional[BlackBoxMonitor] = None
+    #: Live handles for follow-up analysis (kept out of reports).
+    deployment: Optional[TpcwDeployment] = None
+    framework: Optional[MonitoringFramework] = None
+
+    def mean_throughput(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
+        """Mean of the throughput series restricted to ``[start, end]``."""
+        import numpy as np
+
+        if len(self.throughput) == 0:
+            return 0.0
+        times = self.throughput.times
+        values = self.throughput.values
+        mask = np.ones(len(values), dtype=bool)
+        if start is not None:
+            mask &= times >= start
+        if end is not None:
+            mask &= times <= end
+        if not mask.any():
+            return 0.0
+        return float(values[mask].mean())
+
+    def final_component_sizes(self) -> Dict[str, float]:
+        """Last observed object size of each component (bytes)."""
+        out: Dict[str, float] = {}
+        for component, series in self.component_series.items():
+            if len(series) > 0:
+                out[component] = float(series.values[-1])
+        return out
+
+    def component_growth(self) -> Dict[str, float]:
+        """Object-size growth (last - first) of each component (bytes)."""
+        out: Dict[str, float] = {}
+        for component, series in self.component_series.items():
+            if len(series) >= 2:
+                out[component] = float(series.values[-1] - series.values[0])
+            else:
+                out[component] = 0.0
+        return out
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one experiment as described by ``config``."""
+    engine = SimulationEngine()
+    scale = config.scale or PopulationScale.standard()
+    deployment = build_deployment(
+        scale=scale,
+        seed=config.seed,
+        config=config.server_config,
+        clock=engine.clock,
+    )
+
+    framework: Optional[MonitoringFramework] = None
+    if config.monitored:
+        framework_config = FrameworkConfig(
+            sample_cost_seconds=config.sample_cost_seconds,
+            monitor_cpu=config.monitor_extended_resources,
+            monitor_threads=config.monitor_extended_resources,
+            monitor_connections=config.monitor_extended_resources,
+            snapshot_interval=config.snapshot_interval,
+        )
+        framework = MonitoringFramework(
+            deployment, engine=engine, config=framework_config, strategy=config.strategy
+        )
+        framework.install()
+        framework.schedule_snapshots(duration=config.duration, interval=config.snapshot_interval)
+        if config.monitored_components is not None:
+            keep = set(config.monitored_components)
+            for component in deployment.interaction_names():
+                if component not in keep:
+                    framework.disable_component(component)
+
+    injector = FaultInjector(deployment)
+    injector.inject_plan(config.faults)
+
+    blackbox: Optional[BlackBoxMonitor] = None
+    if config.collect_blackbox_samples:
+        blackbox = BlackBoxMonitor(deployment.runtime, deployment.datasource)
+        interval = config.snapshot_interval
+        t = interval
+        while t <= config.duration + 1e-9:
+            engine.schedule_at(
+                t, lambda when=t: blackbox.sample(when), priority=6, name="blackbox.sample"
+            )
+            t += interval
+
+    pinpoint: Optional[PinpointAnalyzer] = None
+    generator = WorkloadGenerator(
+        engine,
+        deployment,
+        mix=mix_by_name(config.mix_name),
+        think_time_mean=config.think_time_mean,
+    )
+    if config.collect_pinpoint_traces:
+        pinpoint = PinpointAnalyzer()
+
+        def _trace(interaction, outcome, analyzer=pinpoint):
+            analyzer.record_request([interaction], failed=not outcome.ok)
+
+        generator.on_request = _trace
+
+    generator.schedule_phases(config.effective_phases())
+    generator.run(config.duration)
+
+    # ------------------------------------------------------------------ #
+    # Collect results
+    # ------------------------------------------------------------------ #
+    component_series: Dict[str, TimeSeries] = {}
+    heap_series = TimeSeries("heap_used")
+    resource_map_rows: List[Dict[str, object]] = []
+    root_cause: Optional[RootCauseReport] = None
+    overhead_seconds = 0.0
+    monitoring_samples = 0
+    if framework is not None:
+        for component in deployment.interaction_names():
+            component_series[component] = framework.component_series(component)
+        heap_series = framework.manager.map.series("<jvm>", "heap_used")
+        resource_map_rows = framework.resource_map_rows()
+        root_cause = framework.root_cause()
+        overhead_seconds = framework.overhead.total_seconds
+        monitoring_samples = framework.overhead.sample_count
+    elif blackbox is not None:
+        heap_series = blackbox.series["heap_used"]
+
+    return ExperimentResult(
+        config=config,
+        duration=config.duration,
+        completed_requests=generator.completed_requests,
+        error_count=generator.error_count,
+        rejected_requests=deployment.server.rejected_requests,
+        throughput=generator.throughput_series(),
+        response_times=generator.response_times,
+        interaction_counts=dict(generator.interaction_counts),
+        component_series=component_series,
+        heap_series=heap_series,
+        resource_map_rows=resource_map_rows,
+        root_cause=root_cause,
+        overhead_seconds=overhead_seconds,
+        monitoring_samples=monitoring_samples,
+        fault_descriptions=injector.describe(),
+        utilization=deployment.server.utilization_report(config.duration),
+        mean_response_time=generator.mean_response_time(),
+        pinpoint=pinpoint,
+        blackbox=blackbox,
+        deployment=deployment,
+        framework=framework,
+    )

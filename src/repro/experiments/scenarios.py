@@ -1,0 +1,381 @@
+"""The paper's experiments (Figs. 3-7) plus ablation scenarios.
+
+Every scenario takes a ``duration_scale`` so that benchmarks and tests can
+run a faithful-but-shorter version of the paper's one-hour experiments; the
+full-length runs use ``duration_scale=1.0``.  Component naming follows the
+paper: *A* and *B* are the two heavily (and similarly) used components, *C*
+a moderately used one, and *D* the rarely used one whose injected leak never
+fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.resource_map import ResourceComponentMap
+from repro.core.rootcause import (
+    PaperMapStrategy,
+    RootCauseReport,
+    RootCauseStrategy,
+    TrendStrategy,
+    WeightedCompositeStrategy,
+)
+from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
+from repro.faults.injector import FaultSpec
+from repro.faults.memory_leak import KB, MB
+from repro.tpcw.population import PopulationScale
+from repro.tpcw.workload import WorkloadPhase
+
+#: Paper components mapped onto TPC-W interactions by usage frequency under
+#: the shopping mix: A and B are the two most-used pages (similar frequency),
+#: C is moderately used, D is the rarely used administrative page.
+COMPONENT_A = "product_detail"
+COMPONENT_B = "home"
+COMPONENT_C = "new_products"
+COMPONENT_D = "admin_confirm"
+
+#: Default EB population for the leak experiments (the paper keeps the EB
+#: count constant during each experiment; 100 EBs is its middle load level).
+LEAK_EXPERIMENT_EBS = 100
+
+#: The paper's injection countdown parameter.
+PAPER_PERIOD_N = 100
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 3 — monitoring overhead under a dynamic workload
+# --------------------------------------------------------------------------- #
+@dataclass
+class Fig3Result:
+    """Outcome of the Fig. 3 overhead experiment."""
+
+    monitored: ExperimentResult
+    unmonitored: ExperimentResult
+    #: Phase boundaries used (seconds): warm-up end, 100-EB end, 200-EB end.
+    phase_times: List[float] = field(default_factory=list)
+
+    def throughput_pair(self, start: float, end: float) -> Dict[str, float]:
+        """Mean throughput of both runs over ``[start, end]``."""
+        return {
+            "unmonitored": self.unmonitored.mean_throughput(start, end),
+            "monitored": self.monitored.mean_throughput(start, end),
+        }
+
+    def overhead_percent(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
+        """Throughput penalty of monitoring, in percent (paper: ≈5 %)."""
+        if start is None:
+            start = self.phase_times[0] if self.phase_times else 0.0
+        reference = self.unmonitored.mean_throughput(start, end)
+        measured = self.monitored.mean_throughput(start, end)
+        if reference <= 0:
+            return 0.0
+        return 100.0 * (reference - measured) / reference
+
+    def throughput_rows(self) -> List[Dict[str, float]]:
+        """Time-aligned throughput series of both runs (Fig. 3's two curves)."""
+        rows = []
+        monitored = {t: v for t, v in self.monitored.throughput.to_rows()}
+        for t, v in self.unmonitored.throughput.to_rows():
+            rows.append(
+                {
+                    "time_s": round(t, 1),
+                    "unmonitored_rps": round(v, 3),
+                    "monitored_rps": round(monitored.get(t, 0.0), 3),
+                }
+            )
+        return rows
+
+
+def fig3_overhead(
+    duration_scale: float = 1.0,
+    seed: int = 42,
+    warmup_ebs: int = 50,
+    mid_ebs: int = 100,
+    high_ebs: int = 200,
+    scale: Optional[PopulationScale] = None,
+    sample_cost_seconds: float = 2.5e-3,
+) -> Fig3Result:
+    """Reproduce Fig. 3: TPC-W throughput with and without monitoring.
+
+    The paper's schedule: 2 minutes at 50 EBs (warm-up), 30 minutes at
+    100 EBs, 30 minutes at 200 EBs, all under the shopping mix, no fault
+    injected.  Both runs use the same seed so they see the same workload.
+    """
+    if duration_scale <= 0:
+        raise ValueError(f"duration_scale must be positive, got {duration_scale}")
+    warmup = 120.0 * duration_scale
+    phase = 1800.0 * duration_scale
+    duration = warmup + 2 * phase
+    phases = [
+        WorkloadPhase(0.0, warmup_ebs),
+        WorkloadPhase(warmup, mid_ebs),
+        WorkloadPhase(warmup + phase, high_ebs),
+    ]
+
+    common = dict(
+        seed=seed,
+        scale=scale,
+        phases=phases,
+        duration=duration,
+        mix_name="shopping",
+        faults=[],
+        snapshot_interval=max(30.0, 60.0 * duration_scale),
+        sample_cost_seconds=sample_cost_seconds,
+    )
+    unmonitored = run_experiment(ExperimentConfig(name="fig3-unmonitored", monitored=False, **common))
+    monitored = run_experiment(ExperimentConfig(name="fig3-monitored", monitored=True, **common))
+    return Fig3Result(
+        monitored=monitored,
+        unmonitored=unmonitored,
+        phase_times=[warmup, warmup + phase, duration],
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figs. 4, 5, 7 — leak scenarios
+# --------------------------------------------------------------------------- #
+@dataclass
+class LeakScenarioResult:
+    """Outcome of a leak-injection experiment (Figs. 4, 5, 7)."""
+
+    result: ExperimentResult
+    injected_components: Dict[str, int]  #: component -> injected leak size (bytes)
+
+    @property
+    def root_cause(self) -> RootCauseReport:
+        """The manager's root-cause report."""
+        assert self.result.root_cause is not None
+        return self.result.root_cause
+
+    def growth(self) -> Dict[str, float]:
+        """Object-size growth per component."""
+        return self.result.component_growth()
+
+    def size_series_rows(self, components: Optional[List[str]] = None, points: int = 20) -> List[Dict[str, float]]:
+        """Down-sampled object-size trajectories (the curves of Figs. 4/5/7)."""
+        names = components or sorted(self.result.component_series)
+        rows: List[Dict[str, float]] = []
+        for name in names:
+            series = self.result.component_series.get(name)
+            if series is None or len(series) == 0:
+                continue
+            times = series.times
+            values = series.values
+            stride = max(1, len(times) // points)
+            for index in range(0, len(times), stride):
+                rows.append(
+                    {
+                        "component": name,
+                        "time_s": round(float(times[index]), 1),
+                        "object_size_kb": round(float(values[index]) / 1024.0, 1),
+                    }
+                )
+        return rows
+
+
+def _leak_scenario(
+    name: str,
+    leak_plan: Dict[str, int],
+    duration_scale: float,
+    seed: int,
+    scale: Optional[PopulationScale],
+    ebs: int,
+    period_n: int,
+    strategy: Optional[RootCauseStrategy] = None,
+) -> LeakScenarioResult:
+    duration = 3600.0 * duration_scale
+    faults = [
+        FaultSpec(
+            component=component,
+            kind="memory-leak",
+            params={"leak_bytes": leak_bytes, "period_n": period_n},
+        )
+        for component, leak_bytes in leak_plan.items()
+    ]
+    config = ExperimentConfig(
+        name=name,
+        seed=seed,
+        scale=scale,
+        constant_ebs=ebs,
+        duration=duration,
+        mix_name="shopping",
+        monitored=True,
+        faults=faults,
+        snapshot_interval=max(30.0, 60.0 * duration_scale),
+        strategy=strategy,
+    )
+    result = run_experiment(config)
+    return LeakScenarioResult(result=result, injected_components=dict(leak_plan))
+
+
+def fig4_single_leak(
+    duration_scale: float = 1.0,
+    seed: int = 42,
+    scale: Optional[PopulationScale] = None,
+    ebs: int = LEAK_EXPERIMENT_EBS,
+    leak_bytes: int = 100 * KB,
+    period_n: int = PAPER_PERIOD_N,
+) -> LeakScenarioResult:
+    """Reproduce Fig. 4: a single 100 KB / N=100 leak in component A.
+
+    Expectation: component A's object size grows from KBs to MBs over the
+    hour while every other component stays flat, and the root-cause report
+    assigns A 100 % of the responsibility.
+    """
+    return _leak_scenario(
+        name="fig4-single-leak",
+        leak_plan={COMPONENT_A: leak_bytes},
+        duration_scale=duration_scale,
+        seed=seed,
+        scale=scale,
+        ebs=ebs,
+        period_n=period_n,
+    )
+
+
+def fig5_multi_leak(
+    duration_scale: float = 1.0,
+    seed: int = 42,
+    scale: Optional[PopulationScale] = None,
+    ebs: int = LEAK_EXPERIMENT_EBS,
+    leak_bytes: int = 100 * KB,
+    period_n: int = PAPER_PERIOD_N,
+) -> LeakScenarioResult:
+    """Reproduce Fig. 5: the same 100 KB / N=100 leak in A, B, C and D.
+
+    Expectation: A and B grow at a similar (highest) rate, C grows more
+    slowly, and D stays flat because it is visited too rarely to trigger the
+    injection.
+    """
+    return _leak_scenario(
+        name="fig5-multi-leak",
+        leak_plan={
+            COMPONENT_A: leak_bytes,
+            COMPONENT_B: leak_bytes,
+            COMPONENT_C: leak_bytes,
+            COMPONENT_D: leak_bytes,
+        },
+        duration_scale=duration_scale,
+        seed=seed,
+        scale=scale,
+        ebs=ebs,
+        period_n=period_n,
+    )
+
+
+def fig6_manager_map(scenario: LeakScenarioResult) -> List[Dict[str, object]]:
+    """Reproduce Fig. 6: the consumption-vs-usage map the manager composes
+    for the Fig. 5 run (rows include the quadrant classification)."""
+    return scenario.result.resource_map_rows
+
+
+def fig7_injection_sizes(
+    duration_scale: float = 1.0,
+    seed: int = 42,
+    scale: Optional[PopulationScale] = None,
+    ebs: int = LEAK_EXPERIMENT_EBS,
+    period_n: int = PAPER_PERIOD_N,
+) -> LeakScenarioResult:
+    """Reproduce Fig. 7: heterogeneous leak sizes.
+
+    A keeps 100 KB, B drops to 10 KB, C and D get 1 MB.  Expectation: C
+    becomes the top suspect (large leak × moderate usage), A second, B third,
+    and D stays flat because its usage frequency is too low to trigger
+    injections.
+    """
+    return _leak_scenario(
+        name="fig7-injection-sizes",
+        leak_plan={
+            COMPONENT_A: 100 * KB,
+            COMPONENT_B: 10 * KB,
+            COMPONENT_C: 1 * MB,
+            COMPONENT_D: 1 * MB,
+        },
+        duration_scale=duration_scale,
+        seed=seed,
+        scale=scale,
+        ebs=ebs,
+        period_n=period_n,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Ablations
+# --------------------------------------------------------------------------- #
+def scope_overhead_ablation(
+    duration_scale: float = 0.2,
+    seed: int = 42,
+    scale: Optional[PopulationScale] = None,
+    ebs: int = 200,
+    sample_cost_seconds: float = 2.5e-3,
+    monitored_fractions: Optional[List[float]] = None,
+) -> List[Dict[str, float]]:
+    """Overhead vs. monitoring scope.
+
+    Runs the same constant-load workload with monitoring disabled, with all
+    components monitored, and with only a fraction of components monitored
+    (the manager deactivates the rest at runtime) — quantifying the benefit
+    of the paper's activate/deactivate-on-demand knob.
+    """
+    duration = 1800.0 * duration_scale
+    fractions = monitored_fractions if monitored_fractions is not None else [0.0, 0.5, 1.0]
+    # Components ordered by typical shopping-mix usage (most used first), so a
+    # fraction of 0.5 keeps the components that dominate the request stream
+    # (the worst case for overhead).
+    usage_order = [
+        "product_detail", "home", "search_request", "search_results", "shopping_cart",
+        "new_products", "best_sellers", "customer_registration", "buy_request",
+        "buy_confirm", "order_inquiry", "order_display", "admin_request", "admin_confirm",
+    ]
+    rows: List[Dict[str, float]] = []
+    for fraction in fractions:
+        monitored = fraction > 0.0
+        keep_count = max(1, int(round(len(usage_order) * fraction))) if monitored else 0
+        config = ExperimentConfig(
+            name=f"scope-ablation-{fraction:.2f}",
+            seed=seed,
+            scale=scale,
+            constant_ebs=ebs,
+            duration=duration,
+            monitored=monitored,
+            monitored_components=usage_order[:keep_count] if monitored and fraction < 1.0 else None,
+            sample_cost_seconds=sample_cost_seconds,
+            snapshot_interval=max(30.0, 60.0 * duration_scale),
+        )
+        result = run_experiment(config)
+        rows.append(
+            {
+                "monitored_fraction": fraction,
+                "mean_throughput_rps": round(result.mean_throughput(), 3),
+                "mean_response_time_s": round(result.mean_response_time, 4),
+                "overhead_seconds": round(result.overhead_seconds, 2),
+            }
+        )
+    return rows
+
+
+def strategy_ablation(
+    scenario: LeakScenarioResult,
+    strategies: Optional[List[RootCauseStrategy]] = None,
+) -> List[Dict[str, object]]:
+    """Compare root-cause strategies on an already-executed leak scenario."""
+    if strategies is None:
+        strategies = [PaperMapStrategy(), TrendStrategy(), WeightedCompositeStrategy()]
+    framework = scenario.result.framework
+    if framework is None:
+        raise ValueError("the scenario was not run with monitoring enabled")
+    resource_map: ResourceComponentMap = framework.manager.map
+    rows: List[Dict[str, object]] = []
+    for strategy in strategies:
+        report = strategy.analyze(resource_map)
+        top = report.top()
+        rows.append(
+            {
+                "strategy": strategy.name,
+                "ranking": " > ".join(report.ranking()[:4]),
+                "top_component": top.component if top else "",
+                "top_responsibility": round(top.responsibility, 3) if top else 0.0,
+            }
+        )
+    return rows

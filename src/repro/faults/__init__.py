@@ -1,0 +1,34 @@
+"""Fault injection.
+
+The paper evaluates its framework by *injecting* aging errors into TPC-W
+servlets: every servlet visit draws a random number in ``[0, N]`` which
+determines how many further visits happen before the next leak of ``L``
+bytes is injected.  :class:`MemoryLeakFault` reproduces that mechanism; the
+other fault types cover the aging causes the paper lists as future work
+(CPU hogs, thread leaks, connection leaks) and are exercised by the
+extension benchmarks.
+
+Faults attach to servlet instances through
+:meth:`repro.tpcw.servlets.base.TpcwServlet.attach_fault`;
+:class:`FaultInjector` is the bookkeeping layer the experiment harness uses
+to install and remove whole fault plans.
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import Fault
+from repro.faults.connection_leak import ConnectionLeakFault
+from repro.faults.cpu_hog import CpuHogFault
+from repro.faults.injector import FaultInjector, FaultSpec
+from repro.faults.memory_leak import MemoryLeakFault
+from repro.faults.thread_leak import ThreadLeakFault
+
+__all__ = [
+    "Fault",
+    "MemoryLeakFault",
+    "CpuHogFault",
+    "ThreadLeakFault",
+    "ConnectionLeakFault",
+    "FaultInjector",
+    "FaultSpec",
+]

@@ -1,0 +1,81 @@
+"""Fault interface and the paper's random-countdown trigger."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.random import RandomStreams
+
+
+class Fault:
+    """Base class of injected aging faults.
+
+    A fault is attached to one servlet component; the servlet calls
+    :meth:`on_request` at the end of every visit (that is exactly where the
+    paper's modified TPC-W code performs its injection).
+    """
+
+    #: Human-readable fault kind (subclasses override).
+    kind = "abstract"
+
+    def __init__(self, active: bool = True) -> None:
+        self.active = active
+        self.trigger_count = 0
+        self.request_count = 0
+
+    def on_request(self, servlet, request) -> None:
+        """Called by the servlet after each visit."""
+        if not self.active:
+            return
+        self.request_count += 1
+        if self._should_trigger(servlet):
+            self.trigger_count += 1
+            self._inject(servlet, request)
+
+    # -- to be provided by subclasses -------------------------------------- #
+    def _should_trigger(self, servlet) -> bool:
+        """Whether this visit triggers an injection."""
+        raise NotImplementedError
+
+    def _inject(self, servlet, request) -> None:
+        """Perform the injection."""
+        raise NotImplementedError
+
+    # ---------------------------------------------------------------------- #
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        return f"{self.kind} (triggered {self.trigger_count}/{self.request_count} visits)"
+
+
+class RandomCountdownTrigger:
+    """The paper's trigger: draw ``n ~ U[0, N]``, fire after ``n`` further visits.
+
+    "To simulate a random memory consumption we have modified a servlet which
+    computes a random number between 0 and N.  This number determines how
+    many requests use the servlet before the next memory consumption is
+    injected."
+    """
+
+    def __init__(self, period_n: int, streams: Optional[RandomStreams], stream_name: str) -> None:
+        if period_n < 0:
+            raise ValueError(f"period N must be >= 0, got {period_n}")
+        self.period_n = int(period_n)
+        self._streams = streams
+        self._stream_name = stream_name
+        self._countdown = self._draw()
+
+    def _draw(self) -> int:
+        if self.period_n == 0:
+            return 0
+        if self._streams is None:
+            # Deterministic fallback: the expected value of U[0, N].
+            return self.period_n // 2
+        return self._streams.uniform_int(self._stream_name, 0, self.period_n)
+
+    def should_fire(self) -> bool:
+        """Count one visit; returns ``True`` when the countdown expires."""
+        if self._countdown <= 0:
+            self._countdown = self._draw()
+            return True
+        self._countdown -= 1
+        return False

@@ -1,0 +1,79 @@
+"""JDBC connection-leak aging fault (future-work resource in the paper)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.faults.base import Fault, RandomCountdownTrigger
+from repro.db.jdbc import ConnectionPoolExhaustedError
+from repro.sim.random import RandomStreams
+
+
+class ConnectionLeakFault(Fault):
+    """Borrows a pooled connection and never returns it.
+
+    Once the pool bound is hit, subsequent borrows by *any* component fail —
+    the classic shared-resource exhaustion that makes root-cause attribution
+    hard for black-box monitors and easy for per-component accounting.
+    """
+
+    kind = "connection-leak"
+
+    def __init__(
+        self,
+        period_n: int = 100,
+        streams: Optional[RandomStreams] = None,
+        max_leaked: int = 10_000,
+    ) -> None:
+        super().__init__()
+        if max_leaked <= 0:
+            raise ValueError(f"max_leaked must be positive, got {max_leaked}")
+        self.period_n = int(period_n)
+        self.max_leaked = int(max_leaked)
+        self._streams = streams
+        self._trigger: Optional[RandomCountdownTrigger] = None
+        self._held: List[object] = []
+        self.pool_exhausted_hits = 0
+
+    def _ensure_trigger(self, servlet) -> RandomCountdownTrigger:
+        if self._trigger is None:
+            self._trigger = RandomCountdownTrigger(
+                self.period_n,
+                self._streams,
+                stream_name=f"fault.connection-leak.{servlet.component_name}",
+            )
+        return self._trigger
+
+    def _should_trigger(self, servlet) -> bool:
+        return self._ensure_trigger(servlet).should_fire()
+
+    def _inject(self, servlet, request) -> None:
+        if len(self._held) >= self.max_leaked:
+            return
+        try:
+            connection = servlet.datasource.get_connection()
+        except ConnectionPoolExhaustedError:
+            self.pool_exhausted_hits += 1
+            return
+        # Keep the connection referenced forever; it is never closed.
+        self._held.append(connection)
+
+    @property
+    def leaked_connections(self) -> int:
+        """Connections currently held by the fault."""
+        return len(self._held)
+
+    def release_all(self) -> int:
+        """Return every held connection to the pool (used by rejuvenation tests)."""
+        released = 0
+        for connection in self._held:
+            connection.close()
+            released += 1
+        self._held.clear()
+        return released
+
+    def describe(self) -> str:
+        return (
+            f"connection-leak every ~{self.period_n} visits "
+            f"(holding {self.leaked_connections} connections)"
+        )

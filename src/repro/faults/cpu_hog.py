@@ -1,0 +1,63 @@
+"""CPU-consumption aging fault (future-work resource in the paper)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.base import Fault, RandomCountdownTrigger
+from repro.sim.random import RandomStreams
+
+
+class CpuHogFault(Fault):
+    """Makes a component's CPU demand creep upward over time.
+
+    Each triggered injection permanently increases the servlet's base CPU
+    demand by ``increment_seconds`` (for example an ever-growing in-memory
+    structure that must be traversed on every request).  The accumulated
+    extra demand is also attributed to the component's CPU time so the CPU
+    monitoring agent can observe it.
+    """
+
+    kind = "cpu-hog"
+
+    def __init__(
+        self,
+        increment_seconds: float = 0.002,
+        period_n: int = 100,
+        streams: Optional[RandomStreams] = None,
+        max_extra_seconds: float = 2.0,
+    ) -> None:
+        super().__init__()
+        if increment_seconds <= 0:
+            raise ValueError(f"increment_seconds must be positive, got {increment_seconds}")
+        if max_extra_seconds <= 0:
+            raise ValueError(f"max_extra_seconds must be positive, got {max_extra_seconds}")
+        self.increment_seconds = float(increment_seconds)
+        self.period_n = int(period_n)
+        self.max_extra_seconds = float(max_extra_seconds)
+        self._streams = streams
+        self._trigger: Optional[RandomCountdownTrigger] = None
+        self.extra_seconds_total = 0.0
+
+    def _ensure_trigger(self, servlet) -> RandomCountdownTrigger:
+        if self._trigger is None:
+            self._trigger = RandomCountdownTrigger(
+                self.period_n, self._streams, stream_name=f"fault.cpu-hog.{servlet.component_name}"
+            )
+        return self._trigger
+
+    def _should_trigger(self, servlet) -> bool:
+        return self._ensure_trigger(servlet).should_fire()
+
+    def _inject(self, servlet, request) -> None:
+        if self.extra_seconds_total >= self.max_extra_seconds:
+            return
+        servlet.base_cpu_demand_seconds = float(servlet.base_cpu_demand_seconds) + self.increment_seconds
+        self.extra_seconds_total += self.increment_seconds
+        servlet.runtime.record_cpu_time(servlet.component_name, self.increment_seconds)
+
+    def describe(self) -> str:
+        return (
+            f"cpu-hog +{self.increment_seconds * 1000:.1f} ms per ~{self.period_n} visits "
+            f"(accumulated {self.extra_seconds_total * 1000:.1f} ms)"
+        )

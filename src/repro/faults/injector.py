@@ -1,0 +1,91 @@
+"""Fault injector: installs fault plans on a TPC-W deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.faults.base import Fault
+from repro.faults.connection_leak import ConnectionLeakFault
+from repro.faults.cpu_hog import CpuHogFault
+from repro.faults.memory_leak import MemoryLeakFault
+from repro.faults.thread_leak import ThreadLeakFault
+from repro.sim.random import RandomStreams
+from repro.tpcw.application import TpcwDeployment
+
+#: Fault constructors by kind string (used by :class:`FaultSpec`).
+_FAULT_FACTORIES = {
+    "memory-leak": MemoryLeakFault,
+    "cpu-hog": CpuHogFault,
+    "thread-leak": ThreadLeakFault,
+    "connection-leak": ConnectionLeakFault,
+}
+
+
+@dataclass
+class FaultSpec:
+    """Declarative description of one fault to inject."""
+
+    component: str
+    kind: str = "memory-leak"
+    #: Keyword arguments handed to the fault constructor (e.g. ``leak_bytes``).
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def build(self, streams: Optional[RandomStreams] = None) -> Fault:
+        """Instantiate the described fault."""
+        factory = _FAULT_FACTORIES.get(self.kind)
+        if factory is None:
+            raise KeyError(
+                f"unknown fault kind {self.kind!r} (expected one of {sorted(_FAULT_FACTORIES)})"
+            )
+        return factory(streams=streams, **self.params)
+
+
+class FaultInjector:
+    """Attaches faults to the servlets of a deployment and tracks them."""
+
+    def __init__(self, deployment: TpcwDeployment, streams: Optional[RandomStreams] = None) -> None:
+        self.deployment = deployment
+        self.streams = streams if streams is not None else deployment.streams
+        self._injected: List[tuple] = []
+
+    # ------------------------------------------------------------------ #
+    def inject(self, component: str, fault: Fault) -> Fault:
+        """Attach an already constructed fault to ``component``."""
+        servlet = self.deployment.servlet(component)
+        servlet.attach_fault(fault)
+        self._injected.append((component, fault))
+        return fault
+
+    def inject_spec(self, spec: FaultSpec) -> Fault:
+        """Build and attach the fault described by ``spec``."""
+        return self.inject(spec.component, spec.build(self.streams))
+
+    def inject_plan(self, specs: List[FaultSpec]) -> List[Fault]:
+        """Install a whole fault plan; returns the created faults in order."""
+        return [self.inject_spec(spec) for spec in specs]
+
+    # ------------------------------------------------------------------ #
+    def remove_all(self) -> int:
+        """Detach every injected fault; returns how many were removed."""
+        removed = 0
+        for component, fault in self._injected:
+            servlet = self.deployment.servlet(component)
+            if fault in servlet.injected_faults:
+                servlet.detach_fault(fault)
+                removed += 1
+        self._injected.clear()
+        return removed
+
+    def faults_for(self, component: str) -> List[Fault]:
+        """Faults injected into ``component`` through this injector."""
+        return [fault for name, fault in self._injected if name == component]
+
+    @property
+    def injected(self) -> List[tuple]:
+        """All ``(component, fault)`` pairs installed so far."""
+        return list(self._injected)
+
+    def describe(self) -> List[str]:
+        """Human-readable description of the installed plan."""
+        return [f"{component}: {fault.describe()}" for component, fault in self._injected]

@@ -1,0 +1,65 @@
+"""Thread-leak aging fault (future-work resource in the paper)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.base import Fault, RandomCountdownTrigger
+from repro.sim.random import RandomStreams
+
+
+class ThreadLeakFault(Fault):
+    """Spawns a never-terminating thread on behalf of the component.
+
+    Unterminated threads are one of the aging vectors the paper lists; each
+    leaked thread also pins its stack memory, so both the thread agent and
+    the heap agent see the effect.
+    """
+
+    kind = "thread-leak"
+
+    def __init__(
+        self,
+        period_n: int = 100,
+        streams: Optional[RandomStreams] = None,
+        stack_bytes: int = 256 * 1024,
+        max_threads: int = 10_000,
+    ) -> None:
+        super().__init__()
+        if stack_bytes <= 0:
+            raise ValueError(f"stack_bytes must be positive, got {stack_bytes}")
+        if max_threads <= 0:
+            raise ValueError(f"max_threads must be positive, got {max_threads}")
+        self.period_n = int(period_n)
+        self.stack_bytes = int(stack_bytes)
+        self.max_threads = int(max_threads)
+        self._streams = streams
+        self._trigger: Optional[RandomCountdownTrigger] = None
+        self.leaked_threads = 0
+
+    def _ensure_trigger(self, servlet) -> RandomCountdownTrigger:
+        if self._trigger is None:
+            self._trigger = RandomCountdownTrigger(
+                self.period_n,
+                self._streams,
+                stream_name=f"fault.thread-leak.{servlet.component_name}",
+            )
+        return self._trigger
+
+    def _should_trigger(self, servlet) -> bool:
+        return self._ensure_trigger(servlet).should_fire()
+
+    def _inject(self, servlet, request) -> None:
+        if self.leaked_threads >= self.max_threads:
+            return
+        servlet.runtime.threads.spawn(
+            name=f"{servlet.component_name}-leaked-{self.leaked_threads}",
+            owner=servlet.component_name,
+            daemon=False,
+            created_at=getattr(request, "arrival_time", 0.0),
+            stack_bytes=self.stack_bytes,
+        )
+        self.leaked_threads += 1
+
+    def describe(self) -> str:
+        return f"thread-leak every ~{self.period_n} visits (leaked {self.leaked_threads} threads)"

@@ -1,0 +1,43 @@
+"""JMX-like management substrate.
+
+The paper relies on Java Management Extensions for three things:
+
+1. a *registry* (the MBeanServer) where monitoring agents and Aspect
+   Component proxies register themselves under structured names,
+2. *attribute/operation access* so the manager agent can read metrics and
+   flip activation switches without compile-time coupling, and
+3. *notifications* so agents can push events (e.g. "heap above threshold").
+
+This package reproduces that model: :class:`ObjectName` (domain +
+key-properties, with pattern matching), :class:`MBean` base classes,
+:class:`MBeanServer` with queries, a notification broadcaster/listener pair,
+and an in-process :class:`JmxConnector` that mimics remote access (the
+paper's "Remote Management Level").
+"""
+
+from __future__ import annotations
+
+from repro.jmx.connector import JmxConnector, MBeanProxy
+from repro.jmx.mbean import MBean, MBeanAttributeError, MBeanInfo, MBeanOperationError, attribute, operation
+from repro.jmx.mbean_server import InstanceAlreadyExistsError, InstanceNotFoundError, MBeanServer
+from repro.jmx.notifications import Notification, NotificationBroadcaster, NotificationListener
+from repro.jmx.object_name import MalformedObjectNameError, ObjectName
+
+__all__ = [
+    "ObjectName",
+    "MalformedObjectNameError",
+    "MBean",
+    "MBeanInfo",
+    "MBeanAttributeError",
+    "MBeanOperationError",
+    "attribute",
+    "operation",
+    "MBeanServer",
+    "InstanceAlreadyExistsError",
+    "InstanceNotFoundError",
+    "Notification",
+    "NotificationBroadcaster",
+    "NotificationListener",
+    "JmxConnector",
+    "MBeanProxy",
+]

@@ -1,0 +1,132 @@
+"""Remote-management level: connector and dynamic proxies.
+
+In the paper the External Front-end talks to the JMX Manager Agent through a
+JMX connector (RMI).  We reproduce the *interface* of that level — connect,
+enumerate, proxy — as an in-process connector.  The connector counts every
+call that crosses it, which the overhead benchmarks use to model the cost of
+remote management traffic (each remote call adds a configurable latency to
+the simulated management plane, never to the request path).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.jmx.mbean_server import MBeanServer
+from repro.jmx.object_name import ObjectName, to_object_name
+
+
+class JmxConnectorError(RuntimeError):
+    """Raised for connector protocol errors (e.g. using a closed connector)."""
+
+
+class MBeanProxy:
+    """Dynamic proxy for a single remote MBean.
+
+    Attribute reads and operation invocations are routed through the
+    connector, mirroring ``JMX.newMBeanProxy``::
+
+        proxy = connector.proxy("repro.core:type=ManagerAgent")
+        proxy.get("ComponentCount")
+        proxy.call("buildMap")
+    """
+
+    def __init__(self, connector: "JmxConnector", name: ObjectName) -> None:
+        self._connector = connector
+        self._name = name
+
+    @property
+    def object_name(self) -> ObjectName:
+        """The target MBean name."""
+        return self._name
+
+    def get(self, attribute_name: str) -> Any:
+        """Read a management attribute remotely."""
+        return self._connector.get_attribute(self._name, attribute_name)
+
+    def set(self, attribute_name: str, value: Any) -> None:
+        """Write a management attribute remotely."""
+        self._connector.set_attribute(self._name, attribute_name, value)
+
+    def call(self, operation_name: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke a management operation remotely."""
+        return self._connector.invoke(self._name, operation_name, *args, **kwargs)
+
+
+class JmxConnector:
+    """In-process stand-in for a JMX remote connector (RMI/JMXMP).
+
+    Parameters
+    ----------
+    server:
+        The MBeanServer this connector fronts.
+    call_latency:
+        Simulated seconds added to the management plane per remote call;
+        accumulated in :attr:`total_latency` (the experiment harness can fold
+        it into administrative-cost accounting).
+    """
+
+    def __init__(self, server: MBeanServer, call_latency: float = 0.0) -> None:
+        if call_latency < 0:
+            raise ValueError(f"call_latency must be non-negative, got {call_latency}")
+        self._server = server
+        self._connected = True
+        self.call_latency = call_latency
+        self.call_count = 0
+        self.total_latency = 0.0
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the connector; further calls raise :class:`JmxConnectorError`."""
+        self._connected = False
+
+    @property
+    def is_connected(self) -> bool:
+        """Whether the connector is still usable."""
+        return self._connected
+
+    def _check(self) -> None:
+        if not self._connected:
+            raise JmxConnectorError("connector is closed")
+        self.call_count += 1
+        self.total_latency += self.call_latency
+
+    # ------------------------------------------------------------------ #
+    def query_names(self, pattern: "ObjectName | str | None" = None) -> List[ObjectName]:
+        """Remote name query."""
+        self._check()
+        return self._server.query_names(pattern)
+
+    def get_attribute(self, name: "ObjectName | str", attribute_name: str) -> Any:
+        """Remote attribute read."""
+        self._check()
+        return self._server.get_attribute(name, attribute_name)
+
+    def set_attribute(self, name: "ObjectName | str", attribute_name: str, value: Any) -> None:
+        """Remote attribute write."""
+        self._check()
+        self._server.set_attribute(name, attribute_name, value)
+
+    def invoke(self, name: "ObjectName | str", operation_name: str, *args: Any, **kwargs: Any) -> Any:
+        """Remote operation invocation."""
+        self._check()
+        return self._server.invoke(name, operation_name, *args, **kwargs)
+
+    def proxy(self, name: "ObjectName | str") -> MBeanProxy:
+        """Create a dynamic proxy bound to ``name``."""
+        self._check()
+        object_name = to_object_name(name)
+        if not self._server.is_registered(object_name):
+            raise JmxConnectorError(f"no MBean registered under {object_name}")
+        return MBeanProxy(self, object_name)
+
+    def mbean_info(self, name: "ObjectName | str") -> Dict[str, Any]:
+        """Remote introspection of an MBean's management surface."""
+        self._check()
+        info = self._server.get_mbean(name).mbean_info()
+        return {
+            "class_name": info.class_name,
+            "description": info.description,
+            "attributes": info.attribute_names(),
+            "operations": info.operation_names(),
+        }

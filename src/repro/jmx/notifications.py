@@ -1,0 +1,111 @@
+"""JMX notification model.
+
+``NotificationBroadcaster`` mixes into MBeans that emit events; listeners
+subscribe through the MBeanServer (or directly) with an optional filter.
+The manager agent uses notifications to learn about newly registered Aspect
+Components and about threshold crossings reported by monitoring agents.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass
+class Notification:
+    """An emitted management event."""
+
+    type: str
+    source: str
+    message: str = ""
+    timestamp: float = 0.0
+    sequence_number: int = 0
+    user_data: Optional[Any] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+
+#: A listener is any callable receiving the notification and a handback object.
+NotificationListener = Callable[[Notification, Any], None]
+
+#: A filter decides whether a listener receives a given notification.
+NotificationFilter = Callable[[Notification], bool]
+
+
+class NotificationBroadcaster:
+    """Mixin giving an MBean the ability to emit notifications."""
+
+    def __init__(self) -> None:
+        self._listeners: List[Dict[str, Any]] = []
+        self._sequence = itertools.count(1)
+        self._emitted_count = 0
+
+    def add_notification_listener(
+        self,
+        listener: NotificationListener,
+        notification_filter: Optional[NotificationFilter] = None,
+        handback: Any = None,
+    ) -> None:
+        """Subscribe ``listener``; duplicates are allowed (JMX semantics)."""
+        if not callable(listener):
+            raise TypeError("listener must be callable")
+        self._listeners.append(
+            {"listener": listener, "filter": notification_filter, "handback": handback}
+        )
+
+    def remove_notification_listener(self, listener: NotificationListener) -> int:
+        """Remove every registration of ``listener``; returns how many were removed."""
+        before = len(self._listeners)
+        self._listeners = [entry for entry in self._listeners if entry["listener"] is not listener]
+        removed = before - len(self._listeners)
+        if removed == 0:
+            raise ValueError("listener was not registered")
+        return removed
+
+    def send_notification(
+        self,
+        notification_type: str,
+        source: str,
+        message: str = "",
+        timestamp: float = 0.0,
+        user_data: Any = None,
+        **attributes: Any,
+    ) -> Notification:
+        """Build and dispatch a notification to all matching listeners."""
+        notification = Notification(
+            type=notification_type,
+            source=source,
+            message=message,
+            timestamp=timestamp,
+            sequence_number=next(self._sequence),
+            user_data=user_data,
+            attributes=dict(attributes),
+        )
+        self._emitted_count += 1
+        for entry in list(self._listeners):
+            notification_filter = entry["filter"]
+            if notification_filter is not None and not notification_filter(notification):
+                continue
+            entry["listener"](notification, entry["handback"])
+        return notification
+
+    @property
+    def listener_count(self) -> int:
+        """Number of registered listener entries."""
+        return len(self._listeners)
+
+    @property
+    def emitted_count(self) -> int:
+        """Total number of notifications emitted."""
+        return self._emitted_count
+
+
+def type_filter(*types: str) -> NotificationFilter:
+    """A filter accepting only the given notification types."""
+    accepted = set(types)
+
+    def _filter(notification: Notification) -> bool:
+        return notification.type in accepted
+
+    return _filter

@@ -1,0 +1,35 @@
+"""Simulated JVM substrate.
+
+The paper's monitoring agents measure *JVM-level* resources: the "real size"
+of Java objects (one level of references deep), heap occupancy, CPU time and
+thread counts.  This package provides a small but faithful model of those
+resources:
+
+* :mod:`repro.jvm.objects`  -- :class:`JavaObject` graphs with shallow sizes
+  and direct references.
+* :mod:`repro.jvm.heap`     -- the heap: allocation, liveness roots, capacity.
+* :mod:`repro.jvm.gc`       -- a mark-sweep collector with a pause-time model.
+* :mod:`repro.jvm.threads`  -- JVM thread registry (for thread-leak faults).
+* :mod:`repro.jvm.runtime`  -- a ``java.lang.Runtime`` / MXBean-style facade
+  that the JMX monitoring agents query.
+"""
+
+from __future__ import annotations
+
+from repro.jvm.gc import GarbageCollector, GCStats
+from repro.jvm.heap import Heap, OutOfMemoryError
+from repro.jvm.objects import JavaObject
+from repro.jvm.runtime import JvmRuntime
+from repro.jvm.threads import JvmThread, ThreadRegistry, ThreadState
+
+__all__ = [
+    "JavaObject",
+    "Heap",
+    "OutOfMemoryError",
+    "GarbageCollector",
+    "GCStats",
+    "JvmThread",
+    "ThreadRegistry",
+    "ThreadState",
+    "JvmRuntime",
+]

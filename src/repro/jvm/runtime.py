@@ -1,0 +1,134 @@
+"""JVM runtime facade.
+
+Combines the heap, collector and thread registry behind an interface shaped
+like ``java.lang.Runtime`` + the ``java.lang.management`` MXBeans, which is
+what the paper's JMX monitoring agents talk to.  It also accounts simulated
+CPU time per component so the CPU monitoring agent (an extension fault type
+the paper lists as future work) has something to read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.jvm.gc import GarbageCollector
+from repro.jvm.heap import DEFAULT_HEAP_BYTES, Heap, OutOfMemoryError
+from repro.jvm.objects import JavaObject
+from repro.jvm.threads import ThreadRegistry
+
+
+class JvmRuntime:
+    """The simulated JVM: heap + GC + threads + CPU accounting.
+
+    Parameters
+    ----------
+    heap_bytes:
+        Maximum heap size (defaults to the paper's 1 GB Tomcat heap).
+    gc_occupancy_threshold:
+        Heap occupancy fraction above which an allocation triggers a
+        collection before retrying.
+    """
+
+    def __init__(
+        self,
+        heap_bytes: int = DEFAULT_HEAP_BYTES,
+        gc_occupancy_threshold: float = 0.7,
+    ) -> None:
+        self.heap = Heap(capacity_bytes=heap_bytes)
+        self.collector = GarbageCollector(self.heap)
+        self.threads = ThreadRegistry()
+        self.gc_occupancy_threshold = gc_occupancy_threshold
+        self._cpu_seconds_by_owner: Dict[str, float] = {}
+        self._total_cpu_seconds = 0.0
+        self._pending_gc_pause = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Memory API (Runtime/MemoryMXBean analogue)
+    # ------------------------------------------------------------------ #
+    def total_memory(self) -> int:
+        """Heap capacity in bytes (``Runtime.totalMemory`` analogue)."""
+        return self.heap.capacity_bytes
+
+    def used_memory(self) -> int:
+        """Bytes currently allocated."""
+        return self.heap.used_bytes
+
+    def free_memory(self) -> int:
+        """Bytes currently free (``Runtime.freeMemory`` analogue)."""
+        return self.heap.free_bytes
+
+    def allocate(
+        self,
+        class_name: str,
+        shallow_size: int,
+        owner: Optional[str] = None,
+        timestamp: float = 0.0,
+        root: bool = False,
+    ) -> JavaObject:
+        """Allocate an object, running the collector once under memory pressure.
+
+        Raises
+        ------
+        OutOfMemoryError
+            If the allocation still does not fit after a full collection.
+        """
+        if self.collector.should_collect(self.gc_occupancy_threshold):
+            self._pending_gc_pause += self.collector.collect()
+        try:
+            return self.heap.allocate(
+                class_name, shallow_size, owner=owner, timestamp=timestamp, root=root
+            )
+        except OutOfMemoryError:
+            self._pending_gc_pause += self.collector.collect()
+            return self.heap.allocate(
+                class_name, shallow_size, owner=owner, timestamp=timestamp, root=root
+            )
+
+    def gc(self) -> float:
+        """Explicit ``System.gc()``; returns the simulated pause."""
+        pause = self.collector.collect()
+        self._pending_gc_pause += pause
+        return pause
+
+    def consume_pending_gc_pause(self) -> float:
+        """Return and clear accumulated GC pause time.
+
+        The container polls this after each request and adds the pause to the
+        request's response time, coupling allocation pressure to latency.
+        """
+        pause = self._pending_gc_pause
+        self._pending_gc_pause = 0.0
+        return pause
+
+    # ------------------------------------------------------------------ #
+    # CPU accounting
+    # ------------------------------------------------------------------ #
+    def record_cpu_time(self, owner: str, seconds: float) -> None:
+        """Attribute ``seconds`` of simulated CPU time to ``owner``."""
+        if seconds < 0:
+            raise ValueError(f"cpu seconds must be non-negative, got {seconds}")
+        self._cpu_seconds_by_owner[owner] = self._cpu_seconds_by_owner.get(owner, 0.0) + seconds
+        self._total_cpu_seconds += seconds
+
+    def cpu_time(self, owner: Optional[str] = None) -> float:
+        """Total CPU seconds, for one owner or the whole JVM."""
+        if owner is None:
+            return self._total_cpu_seconds
+        return self._cpu_seconds_by_owner.get(owner, 0.0)
+
+    def cpu_time_by_owner(self) -> Dict[str, float]:
+        """A copy of the per-owner CPU accounting table."""
+        return dict(self._cpu_seconds_by_owner)
+
+    # ------------------------------------------------------------------ #
+    # Threads
+    # ------------------------------------------------------------------ #
+    def thread_count(self) -> int:
+        """Number of live threads (ThreadMXBean ``getThreadCount`` analogue)."""
+        return self.threads.live_count()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JvmRuntime(used={self.heap.used_bytes}/{self.heap.capacity_bytes} bytes, "
+            f"threads={self.threads.live_count()})"
+        )

@@ -1,0 +1,151 @@
+"""JVM thread registry.
+
+Thread leaks are one of the aging causes the paper lists as future work; the
+extension benchmarks inject them, and the thread monitoring agent
+(:mod:`repro.core.monitoring_agents`) reads counts from this registry, which
+mimics ``java.lang.management.ThreadMXBean``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, List, Optional
+
+
+class ThreadState(enum.Enum):
+    """Subset of ``java.lang.Thread.State`` relevant to the model."""
+
+    NEW = "NEW"
+    RUNNABLE = "RUNNABLE"
+    WAITING = "WAITING"
+    TIMED_WAITING = "TIMED_WAITING"
+    BLOCKED = "BLOCKED"
+    TERMINATED = "TERMINATED"
+
+
+class JvmThread:
+    """A simulated JVM thread."""
+
+    _ids = itertools.count(1)
+
+    __slots__ = ("thread_id", "name", "owner", "state", "daemon", "created_at", "stack_bytes")
+
+    def __init__(
+        self,
+        name: str,
+        owner: Optional[str] = None,
+        daemon: bool = False,
+        created_at: float = 0.0,
+        stack_bytes: int = 512 * 1024,
+    ) -> None:
+        if stack_bytes <= 0:
+            raise ValueError(f"stack_bytes must be positive, got {stack_bytes}")
+        self.thread_id = next(JvmThread._ids)
+        self.name = name
+        self.owner = owner
+        self.state = ThreadState.NEW
+        self.daemon = daemon
+        self.created_at = float(created_at)
+        self.stack_bytes = int(stack_bytes)
+
+    def start(self) -> None:
+        """Move the thread to RUNNABLE (mirrors ``Thread.start``)."""
+        if self.state is not ThreadState.NEW:
+            raise RuntimeError(f"thread {self.name!r} already started (state={self.state})")
+        self.state = ThreadState.RUNNABLE
+
+    def park(self, timed: bool = False) -> None:
+        """Move the thread to a waiting state."""
+        if self.state is ThreadState.TERMINATED:
+            raise RuntimeError(f"thread {self.name!r} is terminated")
+        self.state = ThreadState.TIMED_WAITING if timed else ThreadState.WAITING
+
+    def unpark(self) -> None:
+        """Return a waiting thread to RUNNABLE."""
+        if self.state in (ThreadState.WAITING, ThreadState.TIMED_WAITING, ThreadState.BLOCKED):
+            self.state = ThreadState.RUNNABLE
+
+    def terminate(self) -> None:
+        """Terminate the thread."""
+        self.state = ThreadState.TERMINATED
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the thread has started and not yet terminated."""
+        return self.state not in (ThreadState.NEW, ThreadState.TERMINATED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JvmThread(id={self.thread_id}, name={self.name!r}, state={self.state.value})"
+
+
+class ThreadRegistry:
+    """Registry of all threads in the simulated JVM (ThreadMXBean analogue)."""
+
+    def __init__(self) -> None:
+        self._threads: Dict[int, JvmThread] = {}
+        self._peak_count = 0
+        self._total_started = 0
+
+    def spawn(
+        self,
+        name: str,
+        owner: Optional[str] = None,
+        daemon: bool = False,
+        created_at: float = 0.0,
+        stack_bytes: int = 512 * 1024,
+    ) -> JvmThread:
+        """Create and start a new thread."""
+        thread = JvmThread(
+            name=name,
+            owner=owner,
+            daemon=daemon,
+            created_at=created_at,
+            stack_bytes=stack_bytes,
+        )
+        thread.start()
+        self._threads[thread.thread_id] = thread
+        self._total_started += 1
+        live = self.live_count()
+        if live > self._peak_count:
+            self._peak_count = live
+        return thread
+
+    def terminate(self, thread: JvmThread) -> None:
+        """Terminate a registered thread."""
+        if thread.thread_id not in self._threads:
+            raise KeyError(f"thread {thread.thread_id} is not registered")
+        thread.terminate()
+
+    def remove_terminated(self) -> int:
+        """Drop terminated threads from the registry; returns how many."""
+        dead = [tid for tid, t in self._threads.items() if t.state is ThreadState.TERMINATED]
+        for tid in dead:
+            del self._threads[tid]
+        return len(dead)
+
+    def live_count(self) -> int:
+        """Number of live threads."""
+        return sum(1 for t in self._threads.values() if t.is_alive)
+
+    def count_by_owner(self, owner: str) -> int:
+        """Number of live threads created on behalf of ``owner``."""
+        return sum(1 for t in self._threads.values() if t.is_alive and t.owner == owner)
+
+    def live_threads(self) -> List[JvmThread]:
+        """All live threads (sorted by id)."""
+        return [self._threads[tid] for tid in sorted(self._threads) if self._threads[tid].is_alive]
+
+    def stack_bytes_total(self) -> int:
+        """Total stack memory of live threads."""
+        return sum(t.stack_bytes for t in self._threads.values() if t.is_alive)
+
+    @property
+    def peak_count(self) -> int:
+        """Highest number of simultaneously live threads observed."""
+        return self._peak_count
+
+    @property
+    def total_started(self) -> int:
+        """Total threads ever started."""
+        return self._total_started

@@ -1,0 +1,55 @@
+"""Virtual clock used throughout the simulated stack.
+
+The clock is a plain monotonically non-decreasing ``float`` of *simulated
+seconds*.  Only the :class:`~repro.sim.engine.SimulationEngine` is allowed to
+advance it; every other part of the system reads it (servlets to timestamp
+requests, monitoring agents to timestamp samples, the manager agent to build
+time series, ...).
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically non-decreasing virtual clock.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time in seconds (default ``0.0``).
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises
+        ------
+        ValueError
+            If ``timestamp`` lies in the past (the clock never goes back).
+        """
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now!r}, requested={timestamp!r}"
+            )
+        self._now = float(timestamp)
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` seconds (must be >= 0)."""
+        if delta < 0:
+            raise ValueError(f"cannot advance clock by negative delta: {delta}")
+        self._now += float(delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"

@@ -1,0 +1,221 @@
+"""Discrete-event simulation engine.
+
+A minimal but complete event-driven scheduler: events carry a firing time, a
+priority (to break ties deterministically) and a callback.  Callbacks may
+schedule further events.  The engine advances the shared
+:class:`~repro.sim.clock.SimClock` to each event's time before invoking it.
+
+Design notes
+------------
+* Events are totally ordered by ``(time, priority, sequence)`` so that runs
+  are bit-for-bit reproducible regardless of dict/set iteration order.
+* Cancelling an event marks it dead instead of removing it from the heap
+  (classic lazy deletion) — O(1) cancel, O(log n) pop.
+* ``run_until`` / ``run`` return the number of events executed, which the
+  experiment harness uses as a sanity check.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sim.clock import SimClock
+
+
+class StopSimulation(Exception):
+    """Raised by an event callback to terminate the simulation immediately."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulation event.
+
+    Attributes
+    ----------
+    time:
+        Simulated time (seconds) at which the event fires.
+    priority:
+        Secondary ordering key; lower fires first at equal time.
+    seq:
+        Monotonic sequence number assigned by the engine (tertiary key).
+    callback:
+        Zero-argument callable executed when the event fires.
+    name:
+        Optional human-readable label (shown in debugging / tracing).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so that it will be skipped when popped."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """Event queue + scheduler driving a :class:`SimClock`.
+
+    Parameters
+    ----------
+    clock:
+        The clock to drive.  A fresh clock is created when omitted.
+    trace:
+        When true, keeps an in-memory trace of executed event names
+        (useful in tests; off by default to keep memory bounded).
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None, trace: bool = False) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._executed = 0
+        self._trace_enabled = trace
+        self._trace: List[str] = []
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run at absolute simulated ``time``."""
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule event in the past: now={self.clock.now}, time={time}"
+            )
+        event = Event(
+            time=float(time),
+            priority=priority,
+            seq=next(self._seq),
+            callback=callback,
+            name=name,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(
+            self.clock.now + delay, callback, priority=priority, name=name
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulated time (convenience passthrough)."""
+        return self.clock.now
+
+    @property
+    def executed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def trace(self) -> List[str]:
+        """Names of executed events, when tracing is enabled."""
+        return list(self._trace)
+
+    def stop(self) -> None:
+        """Request the run loop to stop before executing the next event."""
+        self._stopped = True
+
+    def _pop_live(self) -> Optional[Event]:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns
+        -------
+        bool
+            ``True`` if an event was executed, ``False`` if the queue is empty.
+        """
+        event = self._pop_live()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        if self._trace_enabled and event.name:
+            self._trace.append(event.name)
+        self._executed += 1
+        event.callback()
+        return True
+
+    def run_until(self, end_time: float) -> int:
+        """Run events with ``time <= end_time``; leave the clock at ``end_time``.
+
+        Returns the number of events executed during this call.
+        """
+        executed_before = self._executed
+        self._stopped = False
+        while not self._stopped:
+            event = self._pop_live()
+            if event is None:
+                break
+            if event.time > end_time:
+                # Not due yet: put it back and stop.
+                heapq.heappush(self._heap, event)
+                break
+            self.clock.advance_to(event.time)
+            if self._trace_enabled and event.name:
+                self._trace.append(event.name)
+            self._executed += 1
+            try:
+                event.callback()
+            except StopSimulation:
+                self._stopped = True
+        if self.clock.now < end_time:
+            self.clock.advance_to(end_time)
+        return self._executed - executed_before
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events`` is reached)."""
+        executed_before = self._executed
+        self._stopped = False
+        while not self._stopped:
+            if max_events is not None and self._executed - executed_before >= max_events:
+                break
+            try:
+                if not self.step():
+                    break
+            except StopSimulation:
+                break
+        return self._executed - executed_before
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationEngine(now={self.clock.now:.3f}, "
+            f"pending={self.pending_events}, executed={self._executed})"
+        )

@@ -1,0 +1,223 @@
+"""Time-series metric collection for simulated experiments.
+
+The monitoring framework (and the experiment harness around it) records many
+time series: per-component retained sizes, throughput, heap usage, response
+times.  The classes here are deliberately small and allocation-light; series
+store parallel Python lists and convert to numpy arrays only on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class TimeSeries:
+    """An append-only ``(timestamp, value)`` series."""
+
+    __slots__ = ("name", "_times", "_values")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, timestamp: float, value: float) -> None:
+        """Append one observation.  Timestamps must be non-decreasing."""
+        if self._times and timestamp < self._times[-1]:
+            raise ValueError(
+                f"timestamps must be non-decreasing: got {timestamp} after {self._times[-1]}"
+            )
+        self._times.append(float(timestamp))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Timestamps as a numpy array."""
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Values as a numpy array."""
+        return np.asarray(self._values, dtype=float)
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        """The most recent ``(timestamp, value)`` pair, or ``None`` if empty."""
+        if not self._times:
+            return None
+        return self._times[-1], self._values[-1]
+
+    def value_at(self, timestamp: float) -> float:
+        """Step-interpolated value at ``timestamp`` (last observation carried forward)."""
+        if not self._times:
+            raise ValueError(f"time series {self.name!r} is empty")
+        idx = int(np.searchsorted(self.times, timestamp, side="right")) - 1
+        if idx < 0:
+            return self._values[0]
+        return self._values[idx]
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """A new series containing observations with ``start <= t <= end``."""
+        if end < start:
+            raise ValueError(f"invalid window [{start}, {end}]")
+        out = TimeSeries(self.name)
+        for t, v in zip(self._times, self._values):
+            if start <= t <= end:
+                out.record(t, v)
+        return out
+
+    def resample(self, interval: float, end: Optional[float] = None) -> "TimeSeries":
+        """Step-resample onto a regular grid with the given interval."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if not self._times:
+            return TimeSeries(self.name)
+        stop = end if end is not None else self._times[-1]
+        out = TimeSeries(self.name)
+        t = self._times[0]
+        while t <= stop + 1e-12:
+            out.record(t, self.value_at(t))
+            t += interval
+        return out
+
+    def to_rows(self) -> List[Tuple[float, float]]:
+        """The series as a list of ``(timestamp, value)`` tuples."""
+        return list(zip(self._times, self._values))
+
+
+class Counter:
+    """A monotonically increasing counter (e.g. requests served)."""
+
+    __slots__ = ("name", "_count")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._count = 0
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be non-negative, got {amount}")
+        self._count += int(amount)
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._count
+
+
+class Gauge:
+    """A value that can move up and down (e.g. active threads)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str = "", initial: float = 0.0) -> None:
+        self.name = name
+        self._value = float(initial)
+
+    def set(self, value: float) -> None:
+        """Set the gauge to an absolute value."""
+        self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by ``delta`` (may be negative)."""
+        self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        """Current gauge value."""
+        return self._value
+
+
+class WindowedRate:
+    """Computes event rates over fixed, contiguous time windows.
+
+    Used by the experiment harness to produce throughput curves (Fig. 3):
+    ``mark(t)`` records one completed request at simulated time ``t``; the
+    completed windows are exposed as a :class:`TimeSeries` of events/second.
+    """
+
+    def __init__(self, window: float, name: str = "") -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.name = name
+        self.window = float(window)
+        self._window_start = 0.0
+        self._count_in_window = 0
+        self._series = TimeSeries(name)
+
+    def mark(self, timestamp: float, count: int = 1) -> None:
+        """Record ``count`` events at ``timestamp``."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._flush_up_to(timestamp)
+        self._count_in_window += count
+
+    def _flush_up_to(self, timestamp: float) -> None:
+        while timestamp >= self._window_start + self.window:
+            midpoint = self._window_start + self.window / 2.0
+            self._series.record(midpoint, self._count_in_window / self.window)
+            self._window_start += self.window
+            self._count_in_window = 0
+
+    def finish(self, end_time: float) -> TimeSeries:
+        """Flush any complete windows up to ``end_time`` and return the series."""
+        self._flush_up_to(end_time)
+        return self._series
+
+    @property
+    def series(self) -> TimeSeries:
+        """The throughput series for windows completed so far."""
+        return self._series
+
+
+class MetricRegistry:
+    """A named registry of counters, gauges and time series."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, TimeSeries] = {}
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+
+    def series(self, name: str) -> TimeSeries:
+        """Get or create a :class:`TimeSeries`."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a :class:`Counter`."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def series_names(self) -> List[str]:
+        """Sorted names of all registered time series."""
+        return sorted(self._series)
+
+    def counter_names(self) -> List[str]:
+        """Sorted names of all registered counters."""
+        return sorted(self._counters)
+
+    def gauge_names(self) -> List[str]:
+        """Sorted names of all registered gauges."""
+        return sorted(self._gauges)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Current values of all counters and gauges (not series)."""
+        out: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = float(counter.value)
+        for name, gauge in self._gauges.items():
+            out[name] = float(gauge.value)
+        return out

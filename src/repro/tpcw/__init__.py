@@ -1,0 +1,41 @@
+"""TPC-W bookstore application and workload.
+
+The paper's case study runs the Java servlet version of TPC-W (an on-line
+bookstore) on Tomcat against MySQL, driven by Emulated Browsers (EBs).  This
+package is the reproduction of that application:
+
+* :mod:`repro.tpcw.schema` / :mod:`repro.tpcw.population` -- the bookstore
+  schema and its synthetic population (scaled-down but structurally faithful).
+* :mod:`repro.tpcw.servlets` -- one servlet class per TPC-W web interaction
+  (the paper's "application components").
+* :mod:`repro.tpcw.application` -- assembles database + servlets + container
+  into a deployable :class:`~repro.container.webapp.WebApplication`.
+* :mod:`repro.tpcw.mixes` -- the browsing / shopping / ordering transition
+  mixes that determine per-interaction visit frequencies.
+* :mod:`repro.tpcw.workload` -- the closed-loop EB workload generator with
+  TPC-W think times, driven by the discrete-event engine.
+"""
+
+from __future__ import annotations
+
+from repro.tpcw.application import TpcwApplication, TpcwDeployment, build_deployment
+from repro.tpcw.mixes import WorkloadMix, browsing_mix, ordering_mix, shopping_mix
+from repro.tpcw.population import PopulationScale, populate_database
+from repro.tpcw.schema import create_tpcw_schema
+from repro.tpcw.workload import EmulatedBrowser, WorkloadGenerator, WorkloadPhase
+
+__all__ = [
+    "create_tpcw_schema",
+    "populate_database",
+    "PopulationScale",
+    "TpcwApplication",
+    "TpcwDeployment",
+    "build_deployment",
+    "WorkloadMix",
+    "browsing_mix",
+    "shopping_mix",
+    "ordering_mix",
+    "EmulatedBrowser",
+    "WorkloadGenerator",
+    "WorkloadPhase",
+]

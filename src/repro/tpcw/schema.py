@@ -1,0 +1,209 @@
+"""TPC-W bookstore schema.
+
+A structurally faithful (column-trimmed) version of the TPC-W schema: the
+same tables and key relationships the Java servlets query, so that the
+reproduction servlets can issue the same *kinds* of SQL (PK lookups,
+subject-index scans, best-seller join/aggregation, cart updates, order
+placement) with realistic relative costs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.db.engine import Database
+from repro.db.table import Column, ColumnType
+
+
+#: The 24 book subjects defined by the TPC-W specification.
+SUBJECTS: List[str] = [
+    "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING",
+    "HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE", "MYSTERY",
+    "NON-FICTION", "PARENTING", "POLITICS", "REFERENCE", "RELIGION",
+    "ROMANCE", "SELF-HELP", "SCIENCE-NATURE", "SCIENCE-FICTION", "SPORTS",
+    "YOUTH", "TRAVEL",
+]
+
+#: Shipping types offered at buy request.
+SHIP_TYPES: List[str] = ["AIR", "UPS", "FEDEX", "SHIP", "COURIER", "MAIL"]
+
+#: Credit card types accepted at buy confirm.
+CARD_TYPES: List[str] = ["VISA", "MASTERCARD", "DISCOVER", "AMEX", "DINERS"]
+
+#: Order statuses.
+ORDER_STATUSES: List[str] = ["PENDING", "PROCESSING", "SHIPPED", "DENIED"]
+
+
+def create_tpcw_schema(database: Database) -> None:
+    """Create every TPC-W table (and its indexes) in ``database``."""
+    integer = ColumnType.INTEGER
+    varchar = ColumnType.VARCHAR
+    floating = ColumnType.FLOAT
+    date = ColumnType.DATE
+
+    database.create_table(
+        "country",
+        [
+            Column("co_id", integer, primary_key=True),
+            Column("co_name", varchar),
+            Column("co_exchange", floating),
+            Column("co_currency", varchar),
+        ],
+    )
+
+    database.create_table(
+        "address",
+        [
+            Column("addr_id", integer, primary_key=True),
+            Column("addr_street1", varchar),
+            Column("addr_city", varchar),
+            Column("addr_state", varchar),
+            Column("addr_zip", varchar),
+            Column("addr_co_id", integer),
+        ],
+    )
+    database.table("address").create_index("addr_co_id")
+
+    database.create_table(
+        "customer",
+        [
+            Column("c_id", integer, primary_key=True),
+            Column("c_uname", varchar),
+            Column("c_passwd", varchar),
+            Column("c_fname", varchar),
+            Column("c_lname", varchar),
+            Column("c_addr_id", integer),
+            Column("c_phone", varchar),
+            Column("c_email", varchar),
+            Column("c_since", date),
+            Column("c_last_login", date),
+            Column("c_discount", floating),
+            Column("c_balance", floating),
+            Column("c_ytd_pmt", floating),
+            Column("c_data", varchar),
+        ],
+    )
+    database.table("customer").create_index("c_uname")
+
+    database.create_table(
+        "author",
+        [
+            Column("a_id", integer, primary_key=True),
+            Column("a_fname", varchar),
+            Column("a_lname", varchar),
+            Column("a_bio", varchar),
+        ],
+    )
+    database.table("author").create_index("a_lname")
+
+    database.create_table(
+        "item",
+        [
+            Column("i_id", integer, primary_key=True),
+            Column("i_title", varchar),
+            Column("i_a_id", integer),
+            Column("i_pub_date", date),
+            Column("i_publisher", varchar),
+            Column("i_subject", varchar),
+            Column("i_desc", varchar),
+            Column("i_related1", integer),
+            Column("i_related2", integer),
+            Column("i_related3", integer),
+            Column("i_related4", integer),
+            Column("i_related5", integer),
+            Column("i_thumbnail", varchar),
+            Column("i_image", varchar),
+            Column("i_srp", floating),
+            Column("i_cost", floating),
+            Column("i_avail", date),
+            Column("i_stock", integer),
+            Column("i_isbn", varchar),
+            Column("i_page", integer),
+            Column("i_backing", varchar),
+        ],
+    )
+    item = database.table("item")
+    item.create_index("i_subject")
+    item.create_index("i_a_id")
+    item.create_index("i_title")
+
+    database.create_table(
+        "orders",
+        [
+            Column("o_id", integer, primary_key=True),
+            Column("o_c_id", integer),
+            Column("o_date", date),
+            Column("o_sub_total", floating),
+            Column("o_tax", floating),
+            Column("o_total", floating),
+            Column("o_ship_type", varchar),
+            Column("o_ship_date", date),
+            Column("o_bill_addr_id", integer),
+            Column("o_ship_addr_id", integer),
+            Column("o_status", varchar),
+        ],
+    )
+    database.table("orders").create_index("o_c_id")
+
+    database.create_table(
+        "order_line",
+        [
+            Column("ol_id", integer, primary_key=True),
+            Column("ol_o_id", integer),
+            Column("ol_i_id", integer),
+            Column("ol_qty", integer),
+            Column("ol_discount", floating),
+            Column("ol_comments", varchar),
+        ],
+    )
+    order_line = database.table("order_line")
+    order_line.create_index("ol_o_id")
+    order_line.create_index("ol_i_id")
+
+    database.create_table(
+        "cc_xacts",
+        [
+            Column("cx_o_id", integer, primary_key=True),
+            Column("cx_type", varchar),
+            Column("cx_num", varchar),
+            Column("cx_name", varchar),
+            Column("cx_expire", date),
+            Column("cx_xact_amt", floating),
+            Column("cx_xact_date", date),
+            Column("cx_co_id", integer),
+        ],
+    )
+
+    database.create_table(
+        "shopping_cart",
+        [
+            Column("sc_id", integer, primary_key=True),
+            Column("sc_time", date),
+        ],
+    )
+
+    database.create_table(
+        "shopping_cart_line",
+        [
+            Column("scl_id", integer, primary_key=True),
+            Column("scl_sc_id", integer),
+            Column("scl_i_id", integer),
+            Column("scl_qty", integer),
+        ],
+    )
+    database.table("shopping_cart_line").create_index("scl_sc_id")
+
+
+#: Table names in creation order (used by tests and the population module).
+TPCW_TABLES: List[str] = [
+    "country",
+    "address",
+    "customer",
+    "author",
+    "item",
+    "orders",
+    "order_line",
+    "cc_xacts",
+    "shopping_cart",
+    "shopping_cart_line",
+]

@@ -1,0 +1,64 @@
+"""The 14 TPC-W web interactions as servlet components.
+
+Each module defines one servlet class — the paper's unit of monitoring and
+root-cause attribution ("application component").  All servlets extend
+:class:`repro.tpcw.servlets.base.TpcwServlet`, expose a Java-style
+``java_class_name`` (so AspectJ-like pointcuts written against the original
+class names match), declare a per-interaction CPU demand, and execute real
+SQL against the data tier.
+"""
+
+from __future__ import annotations
+
+from repro.tpcw.servlets.admin_confirm import AdminConfirmServlet
+from repro.tpcw.servlets.admin_request import AdminRequestServlet
+from repro.tpcw.servlets.base import TpcwServlet
+from repro.tpcw.servlets.best_sellers import BestSellersServlet
+from repro.tpcw.servlets.buy_confirm import BuyConfirmServlet
+from repro.tpcw.servlets.buy_request import BuyRequestServlet
+from repro.tpcw.servlets.customer_registration import CustomerRegistrationServlet
+from repro.tpcw.servlets.home import HomeServlet
+from repro.tpcw.servlets.new_products import NewProductsServlet
+from repro.tpcw.servlets.order_display import OrderDisplayServlet
+from repro.tpcw.servlets.order_inquiry import OrderInquiryServlet
+from repro.tpcw.servlets.product_detail import ProductDetailServlet
+from repro.tpcw.servlets.search_request import SearchRequestServlet
+from repro.tpcw.servlets.search_results import SearchResultsServlet
+from repro.tpcw.servlets.shopping_cart import ShoppingCartServlet
+
+#: All servlet classes keyed by their TPC-W interaction name.
+SERVLET_CLASSES = {
+    "home": HomeServlet,
+    "new_products": NewProductsServlet,
+    "best_sellers": BestSellersServlet,
+    "product_detail": ProductDetailServlet,
+    "search_request": SearchRequestServlet,
+    "search_results": SearchResultsServlet,
+    "shopping_cart": ShoppingCartServlet,
+    "customer_registration": CustomerRegistrationServlet,
+    "buy_request": BuyRequestServlet,
+    "buy_confirm": BuyConfirmServlet,
+    "order_inquiry": OrderInquiryServlet,
+    "order_display": OrderDisplayServlet,
+    "admin_request": AdminRequestServlet,
+    "admin_confirm": AdminConfirmServlet,
+}
+
+__all__ = [
+    "TpcwServlet",
+    "SERVLET_CLASSES",
+    "HomeServlet",
+    "NewProductsServlet",
+    "BestSellersServlet",
+    "ProductDetailServlet",
+    "SearchRequestServlet",
+    "SearchResultsServlet",
+    "ShoppingCartServlet",
+    "CustomerRegistrationServlet",
+    "BuyRequestServlet",
+    "BuyConfirmServlet",
+    "OrderInquiryServlet",
+    "OrderDisplayServlet",
+    "AdminRequestServlet",
+    "AdminConfirmServlet",
+]

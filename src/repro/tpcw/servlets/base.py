@@ -1,0 +1,209 @@
+"""Base class shared by the TPC-W servlet components.
+
+Responsibilities:
+
+* wire the servlet to the simulated JVM, the JDBC data source and the random
+  streams published in the :class:`~repro.container.servlet.ServletContext`;
+* maintain the servlet's *instance state object* on the simulated heap (the
+  object whose one-level deep size the paper's object-size monitoring agent
+  tracks for this component);
+* provide transient page-buffer allocation so every request creates heap
+  garbage (keeping the GC model honest);
+* host injected faults: the paper modified TPC-W servlets so that, every
+  visit, a random draw in ``[0, N]`` decides whether a leak of ``L`` bytes is
+  injected — :mod:`repro.faults` attaches such faults to servlet instances
+  and the base class runs them at the end of ``service``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.container.servlet import (
+    HttpServlet,
+    HttpServletRequest,
+    HttpServletResponse,
+    ServletConfig,
+    ServletException,
+)
+from repro.db.jdbc import Connection, DataSource
+from repro.jvm.objects import JavaObject
+from repro.jvm.runtime import JvmRuntime
+from repro.sim.random import RandomStreams
+
+#: Context attribute names under which the deployment publishes shared services.
+RUNTIME_ATTRIBUTE = "jvm.runtime"
+DATASOURCE_ATTRIBUTE = "jdbc.datasource"
+STREAMS_ATTRIBUTE = "random.streams"
+CLOCK_ATTRIBUTE = "sim.clock"
+
+
+class TpcwServlet(HttpServlet):
+    """Common machinery for all TPC-W interaction servlets."""
+
+    #: Overridden by subclasses: Java-style FQCN used by pointcut matching.
+    java_class_name = "org.tpcw.servlet.TPCW_servlet"
+    #: Overridden by subclasses: logical component / interaction name.
+    component_name = "tpcw_servlet"
+    #: Mean CPU seconds one execution of this interaction costs.
+    base_cpu_demand_seconds = 0.10
+    #: Simulated bytes of transient page data allocated per request.
+    transient_bytes_per_request = 48 * 1024
+    #: Shallow size of the servlet's long-lived instance state object.
+    instance_state_bytes = 2 * 1024
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._runtime: Optional[JvmRuntime] = None
+        self._datasource: Optional[DataSource] = None
+        self._streams: Optional[RandomStreams] = None
+        self._clock = None
+        self._instance_root: Optional[JavaObject] = None
+        self._injected_faults: List[Any] = []
+        self._request_count = 0
+        self._error_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def init(self, config: ServletConfig) -> None:
+        super().init(config)
+        context = config.context
+        self._runtime = context.get_attribute(RUNTIME_ATTRIBUTE)
+        self._datasource = context.get_attribute(DATASOURCE_ATTRIBUTE)
+        self._streams = context.get_attribute(STREAMS_ATTRIBUTE)
+        self._clock = context.get_attribute(CLOCK_ATTRIBUTE)
+        if self._runtime is None or self._datasource is None:
+            raise ServletException(
+                f"{type(self).__name__} requires {RUNTIME_ATTRIBUTE!r} and "
+                f"{DATASOURCE_ATTRIBUTE!r} context attributes"
+            )
+        # Long-lived per-component state (caches, counters, static fields).
+        self._instance_root = self._runtime.allocate(
+            self.java_class_name,
+            shallow_size=self.instance_state_bytes,
+            owner=self.component_name,
+            timestamp=self._now(),
+            root=True,
+        )
+
+    def destroy(self) -> None:
+        if (
+            self._instance_root is not None
+            and self._runtime is not None
+            and self._runtime.heap.is_live(self._instance_root)
+        ):
+            self._runtime.heap.remove_root(self._instance_root)
+            self._instance_root.clear_references()
+        super().destroy()
+
+    # ------------------------------------------------------------------ #
+    # Shared services
+    # ------------------------------------------------------------------ #
+    @property
+    def runtime(self) -> JvmRuntime:
+        """The simulated JVM runtime."""
+        if self._runtime is None:
+            raise ServletException(f"{type(self).__name__} is not initialised")
+        return self._runtime
+
+    @property
+    def datasource(self) -> DataSource:
+        """The JDBC data source."""
+        if self._datasource is None:
+            raise ServletException(f"{type(self).__name__} is not initialised")
+        return self._datasource
+
+    @property
+    def instance_root(self) -> JavaObject:
+        """The servlet's long-lived heap object (monitored by the sizing agent)."""
+        if self._instance_root is None:
+            raise ServletException(f"{type(self).__name__} is not initialised")
+        return self._instance_root
+
+    @property
+    def request_count(self) -> int:
+        """Requests served so far by this component."""
+        return self._request_count
+
+    @property
+    def error_count(self) -> int:
+        """Requests that raised an exception inside this component."""
+        return self._error_count
+
+    def _now(self) -> float:
+        return float(getattr(self._clock, "now", 0.0)) if self._clock is not None else 0.0
+
+    def get_connection(self) -> Connection:
+        """Borrow a pooled JDBC connection."""
+        return self.datasource.get_connection()
+
+    def random_stream(self, suffix: str):
+        """A component-scoped random generator (deterministic per seed)."""
+        if self._streams is None:
+            raise ServletException(f"{type(self).__name__} has no random streams configured")
+        return self._streams.stream(f"servlet.{self.component_name}.{suffix}")
+
+    # ------------------------------------------------------------------ #
+    # Memory helpers
+    # ------------------------------------------------------------------ #
+    def allocate_transient(self, class_name: str, size_bytes: int) -> JavaObject:
+        """Allocate request-scoped data (immediately collectable garbage)."""
+        return self.runtime.allocate(
+            class_name, shallow_size=size_bytes, owner=None, timestamp=self._now()
+        )
+
+    def retain_in_component_state(self, obj: JavaObject) -> None:
+        """Make the servlet's instance state reference ``obj`` (it leaks until removed)."""
+        self.instance_root.add_reference(obj)
+
+    # ------------------------------------------------------------------ #
+    # Fault hosting
+    # ------------------------------------------------------------------ #
+    def attach_fault(self, fault: Any) -> None:
+        """Attach an injected fault (see :mod:`repro.faults`)."""
+        self._injected_faults.append(fault)
+
+    def detach_fault(self, fault: Any) -> None:
+        """Remove a previously attached fault."""
+        self._injected_faults.remove(fault)
+
+    @property
+    def injected_faults(self) -> List[Any]:
+        """Currently attached faults."""
+        return list(self._injected_faults)
+
+    # ------------------------------------------------------------------ #
+    # Request handling
+    # ------------------------------------------------------------------ #
+    def service(self, request: HttpServletRequest, response: HttpServletResponse) -> None:
+        """Count the visit, run the interaction, then run injected faults."""
+        self._request_count += 1
+        try:
+            super().service(request, response)
+        except Exception:
+            self._error_count += 1
+            raise
+        finally:
+            # The paper's modified TPC-W injects its aging error on every
+            # servlet visit, independent of whether the page rendered fine.
+            for fault in list(self._injected_faults):
+                fault.on_request(self, request)
+        # Simulated page buffer for the rendered markup.
+        self.allocate_transient(
+            "java.lang.StringBuilder", self.transient_bytes_per_request
+        )
+
+    # ------------------------------------------------------------------ #
+    # Rendering helper
+    # ------------------------------------------------------------------ #
+    def render(self, response: HttpServletResponse, title: str, model: Dict[str, Any]) -> None:
+        """Produce a small HTML body and attach the model data."""
+        response.model.update(model)
+        response.write(f"<html><head><title>{title}</title></head><body>")
+        for key, value in model.items():
+            if isinstance(value, list):
+                response.write(f"<h2>{key} ({len(value)})</h2>")
+            else:
+                response.write(f"<p>{key}: {value}</p>")
+        response.write("</body></html>")

@@ -1,0 +1,51 @@
+"""TPC-W *New Products* interaction.
+
+Lists the most recently published books of a subject (item ⋈ author, ordered
+by publication date).
+"""
+
+from __future__ import annotations
+
+from repro.container.servlet import HttpServletRequest, HttpServletResponse
+from repro.tpcw.schema import SUBJECTS
+from repro.tpcw.servlets.base import TpcwServlet
+
+#: Page size of the new-products listing (TPC-W shows 50).
+PAGE_SIZE = 50
+
+
+class NewProductsServlet(TpcwServlet):
+    """``TPCW_new_products_servlet``"""
+
+    java_class_name = "org.tpcw.servlet.TPCW_new_products_servlet"
+    component_name = "new_products"
+    base_cpu_demand_seconds = 0.20
+    transient_bytes_per_request = 72 * 1024
+
+    def do_get(self, request: HttpServletRequest, response: HttpServletResponse) -> None:
+        subject = request.get_parameter("subject")
+        if subject not in SUBJECTS:
+            subject = SUBJECTS[int(self.random_stream("subject").integers(0, len(SUBJECTS)))]
+
+        connection = self.get_connection()
+        try:
+            result = connection.execute_query(
+                "SELECT i.i_id, i.i_title, i.i_pub_date, i.i_srp, a.a_fname, a.a_lname "
+                "FROM item i JOIN author a ON i.i_a_id = a.a_id "
+                "WHERE i_subject = ? ORDER BY i_pub_date DESC LIMIT {limit}".format(limit=PAGE_SIZE),
+                [subject],
+            )
+            books = []
+            while result.next():
+                books.append(
+                    {
+                        "id": result.get_int("i_id"),
+                        "title": result.get_string("i_title"),
+                        "srp": result.get_float("i_srp"),
+                        "author": f"{result.get_string('a_fname')} {result.get_string('a_lname')}",
+                    }
+                )
+        finally:
+            connection.close()
+
+        self.render(response, f"New Products: {subject}", {"subject": subject, "books": books})

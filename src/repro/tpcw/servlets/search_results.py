@@ -1,0 +1,80 @@
+"""TPC-W *Execute Search* (search results) interaction.
+
+Runs one of the three search types (author / title / subject) and lists the
+matching books.
+"""
+
+from __future__ import annotations
+
+from repro.container.servlet import HttpServletRequest, HttpServletResponse
+from repro.tpcw.schema import SUBJECTS
+from repro.tpcw.servlets.base import TpcwServlet
+from repro.tpcw.servlets.search_request import SEARCH_TYPES
+
+#: Maximum rows of the results page.
+PAGE_SIZE = 50
+
+
+class SearchResultsServlet(TpcwServlet):
+    """``TPCW_execute_search``"""
+
+    java_class_name = "org.tpcw.servlet.TPCW_execute_search"
+    component_name = "search_results"
+    base_cpu_demand_seconds = 0.22
+    transient_bytes_per_request = 64 * 1024
+
+    def do_get(self, request: HttpServletRequest, response: HttpServletResponse) -> None:
+        search_type = request.get_parameter("search_type")
+        if search_type not in SEARCH_TYPES:
+            search_type = SEARCH_TYPES[
+                int(self.random_stream("type").integers(0, len(SEARCH_TYPES)))
+            ]
+        search_string = request.get_parameter("search_string")
+
+        connection = self.get_connection()
+        try:
+            if search_type == "SUBJECT":
+                subject = search_string if search_string in SUBJECTS else SUBJECTS[
+                    int(self.random_stream("subject").integers(0, len(SUBJECTS)))
+                ]
+                result = connection.execute_query(
+                    "SELECT i_id, i_title, i_srp FROM item WHERE i_subject = ? "
+                    "ORDER BY i_title ASC LIMIT {limit}".format(limit=PAGE_SIZE),
+                    [subject],
+                )
+                used_term = subject
+            elif search_type == "AUTHOR":
+                last_name = search_string or "SMITH"
+                result = connection.execute_query(
+                    "SELECT i.i_id, i.i_title, i.i_srp FROM item i "
+                    "JOIN author a ON i.i_a_id = a.a_id WHERE a_lname = ? "
+                    "ORDER BY i_title ASC LIMIT {limit}".format(limit=PAGE_SIZE),
+                    [last_name],
+                )
+                used_term = last_name
+            else:  # TITLE
+                prefix = search_string or f"Book Title {int(self.random_stream('title').integers(1, 100))}"
+                result = connection.execute_query(
+                    "SELECT i_id, i_title, i_srp FROM item WHERE i_title LIKE ? "
+                    "ORDER BY i_title ASC LIMIT {limit}".format(limit=PAGE_SIZE),
+                    [f"{prefix}%"],
+                )
+                used_term = prefix
+
+            books = []
+            while result.next():
+                books.append(
+                    {
+                        "id": result.get_int("i_id"),
+                        "title": result.get_string("i_title"),
+                        "srp": result.get_float("i_srp"),
+                    }
+                )
+        finally:
+            connection.close()
+
+        self.render(
+            response,
+            "Search Results",
+            {"search_type": search_type, "term": used_term, "books": books},
+        )

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import FrameworkConfig, MonitoringFramework
+from repro.sim.engine import SimulationEngine
+from repro.sim.random import RandomStreams
+from repro.tpcw.application import TpcwDeployment, build_deployment
+from repro.tpcw.population import PopulationScale
+
+
+@pytest.fixture
+def engine() -> SimulationEngine:
+    """A fresh discrete-event engine."""
+    return SimulationEngine()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """Deterministic random streams."""
+    return RandomStreams(seed=1234)
+
+
+@pytest.fixture
+def tiny_deployment(engine: SimulationEngine) -> TpcwDeployment:
+    """A TPC-W deployment at the smallest population scale, sharing the engine clock."""
+    return build_deployment(scale=PopulationScale.tiny(), seed=7, clock=engine.clock)
+
+
+@pytest.fixture
+def monitored_deployment(engine: SimulationEngine, tiny_deployment: TpcwDeployment):
+    """A tiny deployment with the monitoring framework installed.
+
+    Yields ``(deployment, framework)``.
+    """
+    framework = MonitoringFramework(
+        tiny_deployment,
+        engine=engine,
+        config=FrameworkConfig(sample_cost_seconds=1e-3, snapshot_interval=30.0),
+    )
+    framework.install()
+    yield tiny_deployment, framework
+    framework.uninstall()

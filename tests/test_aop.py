@@ -1,0 +1,282 @@
+"""Tests for the AOP substrate: pointcuts, aspects, weaver, registry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aop.aspect import Aspect, after, after_returning, after_throwing, around, before
+from repro.aop.joinpoint import Signature, declaring_type_of
+from repro.aop.pointcut import PointcutSyntaxError, parse_pointcut
+from repro.aop.registry import AspectRegistry
+from repro.aop.weaver import Weaver, WeavingError
+
+
+class _Servlet:
+    """A stand-in application component with a Java-style class name."""
+
+    java_class_name = "org.tpcw.servlet.TPCW_home_interaction"
+    component_name = "home"
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def service(self, value):
+        self.calls += 1
+        if value == "boom":
+            raise RuntimeError("servlet failure")
+        return value * 2
+
+    def helper(self):
+        return "helper"
+
+
+class _RecordingAspect(Aspect):
+    """Aspect recording the advice sequence for assertions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events = []
+
+    @before("execution(org.tpcw..*.service)")
+    def record_before(self, join_point):
+        self.events.append(("before", join_point.component))
+
+    @after("execution(org.tpcw..*.service)")
+    def record_after(self, join_point):
+        self.events.append(("after", join_point.exception is not None))
+
+    @after_returning("execution(org.tpcw..*.service)")
+    def record_returning(self, join_point):
+        self.events.append(("after_returning", join_point.result))
+
+    @after_throwing("execution(org.tpcw..*.service)")
+    def record_throwing(self, join_point):
+        self.events.append(("after_throwing", type(join_point.exception).__name__))
+
+    @around("execution(org.tpcw..*.service)")
+    def record_around(self, join_point, proceed):
+        self.events.append(("around-enter", None))
+        try:
+            return proceed()
+        finally:
+            self.events.append(("around-exit", None))
+
+
+class TestPointcutLanguage:
+    def test_execution_with_wildcards(self):
+        pointcut = parse_pointcut("execution(org.tpcw.servlet.*.do*)")
+        assert pointcut.matches_signature("org.tpcw.servlet.TPCW_home", "doGet")
+        assert not pointcut.matches_signature("org.tpcw.servlet.TPCW_home", "service")
+        assert not pointcut.matches_signature("org.other.TPCW_home", "doGet")
+
+    def test_dotdot_crosses_packages(self):
+        pointcut = parse_pointcut("execution(org.tpcw..*.service)")
+        assert pointcut.matches_signature("org.tpcw.servlet.deep.Nested", "service")
+        assert not pointcut.matches_signature("com.example.Foo", "service")
+
+    def test_aspectj_style_return_type_and_args_tolerated(self):
+        pointcut = parse_pointcut("execution(* org.tpcw..*.service(..))")
+        assert pointcut.matches_signature("org.tpcw.servlet.TPCW_home", "service")
+
+    def test_boolean_combinators_and_parentheses(self):
+        pointcut = parse_pointcut(
+            "(execution(a.b.*.x) || execution(a.c.*.y)) && !within(a.b.Bad)"
+        )
+        assert pointcut.matches_signature("a.b.Good", "x")
+        assert not pointcut.matches_signature("a.b.Bad", "x")
+        assert pointcut.matches_signature("a.c.Z", "y")
+        assert not pointcut.matches_signature("a.c.Z", "x")
+
+    def test_within_matches_any_method(self):
+        pointcut = parse_pointcut("within(org.tpcw.servlet.*)")
+        assert pointcut.matches_signature("org.tpcw.servlet.Foo", "anything")
+
+    def test_operator_composition(self):
+        a = parse_pointcut("execution(x.A.m)")
+        b = parse_pointcut("execution(x.B.m)")
+        assert (a | b).matches_signature("x.B", "m")
+        assert not (a & b).matches_signature("x.B", "m")
+        assert (~a).matches_signature("x.B", "m")
+
+    def test_syntax_errors(self):
+        for bad in ["", "execution()", "execution(nomethod)", "foo(a.b.c)",
+                    "execution(a.b.c.m) &&", "execution(a.b!c.m)"]:
+            with pytest.raises(PointcutSyntaxError):
+                parse_pointcut(bad)
+
+    def test_declaring_type_prefers_java_class_name(self):
+        assert declaring_type_of(_Servlet()) == "org.tpcw.servlet.TPCW_home_interaction"
+
+        class Plain:
+            pass
+
+        assert declaring_type_of(Plain()).endswith("Plain")
+
+    def test_signature_full_name(self):
+        assert Signature("a.B", "m").full_name == "a.B.m"
+
+
+class TestWeaver:
+    def test_advice_order_and_results(self):
+        aspect = _RecordingAspect()
+        weaver = Weaver()
+        weaver.register_aspect(aspect)
+        servlet = _Servlet()
+        woven = weaver.weave_object(servlet)
+        assert woven == ["service"]
+        assert weaver.is_woven(servlet, "service")
+
+        result = servlet.service(21)
+        assert result == 42
+        assert aspect.events == [
+            ("around-enter", None),
+            ("before", "home"),
+            ("after_returning", 42),
+            ("after", False),
+            ("around-exit", None),
+        ]
+
+    def test_exception_path_runs_throwing_and_after(self):
+        aspect = _RecordingAspect()
+        weaver = Weaver()
+        weaver.register_aspect(aspect)
+        servlet = _Servlet()
+        weaver.weave_object(servlet)
+        with pytest.raises(RuntimeError):
+            servlet.service("boom")
+        kinds = [event[0] for event in aspect.events]
+        assert kinds == ["around-enter", "before", "after_throwing", "after", "around-exit"]
+
+    def test_unwoven_method_untouched(self):
+        weaver = Weaver()
+        weaver.register_aspect(_RecordingAspect())
+        servlet = _Servlet()
+        weaver.weave_object(servlet)
+        assert servlet.helper() == "helper"
+        assert not weaver.is_woven(servlet, "helper")
+
+    def test_disabled_aspect_is_passthrough(self):
+        aspect = _RecordingAspect()
+        weaver = Weaver()
+        weaver.register_aspect(aspect)
+        servlet = _Servlet()
+        weaver.weave_object(servlet)
+        aspect.disable()
+        assert servlet.service(2) == 4
+        assert aspect.events == []
+        aspect.enable()
+        servlet.service(2)
+        assert aspect.events != []
+
+    def test_unweave_restores_original(self):
+        weaver = Weaver()
+        weaver.register_aspect(_RecordingAspect())
+        servlet = _Servlet()
+        weaver.weave_object(servlet)
+        assert weaver.unweave_object(servlet) == ["service"]
+        assert weaver.woven_count == 0
+        assert servlet.service(3) == 6  # plain call, no advice errors
+
+    def test_double_weave_rejected(self):
+        weaver = Weaver()
+        weaver.register_aspect(_RecordingAspect())
+        servlet = _Servlet()
+        weaver.weave_object(servlet)
+        with pytest.raises(WeavingError):
+            weaver.weave_object(servlet)
+
+    def test_join_point_timestamp_from_clock(self):
+        class FakeClock:
+            now = 123.5
+
+        captured = []
+
+        class TimestampAspect(Aspect):
+            @before("execution(org.tpcw..*.service)")
+            def capture(self, join_point):
+                captured.append(join_point.timestamp)
+
+        weaver = Weaver(clock=FakeClock())
+        weaver.register_aspect(TimestampAspect())
+        servlet = _Servlet()
+        weaver.weave_object(servlet)
+        servlet.service(1)
+        assert captured == [123.5]
+
+    def test_register_duplicate_aspect_rejected(self):
+        weaver = Weaver()
+        aspect = _RecordingAspect()
+        weaver.register_aspect(aspect)
+        with pytest.raises(WeavingError):
+            weaver.register_aspect(aspect)
+        weaver.unregister_aspect(aspect)
+        with pytest.raises(WeavingError):
+            weaver.unregister_aspect(aspect)
+
+    def test_woven_signatures_listing(self):
+        weaver = Weaver()
+        weaver.register_aspect(_RecordingAspect())
+        servlet = _Servlet()
+        weaver.weave_object(servlet)
+        assert weaver.woven_signatures() == [
+            "org.tpcw.servlet.TPCW_home_interaction.service"
+        ]
+
+
+class TestAspectRegistry:
+    def test_add_get_remove(self):
+        registry = AspectRegistry()
+        aspect = _RecordingAspect()
+        name = registry.add(aspect)
+        assert name in registry
+        assert registry.get(name) is aspect
+        registry.remove(name)
+        assert len(registry) == 0
+        with pytest.raises(KeyError):
+            registry.get(name)
+
+    def test_duplicate_name_rejected(self):
+        registry = AspectRegistry()
+        registry.add(_RecordingAspect(), name="x")
+        with pytest.raises(KeyError):
+            registry.add(_RecordingAspect(), name="x")
+
+    def test_bulk_enable_disable(self):
+        registry = AspectRegistry()
+        aspects = [_RecordingAspect() for _ in range(3)]
+        for index, aspect in enumerate(aspects):
+            registry.add(aspect, name=f"a{index}")
+        registry.disable_all()
+        assert registry.enabled_names() == []
+        registry.enable("a1")
+        assert registry.enabled_names() == ["a1"]
+        registry.enable_all()
+        assert registry.status() == {"a0": True, "a1": True, "a2": True}
+
+
+# --------------------------------------------------------------------------- #
+# Property-based tests
+# --------------------------------------------------------------------------- #
+_segment = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(package=st.lists(_segment, min_size=1, max_size=4), method=_segment)
+def test_property_exact_execution_pointcut_matches_only_itself(package, method):
+    """A pointcut with no wildcards matches exactly its own signature."""
+    declaring_type = ".".join(package + ["Klass"])
+    pointcut = parse_pointcut(f"execution({declaring_type}.{method})")
+    assert pointcut.matches_signature(declaring_type, method)
+    assert not pointcut.matches_signature(declaring_type + "x", method)
+    assert not pointcut.matches_signature(declaring_type, method + "x")
+
+
+@settings(max_examples=60, deadline=None)
+@given(package=st.lists(_segment, min_size=1, max_size=4), method=_segment)
+def test_property_star_method_pattern_matches_any_method(package, method):
+    """``Type.*`` matches every method of that type."""
+    declaring_type = ".".join(package + ["Klass"])
+    pointcut = parse_pointcut(f"execution({declaring_type}.*)")
+    assert pointcut.matches_signature(declaring_type, method)

@@ -1,0 +1,132 @@
+"""Tests for the baseline monitors and rejuvenation policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.blackbox import BlackBoxMonitor
+from repro.baselines.pinpoint import PinpointAnalyzer
+from repro.baselines.rejuvenation import (
+    ProactiveRejuvenationPolicy,
+    TimeBasedRejuvenationPolicy,
+)
+from repro.db.engine import Database
+from repro.db.jdbc import DataSource
+from repro.db.table import Column, ColumnType
+from repro.jvm.runtime import JvmRuntime
+from repro.sim.metrics import TimeSeries
+
+
+class TestBlackBoxMonitor:
+    def _datasource(self):
+        database = Database("x")
+        database.create_table("t", [Column("id", ColumnType.INTEGER, primary_key=True)])
+        return DataSource(database, pool_size=4)
+
+    def test_detects_heap_trend_but_names_no_component(self):
+        runtime = JvmRuntime(heap_bytes=100 * 1024 * 1024)
+        monitor = BlackBoxMonitor(runtime, self._datasource())
+        # Steadily leak rooted memory and sample.
+        for step in range(20):
+            runtime.allocate("Leak", 1024 * 1024, owner="whoever", root=True)
+            monitor.sample(timestamp=float(step * 60))
+        report = monitor.analyze()
+        assert report.aging_detected
+        assert "heap_used" in report.trending_metrics
+        assert report.root_cause_component is None
+        assert report.time_to_exhaustion_seconds is not None
+        assert report.time_to_exhaustion_seconds > 0
+
+    def test_no_trend_no_alarm(self):
+        runtime = JvmRuntime()
+        monitor = BlackBoxMonitor(runtime)
+        for step in range(10):
+            monitor.sample(timestamp=float(step))
+        report = monitor.analyze()
+        assert not report.aging_detected
+        assert report.time_to_exhaustion_seconds is None
+
+    def test_unknown_metric_rejected(self):
+        monitor = BlackBoxMonitor(JvmRuntime())
+        with pytest.raises(KeyError):
+            monitor.trend_of("nope")
+
+    def test_thread_trend_detection(self):
+        runtime = JvmRuntime()
+        monitor = BlackBoxMonitor(runtime)
+        for step in range(15):
+            runtime.threads.spawn(f"leak-{step}", owner="c")
+            monitor.sample(timestamp=float(step * 30))
+        report = monitor.analyze()
+        assert "threads" in report.trending_metrics
+
+
+class TestPinpointAnalyzer:
+    def test_blind_to_failure_free_aging(self):
+        analyzer = PinpointAnalyzer()
+        for _ in range(100):
+            analyzer.record_request(["home"], failed=False)
+            analyzer.record_request(["product_detail"], failed=False)
+        report = analyzer.analyze()
+        assert report.failed_requests == 0
+        assert report.top() is None
+
+    def test_correlates_failures_with_component(self):
+        analyzer = PinpointAnalyzer()
+        for index in range(200):
+            analyzer.record_request(["home"], failed=False)
+            analyzer.record_request(["buy_confirm"], failed=index % 2 == 0)
+        report = analyzer.analyze()
+        assert report.top() == "buy_confirm"
+        assert report.scores["buy_confirm"] > report.scores["home"]
+
+    def test_coupled_components_get_equal_blame(self):
+        analyzer = PinpointAnalyzer()
+        for index in range(100):
+            analyzer.record_request(["cart", "checkout"], failed=index % 4 == 0)
+        report = analyzer.analyze()
+        # The limitation the paper calls out: components always used together
+        # are indistinguishable to a failure-correlation ranker.
+        assert report.scores["cart"] == pytest.approx(report.scores["checkout"])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            PinpointAnalyzer().record_request([], failed=True)
+
+
+class TestRejuvenationPolicies:
+    def _leaking_heap_series(self, slope_bytes_per_second: float, duration: float) -> TimeSeries:
+        series = TimeSeries("heap")
+        t = 0.0
+        while t <= duration:
+            series.record(t, 100e6 + slope_bytes_per_second * t)
+            t += 60.0
+        return series
+
+    def test_time_based_policy_counts_periodic_restarts(self):
+        policy = TimeBasedRejuvenationPolicy(interval=3600.0, restart_downtime=120.0)
+        series = self._leaking_heap_series(10_000.0, 4 * 3600.0)
+        outcome = policy.evaluate(series, window_seconds=4 * 3600.0, heap_capacity=1e9)
+        assert outcome.actions == 4
+        assert outcome.downtime_seconds == 480.0
+
+    def test_proactive_policy_cheaper_when_leak_is_slow(self):
+        slow_leak = self._leaking_heap_series(1_000.0, 4 * 3600.0)
+        time_based = TimeBasedRejuvenationPolicy(interval=3600.0).evaluate(
+            slow_leak, 4 * 3600.0, heap_capacity=1e9
+        )
+        proactive = ProactiveRejuvenationPolicy().evaluate(slow_leak, 4 * 3600.0, heap_capacity=1e9)
+        assert proactive.downtime_seconds < time_based.downtime_seconds
+
+    def test_proactive_policy_reacts_to_imminent_exhaustion(self):
+        fast_leak = self._leaking_heap_series(400_000.0, 1800.0)
+        outcome = ProactiveRejuvenationPolicy(horizon=3600.0).evaluate(
+            fast_leak, 1800.0, heap_capacity=0.9e9
+        )
+        assert outcome.actions >= 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TimeBasedRejuvenationPolicy(interval=0)
+        with pytest.raises(ValueError):
+            ProactiveRejuvenationPolicy(horizon=0)

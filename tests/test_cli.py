@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCliParser:
+    def test_requires_a_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.seed == 42
+        assert args.duration_scale == pytest.approx(0.1)
+        assert args.ebs == 100
+        assert not args.tiny
+
+    def test_quickstart_options(self):
+        args = build_parser().parse_args(
+            ["quickstart", "--component", "best_sellers", "--leak-kb", "50", "--tiny"]
+        )
+        assert args.component == "best_sellers"
+        assert args.leak_kb == 50
+        assert args.tiny
+
+
+class TestCliCommands:
+    def test_environment_command(self, capsys):
+        assert main(["environment"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Tomcat 5.5.26" in out
+
+    def test_quickstart_command_small_run(self, capsys):
+        exit_code = main(
+            [
+                "quickstart",
+                "--tiny",
+                "--ebs", "10",
+                "--duration-scale", "0.03",
+                "--period-n", "5",
+                "--seed", "3",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Root cause ranking" in out
+        assert "home" in out
+
+    def test_fig4_command_small_run(self, capsys):
+        exit_code = main(
+            ["fig4", "--tiny", "--ebs", "20", "--duration-scale", "0.03", "--seed", "3"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "root-cause ranking" in out

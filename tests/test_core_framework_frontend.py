@@ -1,0 +1,149 @@
+"""Tests for the assembled monitoring framework and the External Front-end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import FrameworkConfig, MonitoringFramework
+from repro.core.manager_agent import MANAGER_OBJECT_NAME
+from repro.faults.memory_leak import KB, MemoryLeakFault
+from repro.tpcw.application import TpcwApplication
+from repro.tpcw.workload import WorkloadGenerator, WorkloadPhase
+
+
+class TestMonitoringFramework:
+    def test_install_registers_everything(self, monitored_deployment):
+        deployment, framework = monitored_deployment
+        assert framework.is_installed
+        # One AC proxy per component plus agents plus the manager.
+        names = [str(name) for name in framework.mbean_server.query_names()]
+        assert str(MANAGER_OBJECT_NAME) in names
+        assert sum(1 for name in names if "AspectComponent" in name) == 14
+        assert any("type=object-size" in name for name in names)
+        assert any("type=heap" in name for name in names)
+        # Every servlet's service method is woven.
+        assert framework.weaver.woven_count == 14
+
+    def test_double_install_rejected(self, monitored_deployment):
+        _, framework = monitored_deployment
+        with pytest.raises(RuntimeError):
+            framework.install()
+
+    def test_requests_generate_samples_and_overhead(self, monitored_deployment):
+        deployment, framework = monitored_deployment
+        app = TpcwApplication(deployment)
+        outcome = app.visit("home")
+        assert outcome.monitoring_overhead_seconds > 0
+        assert framework.manager.map.sample_count == 1
+        assert framework.aspect_components["home"].invocation_count == 1
+
+    def test_disable_component_stops_its_overhead(self, monitored_deployment):
+        deployment, framework = monitored_deployment
+        app = TpcwApplication(deployment)
+        framework.disable_component("home")
+        outcome = app.visit("home")
+        assert outcome.monitoring_overhead_seconds == 0.0
+        assert framework.aspect_components["home"].invocation_count == 0
+        framework.enable_component("home")
+        assert app.visit("home").monitoring_overhead_seconds > 0
+
+    def test_disable_all_and_enable_all(self, monitored_deployment):
+        deployment, framework = monitored_deployment
+        framework.disable_all()
+        assert all(not ac.enabled for ac in framework.aspect_components.values())
+        framework.enable_all()
+        assert all(ac.enabled for ac in framework.aspect_components.values())
+
+    def test_uninstall_restores_servlets(self, engine, tiny_deployment):
+        framework = MonitoringFramework(tiny_deployment, engine=engine)
+        framework.install()
+        framework.uninstall()
+        assert not framework.is_installed
+        app = TpcwApplication(tiny_deployment)
+        outcome = app.visit("home")
+        assert outcome.monitoring_overhead_seconds == 0.0
+        # uninstall is idempotent
+        framework.uninstall()
+
+    def test_snapshot_records_component_series(self, monitored_deployment):
+        deployment, framework = monitored_deployment
+        sizes = framework.snapshot(timestamp=1.0)
+        assert set(sizes) == set(deployment.interaction_names())
+        assert len(framework.component_series("home")) == 1
+
+    def test_schedule_snapshots_requires_engine(self, tiny_deployment):
+        framework = MonitoringFramework(tiny_deployment)
+        framework.install()
+        with pytest.raises(RuntimeError):
+            framework.schedule_snapshots(duration=100.0)
+        framework.uninstall()
+
+    def test_extended_agents_installed_on_request(self, engine, tiny_deployment):
+        framework = MonitoringFramework(
+            tiny_deployment,
+            engine=engine,
+            config=FrameworkConfig(monitor_cpu=True, monitor_threads=True, monitor_connections=True),
+        )
+        framework.install()
+        agent_types = {agent.agent_type for agent in framework.agents}
+        assert {"cpu", "threads", "connections"} <= agent_types
+        framework.uninstall()
+
+    def test_leak_detection_end_to_end_with_workload(self, engine, monitored_deployment):
+        deployment, framework = monitored_deployment
+        deployment.servlet("home").attach_fault(
+            MemoryLeakFault(leak_bytes=100 * KB, period_n=5, streams=deployment.streams)
+        )
+        generator = WorkloadGenerator(engine, deployment)
+        generator.schedule_phases([WorkloadPhase(0.0, 15)])
+        framework.schedule_snapshots(duration=240.0, interval=30.0)
+        generator.run(240.0)
+
+        report = framework.root_cause()
+        assert report.top().component == "home"
+        assert report.top().responsibility > 0.9
+        growth = framework.manager.map.consumption("home")
+        assert growth > 500 * KB
+        # The map rows place home in the most suspicious quadrant.
+        rows = {row["component"]: row for row in framework.resource_map_rows()}
+        assert "most suspicious" in rows["home"]["quadrant"]
+
+
+class TestFrontEnd:
+    def test_status_and_reports(self, monitored_deployment):
+        deployment, framework = monitored_deployment
+        frontend = framework.frontend
+        assert frontend is not None
+        app = TpcwApplication(deployment)
+        app.visit("home")
+        framework.snapshot(timestamp=10.0)
+
+        status = frontend.component_status()
+        assert status["home"] is True
+        assert len(frontend.list_agents()) >= 2
+
+        status_report = frontend.status_report()
+        assert "Monitoring framework status" in status_report
+        assert "home" in status_report
+
+        map_report = frontend.map_report()
+        assert "Resource-component map" in map_report
+        assert "quadrant" in map_report
+
+        cause_report = frontend.root_cause_report()
+        assert "Root cause ranking" in cause_report
+        assert "responsibility" in cause_report
+
+    def test_frontend_controls_components(self, monitored_deployment):
+        deployment, framework = monitored_deployment
+        frontend = framework.frontend
+        assert frontend.deactivate("home") is True
+        assert framework.aspect_components["home"].enabled is False
+        assert frontend.activate("home") is True
+        assert frontend.deactivate_all() == 14
+        assert frontend.activate_all() == 14
+
+    def test_frontend_snapshot_trigger(self, monitored_deployment):
+        deployment, framework = monitored_deployment
+        sizes = framework.frontend.take_snapshot(timestamp=5.0)
+        assert "home" in sizes

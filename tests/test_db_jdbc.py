@@ -1,0 +1,119 @@
+"""Tests for the JDBC-like access layer and connection pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.engine import Database
+from repro.db.jdbc import ConnectionPoolExhaustedError, DataSource, SQLError
+from repro.db.table import Column, ColumnType
+
+
+@pytest.fixture
+def datasource() -> DataSource:
+    database = Database("jdbc-test")
+    database.create_table(
+        "t",
+        [Column("id", ColumnType.INTEGER, primary_key=True), Column("name", ColumnType.VARCHAR)],
+    )
+    for index in range(5):
+        database.table("t").insert({"id": index, "name": f"row{index}"})
+    return DataSource(database, pool_size=2)
+
+
+class TestResultSetAndStatements:
+    def test_forward_only_cursor(self, datasource):
+        connection = datasource.get_connection()
+        result = connection.execute_query("SELECT id, name FROM t ORDER BY id ASC")
+        names = []
+        while result.next():
+            names.append(result.get_string("name"))
+        assert names == [f"row{i}" for i in range(5)]
+        assert result.next() is False
+        connection.close()
+
+    def test_get_before_next_raises(self, datasource):
+        connection = datasource.get_connection()
+        result = connection.execute_query("SELECT id FROM t")
+        with pytest.raises(SQLError):
+            result.get("id")
+        connection.close()
+
+    def test_typed_getters_handle_null(self, datasource):
+        connection = datasource.get_connection()
+        connection.execute_update("INSERT INTO t (id, name) VALUES (?, ?)", [99, None])
+        result = connection.execute_query("SELECT name FROM t WHERE id = 99")
+        assert result.next()
+        assert result.get_string("name") is None
+        assert result.get_int("name") == 0
+        connection.close()
+
+    def test_unknown_column_raises(self, datasource):
+        connection = datasource.get_connection()
+        result = connection.execute_query("SELECT id FROM t WHERE id = 1")
+        result.next()
+        with pytest.raises(SQLError):
+            result.get("missing")
+        connection.close()
+
+    def test_prepared_statement_parameter_binding(self, datasource):
+        connection = datasource.get_connection()
+        statement = connection.prepare_statement("SELECT name FROM t WHERE id = ?")
+        statement.set(1, 3)
+        result = statement.execute_query()
+        assert result.next() and result.get_string("name") == "row3"
+        with pytest.raises(SQLError):
+            statement.set(0, 1)
+        connection.close()
+
+    def test_prepared_statement_update(self, datasource):
+        connection = datasource.get_connection()
+        statement = connection.prepare_statement("UPDATE t SET name = ? WHERE id = ?")
+        statement.set(1, "renamed")
+        statement.set(2, 2)
+        assert statement.execute_update() == 1
+        connection.close()
+
+
+class TestConnectionPool:
+    def test_pool_bound_enforced(self, datasource):
+        first = datasource.get_connection()
+        second = datasource.get_connection()
+        assert datasource.active_connections == 2
+        with pytest.raises(ConnectionPoolExhaustedError):
+            datasource.get_connection()
+        assert datasource.exhaustion_events == 1
+        first.close()
+        third = datasource.get_connection()
+        assert third is not None
+        second.close()
+        third.close()
+        assert datasource.active_connections == 0
+
+    def test_closed_connection_rejects_queries(self, datasource):
+        connection = datasource.get_connection()
+        connection.close()
+        assert connection.is_closed
+        with pytest.raises(SQLError):
+            connection.execute_query("SELECT id FROM t")
+        # Closing twice is harmless.
+        connection.close()
+
+    def test_context_manager_returns_connection(self, datasource):
+        with datasource.get_connection() as connection:
+            connection.execute_query("SELECT id FROM t WHERE id = 1")
+        assert datasource.active_connections == 0
+
+    def test_cost_accumulation(self, datasource):
+        connection = datasource.get_connection()
+        before = datasource.total_cost_seconds
+        connection.execute_query("SELECT * FROM t")
+        connection.execute_query("SELECT * FROM t")
+        assert datasource.total_cost_seconds > before
+        assert connection.query_count == 2
+        assert connection.accumulated_cost_seconds > 0
+        connection.close()
+
+    def test_invalid_pool_size(self):
+        with pytest.raises(ValueError):
+            DataSource(Database("x"), pool_size=0)

@@ -1,0 +1,293 @@
+"""Tests for tables, the SQL parser and query execution."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.engine import Database, SqlExecutionError
+from repro.db.sql import (
+    Aggregate,
+    ColumnRef,
+    InsertStatement,
+    Literal,
+    Parameter,
+    SelectStatement,
+    SqlSyntaxError,
+    parse_sql,
+)
+from repro.db.table import Column, ColumnType, Table, UniqueViolationError
+
+
+def _people_table() -> Table:
+    return Table(
+        "people",
+        [
+            Column("id", ColumnType.INTEGER, primary_key=True),
+            Column("name", ColumnType.VARCHAR),
+            Column("age", ColumnType.INTEGER),
+            Column("city", ColumnType.VARCHAR),
+        ],
+    )
+
+
+class TestTable:
+    def test_insert_and_pk_lookup(self):
+        table = _people_table()
+        table.insert({"id": 1, "name": "Ann", "age": 31, "city": "BCN"})
+        assert table.get_by_pk(1)["name"] == "Ann"
+        assert table.get_by_pk(99) is None
+        assert len(table) == 1
+
+    def test_duplicate_pk_rejected(self):
+        table = _people_table()
+        table.insert({"id": 1, "name": "Ann", "age": 31, "city": "BCN"})
+        with pytest.raises(UniqueViolationError):
+            table.insert({"id": 1, "name": "Bob", "age": 20, "city": "MAD"})
+
+    def test_type_validation(self):
+        table = _people_table()
+        with pytest.raises(TypeError):
+            table.insert({"id": 1, "name": 42, "age": 31, "city": "BCN"})
+        with pytest.raises(KeyError):
+            table.insert({"id": 2, "name": "X", "age": 1, "city": "Y", "extra": 1})
+
+    def test_secondary_index_lookup_and_maintenance(self):
+        table = _people_table()
+        table.create_index("city")
+        for index in range(6):
+            table.insert({"id": index, "name": f"P{index}", "age": 20 + index,
+                          "city": "BCN" if index % 2 == 0 else "MAD"})
+        assert len(table.lookup_ids("city", "BCN")) == 3
+        # Update moves rows between buckets.
+        ids = table.lookup_ids("city", "MAD")
+        table.update_rows(ids, {"city": "BCN"})
+        assert len(table.lookup_ids("city", "BCN")) == 6
+        # Delete removes from the index.
+        table.delete_rows(table.lookup_ids("city", "BCN"))
+        assert len(table) == 0
+
+    def test_update_primary_key_rejected(self):
+        table = _people_table()
+        row_id = table.insert({"id": 1, "name": "A", "age": 1, "city": "X"})
+        with pytest.raises(ValueError):
+            table.update_rows([row_id], {"id": 2})
+
+    def test_duplicate_column_definition_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", [Column("a", ColumnType.INTEGER), Column("a", ColumnType.INTEGER)])
+
+
+class TestSqlParser:
+    def test_select_star(self):
+        statement = parse_sql("SELECT * FROM item")
+        assert isinstance(statement, SelectStatement)
+        assert statement.star and statement.table == "item"
+
+    def test_select_with_everything(self):
+        statement = parse_sql(
+            "SELECT i.i_id, SUM(ol.ol_qty) AS sold FROM order_line ol "
+            "JOIN item i ON ol.ol_i_id = i.i_id WHERE i_subject = ? AND ol_qty > 2 "
+            "GROUP BY i.i_id ORDER BY sold DESC LIMIT 10"
+        )
+        assert isinstance(statement, SelectStatement)
+        assert statement.alias == "ol"
+        assert len(statement.joins) == 1
+        assert statement.joins[0].alias == "i"
+        assert len(statement.where) == 2
+        assert isinstance(statement.where[0].rhs, Parameter)
+        assert isinstance(statement.where[1].rhs, Literal)
+        assert statement.group_by[0] == ColumnRef("i_id", "i")
+        assert statement.order_by[0].descending
+        assert statement.limit == 10
+        assert isinstance(statement.items[1].expression, Aggregate)
+
+    def test_parameters_are_positional(self):
+        statement = parse_sql("SELECT a FROM t WHERE b = ? AND c = ?")
+        assert [condition.rhs.index for condition in statement.where] == [0, 1]
+
+    def test_insert_update_delete(self):
+        insert = parse_sql("INSERT INTO t (a, b) VALUES (?, 'x')")
+        assert isinstance(insert, InsertStatement)
+        assert insert.columns == ["a", "b"]
+        update = parse_sql("UPDATE t SET a = 1, b = ? WHERE c = 3")
+        assert update.assignments[0] == ("a", Literal(1))
+        delete = parse_sql("DELETE FROM t WHERE a = 'gone'")
+        assert delete.table == "t"
+
+    def test_string_escaping(self):
+        statement = parse_sql("SELECT a FROM t WHERE b = 'O''Brien'")
+        assert statement.where[0].rhs == Literal("O'Brien")
+
+    def test_syntax_errors(self):
+        for bad in [
+            "",
+            "SELEC a FROM t",
+            "SELECT FROM t",
+            "SELECT a FROM t WHERE",
+            "INSERT INTO t (a) VALUES (1, 2)",
+            "SELECT a FROM t LIMIT x",
+            "SELECT a FROM t JOIN u ON a > b",
+        ]:
+            with pytest.raises(SqlSyntaxError):
+                parse_sql(bad)
+
+    def test_null_and_boolean_literals(self):
+        statement = parse_sql("SELECT a FROM t WHERE b = NULL AND c = TRUE")
+        assert statement.where[0].rhs == Literal(None)
+        assert statement.where[1].rhs == Literal(True)
+
+
+class TestDatabaseExecution:
+    @pytest.fixture
+    def database(self) -> Database:
+        database = Database("test")
+        database.create_table(
+            "item",
+            [
+                Column("i_id", ColumnType.INTEGER, primary_key=True),
+                Column("i_title", ColumnType.VARCHAR),
+                Column("i_subject", ColumnType.VARCHAR),
+                Column("i_cost", ColumnType.FLOAT),
+                Column("i_a_id", ColumnType.INTEGER),
+            ],
+        )
+        database.create_table(
+            "author",
+            [
+                Column("a_id", ColumnType.INTEGER, primary_key=True),
+                Column("a_lname", ColumnType.VARCHAR),
+            ],
+        )
+        database.table("item").create_index("i_subject")
+        for author_id, last_name in [(1, "SMITH"), (2, "JONES")]:
+            database.table("author").insert({"a_id": author_id, "a_lname": last_name})
+        for item_id in range(1, 11):
+            database.table("item").insert(
+                {
+                    "i_id": item_id,
+                    "i_title": f"Book {item_id:02d}",
+                    "i_subject": "ARTS" if item_id % 2 == 0 else "HISTORY",
+                    "i_cost": float(item_id),
+                    "i_a_id": 1 if item_id <= 5 else 2,
+                }
+            )
+        return database
+
+    def test_pk_lookup_uses_index(self, database):
+        result = database.execute("SELECT i_title FROM item WHERE i_id = ?", [3])
+        assert result.rows == [{"i_title": "Book 03"}]
+        assert result.rows_scanned == 1
+
+    def test_where_order_limit(self, database):
+        result = database.execute(
+            "SELECT i_id FROM item WHERE i_subject = 'ARTS' ORDER BY i_cost DESC LIMIT 3"
+        )
+        assert [row["i_id"] for row in result.rows] == [10, 8, 6]
+
+    def test_order_by_column_not_in_select(self, database):
+        result = database.execute("SELECT i_title FROM item ORDER BY i_cost DESC LIMIT 1")
+        assert result.rows == [{"i_title": "Book 10"}]
+
+    def test_join_with_aggregate_and_group_by(self, database):
+        result = database.execute(
+            "SELECT a.a_lname, COUNT(*) AS books, AVG(i.i_cost) AS avg_cost "
+            "FROM item i JOIN author a ON i.i_a_id = a.a_id "
+            "GROUP BY a.a_lname ORDER BY books DESC"
+        )
+        assert len(result.rows) == 2
+        smith = next(row for row in result.rows if row["a_lname"] == "SMITH")
+        assert smith["books"] == 5
+        assert smith["avg_cost"] == pytest.approx(3.0)
+
+    def test_like_operator(self, database):
+        result = database.execute("SELECT i_id FROM item WHERE i_title LIKE 'Book 0%'")
+        assert len(result.rows) == 9
+
+    def test_aggregate_over_empty_set(self, database):
+        result = database.execute("SELECT COUNT(*) AS n, MAX(i_cost) AS m FROM item WHERE i_id = 999")
+        assert result.rows == [{"n": 0, "m": None}]
+
+    def test_insert_update_delete_roundtrip(self, database):
+        database.execute(
+            "INSERT INTO item (i_id, i_title, i_subject, i_cost, i_a_id) VALUES (?, ?, ?, ?, ?)",
+            [99, "New Book", "ARTS", 5.0, 1],
+        )
+        assert database.execute("SELECT i_title FROM item WHERE i_id = 99").rows[0]["i_title"] == "New Book"
+        updated = database.execute("UPDATE item SET i_cost = ? WHERE i_id = ?", [9.5, 99]).rowcount
+        assert updated == 1
+        assert database.execute("SELECT i_cost FROM item WHERE i_id = 99").rows[0]["i_cost"] == 9.5
+        deleted = database.execute("DELETE FROM item WHERE i_id = 99").rowcount
+        assert deleted == 1
+        assert database.execute("SELECT COUNT(*) AS n FROM item").rows[0]["n"] == 10
+
+    def test_cost_model_and_stats(self, database):
+        before = database.stats.queries_executed
+        result = database.execute("SELECT * FROM item")
+        assert result.cost_seconds > 0
+        assert database.stats.queries_executed == before + 1
+        assert database.stats.by_statement_kind["SELECT"] >= 1
+        assert database.stats.rows_scanned >= 10
+
+    def test_unknown_table_and_column_errors(self, database):
+        with pytest.raises(SqlExecutionError):
+            database.execute("SELECT a FROM missing")
+        with pytest.raises(SqlExecutionError):
+            database.execute("SELECT missing_column FROM item")
+
+    def test_missing_parameters_error(self, database):
+        with pytest.raises(SqlExecutionError):
+            database.execute("SELECT i_id FROM item WHERE i_id = ?")
+
+    def test_drop_and_has_table(self, database):
+        assert database.has_table("item")
+        database.drop_table("author")
+        assert not database.has_table("author")
+        with pytest.raises(SqlExecutionError):
+            database.drop_table("author")
+
+
+# --------------------------------------------------------------------------- #
+# Property-based tests
+# --------------------------------------------------------------------------- #
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=100)),
+        min_size=1,
+        max_size=60,
+        unique_by=lambda pair: pair[0],
+    )
+)
+def test_property_where_filter_matches_python_filter(rows):
+    """WHERE age >= 50 returns exactly the rows a Python filter selects."""
+    database = Database("prop")
+    database.create_table(
+        "people",
+        [Column("id", ColumnType.INTEGER, primary_key=True), Column("age", ColumnType.INTEGER)],
+    )
+    for row_id, age in rows:
+        database.table("people").insert({"id": row_id, "age": age})
+    result = database.execute("SELECT id FROM people WHERE age >= 50")
+    expected = {row_id for row_id, age in rows if age >= 50}
+    assert {row["id"] for row in result.rows} == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=50))
+def test_property_sum_and_count_aggregates(values):
+    """SUM/COUNT/MIN/MAX agree with Python built-ins."""
+    database = Database("prop")
+    database.create_table(
+        "t", [Column("id", ColumnType.INTEGER, primary_key=True), Column("v", ColumnType.INTEGER)]
+    )
+    for index, value in enumerate(values):
+        database.table("t").insert({"id": index, "v": value})
+    row = database.execute(
+        "SELECT COUNT(*) AS n, SUM(v) AS s, MIN(v) AS lo, MAX(v) AS hi FROM t"
+    ).rows[0]
+    assert row["n"] == len(values)
+    assert row["s"] == sum(values)
+    assert row["lo"] == min(values)
+    assert row["hi"] == max(values)

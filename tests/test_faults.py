@@ -1,0 +1,157 @@
+"""Tests for the fault-injection framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.container.servlet import HttpServletRequest
+from repro.db.jdbc import ConnectionPoolExhaustedError
+from repro.faults.base import RandomCountdownTrigger
+from repro.faults.connection_leak import ConnectionLeakFault
+from repro.faults.cpu_hog import CpuHogFault
+from repro.faults.injector import FaultInjector, FaultSpec
+from repro.faults.memory_leak import KB, MemoryLeakFault
+from repro.faults.thread_leak import ThreadLeakFault
+from repro.sim.random import RandomStreams
+from repro.tpcw.application import TpcwApplication
+
+
+class TestRandomCountdownTrigger:
+    def test_fires_on_average_every_half_n(self):
+        streams = RandomStreams(3)
+        trigger = RandomCountdownTrigger(100, streams, "t")
+        fires = sum(1 for _ in range(20_000) if trigger.should_fire())
+        # countdown ~ U[0, 100] -> mean gap ~51 visits.
+        assert 250 <= fires <= 550
+
+    def test_period_zero_fires_every_time(self):
+        trigger = RandomCountdownTrigger(0, None, "t")
+        assert all(trigger.should_fire() for _ in range(5))
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(ValueError):
+            RandomCountdownTrigger(-1, None, "t")
+
+    def test_deterministic_fallback_without_streams(self):
+        trigger = RandomCountdownTrigger(10, None, "t")
+        fires = [trigger.should_fire() for _ in range(12)]
+        assert fires.count(True) == 2  # fires after 5 visits, then again after 5
+
+
+class TestMemoryLeakFault:
+    def test_leak_grows_component_state(self, tiny_deployment):
+        app = TpcwApplication(tiny_deployment)
+        servlet = tiny_deployment.servlet("home")
+        fault = MemoryLeakFault(leak_bytes=100 * KB, period_n=0, streams=tiny_deployment.streams)
+        servlet.attach_fault(fault)
+        before = servlet.instance_root.reference_count
+        for _ in range(5):
+            app.visit("home")
+        assert fault.trigger_count == 5
+        assert fault.leaked_bytes_total == 5 * 100 * KB
+        assert servlet.instance_root.reference_count == before + 5
+        # Leaked objects are owned by the component.
+        leaked = [ref for ref in servlet.instance_root.references if "LeakedBuffer" in ref.class_name]
+        assert all(ref.owner == "home" for ref in leaked)
+
+    def test_leak_objects_survive_gc(self, tiny_deployment):
+        app = TpcwApplication(tiny_deployment)
+        servlet = tiny_deployment.servlet("home")
+        servlet.attach_fault(MemoryLeakFault(leak_bytes=50 * KB, period_n=0))
+        for _ in range(3):
+            app.visit("home")
+        tiny_deployment.runtime.gc()
+        leaked = [ref for ref in servlet.instance_root.references if "LeakedBuffer" in ref.class_name]
+        assert len(leaked) == 3
+        assert all(tiny_deployment.runtime.heap.is_live(obj) for obj in leaked)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MemoryLeakFault(leak_bytes=0)
+
+    def test_inactive_fault_does_nothing(self, tiny_deployment):
+        app = TpcwApplication(tiny_deployment)
+        servlet = tiny_deployment.servlet("home")
+        fault = MemoryLeakFault(leak_bytes=10 * KB, period_n=0)
+        fault.active = False
+        servlet.attach_fault(fault)
+        app.visit("home")
+        assert fault.trigger_count == 0
+
+
+class TestOtherFaults:
+    def test_cpu_hog_increases_demand(self, tiny_deployment):
+        app = TpcwApplication(tiny_deployment)
+        servlet = tiny_deployment.servlet("home")
+        baseline = servlet.base_cpu_demand_seconds
+        servlet.attach_fault(CpuHogFault(increment_seconds=0.01, period_n=0))
+        for _ in range(4):
+            app.visit("home")
+        assert servlet.base_cpu_demand_seconds == pytest.approx(baseline + 0.04)
+        assert tiny_deployment.runtime.cpu_time("home") > 0
+
+    def test_cpu_hog_respects_cap(self, tiny_deployment):
+        app = TpcwApplication(tiny_deployment)
+        servlet = tiny_deployment.servlet("home")
+        servlet.attach_fault(CpuHogFault(increment_seconds=0.5, period_n=0, max_extra_seconds=1.0))
+        for _ in range(5):
+            app.visit("home")
+        assert servlet.base_cpu_demand_seconds <= 0.12 + 1.0 + 1e-9
+
+    def test_thread_leak_spawns_component_threads(self, tiny_deployment):
+        app = TpcwApplication(tiny_deployment)
+        servlet = tiny_deployment.servlet("order_display")
+        before = tiny_deployment.runtime.thread_count()
+        servlet.attach_fault(ThreadLeakFault(period_n=0))
+        for _ in range(3):
+            app.visit("order_display")
+        assert tiny_deployment.runtime.thread_count() == before + 3
+        assert tiny_deployment.runtime.threads.count_by_owner("order_display") == 3
+
+    def test_connection_leak_exhausts_pool(self, tiny_deployment):
+        app = TpcwApplication(tiny_deployment)
+        servlet = tiny_deployment.servlet("home")
+        fault = ConnectionLeakFault(period_n=0)
+        servlet.attach_fault(fault)
+        pool_size = tiny_deployment.datasource.pool_size
+        # Visit until the pool is exhausted; further visits fail with 500.
+        failures = 0
+        for _ in range(pool_size + 10):
+            outcome = app.visit("home")
+            if not outcome.ok:
+                failures += 1
+        assert fault.leaked_connections >= pool_size - 1
+        assert failures > 0
+        # Releasing (micro-reboot) restores service.
+        fault.release_all()
+        fault.active = False
+        assert app.visit("home").ok
+
+
+class TestFaultInjector:
+    def test_spec_builds_and_attaches(self, tiny_deployment):
+        injector = FaultInjector(tiny_deployment)
+        fault = injector.inject_spec(
+            FaultSpec(component="home", kind="memory-leak", params={"leak_bytes": 10 * KB, "period_n": 5})
+        )
+        assert isinstance(fault, MemoryLeakFault)
+        assert fault in tiny_deployment.servlet("home").injected_faults
+        assert injector.faults_for("home") == [fault]
+
+    def test_unknown_kind_rejected(self, tiny_deployment):
+        with pytest.raises(KeyError):
+            FaultInjector(tiny_deployment).inject_spec(FaultSpec(component="home", kind="nope"))
+
+    def test_plan_and_remove_all(self, tiny_deployment):
+        injector = FaultInjector(tiny_deployment)
+        injector.inject_plan(
+            [
+                FaultSpec("home", "memory-leak", {"leak_bytes": 10 * KB}),
+                FaultSpec("product_detail", "thread-leak", {}),
+            ]
+        )
+        assert len(injector.injected) == 2
+        assert len(injector.describe()) == 2
+        removed = injector.remove_all()
+        assert removed == 2
+        assert tiny_deployment.servlet("home").injected_faults == []

@@ -1,0 +1,147 @@
+"""End-to-end integration tests across every subsystem.
+
+These tests exercise the full pipeline — TPC-W deployment, AOP weaving, JMX
+agents/manager, fault injection, workload generation, root-cause analysis,
+baselines — the way the examples and benchmarks use it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.blackbox import BlackBoxMonitor
+from repro.baselines.pinpoint import PinpointAnalyzer
+from repro.core.framework import FrameworkConfig, MonitoringFramework
+from repro.core.rootcause import TrendStrategy
+from repro.faults.injector import FaultInjector, FaultSpec
+from repro.faults.memory_leak import KB
+from repro.sim.engine import SimulationEngine
+from repro.tpcw.application import build_deployment
+from repro.tpcw.population import PopulationScale
+from repro.tpcw.workload import WorkloadGenerator, WorkloadPhase
+
+
+def _run_monitored_leak_run(seed=3, duration=240.0, ebs=15, leak_component="home"):
+    engine = SimulationEngine()
+    deployment = build_deployment(scale=PopulationScale.tiny(), seed=seed, clock=engine.clock)
+    framework = MonitoringFramework(
+        deployment, engine=engine, config=FrameworkConfig(snapshot_interval=30.0)
+    )
+    framework.install()
+    injector = FaultInjector(deployment)
+    injector.inject_spec(
+        FaultSpec(leak_component, "memory-leak", {"leak_bytes": 100 * KB, "period_n": 5})
+    )
+    blackbox = BlackBoxMonitor(deployment.runtime, deployment.datasource)
+    for t in range(30, int(duration) + 1, 30):
+        engine.schedule_at(float(t), lambda when=float(t): blackbox.sample(when))
+    pinpoint = PinpointAnalyzer()
+    generator = WorkloadGenerator(engine, deployment)
+    generator.on_request = lambda interaction, outcome: pinpoint.record_request(
+        [interaction], failed=not outcome.ok
+    )
+    generator.schedule_phases([WorkloadPhase(0.0, ebs)])
+    framework.schedule_snapshots(duration=duration, interval=30.0)
+    generator.run(duration)
+    return deployment, framework, generator, blackbox, pinpoint
+
+
+class TestEndToEnd:
+    def test_framework_vs_baselines_on_a_memory_leak(self):
+        deployment, framework, generator, blackbox, pinpoint = _run_monitored_leak_run()
+
+        # The AOP/JMX framework names the leaking component.
+        report = framework.root_cause()
+        assert report.top().component == "home"
+        assert report.top().responsibility > 0.9
+
+        # The black-box monitor sees the heap trend but cannot attribute it.
+        blackbox_report = blackbox.analyze()
+        assert blackbox_report.aging_detected
+        assert blackbox_report.root_cause_component is None
+
+        # Pinpoint sees no failed requests, hence no suspect at all.
+        pinpoint_report = pinpoint.analyze()
+        assert pinpoint_report.failed_requests == 0
+        assert pinpoint_report.top() is None
+
+        # Workload health.
+        assert generator.error_count == 0
+        assert generator.completed_requests > 200
+
+    def test_trend_strategy_agrees_with_paper_strategy(self):
+        deployment, framework, *_ = _run_monitored_leak_run(seed=11)
+        paper_report = framework.root_cause()
+        trend_report = TrendStrategy(min_points=4).analyze(framework.manager.map)
+        assert trend_report.top().component == paper_report.top().component == "home"
+
+    def test_manager_notification_fires_during_run(self):
+        engine = SimulationEngine()
+        deployment = build_deployment(scale=PopulationScale.tiny(), seed=5, clock=engine.clock)
+        framework = MonitoringFramework(
+            deployment,
+            engine=engine,
+            config=FrameworkConfig(snapshot_interval=30.0, alert_growth_bytes=300 * KB),
+        )
+        framework.install()
+        alerts = []
+        framework.manager.add_notification_listener(lambda n, h: alerts.append(n))
+        FaultInjector(deployment).inject_spec(
+            FaultSpec("product_detail", "memory-leak", {"leak_bytes": 100 * KB, "period_n": 3})
+        )
+        generator = WorkloadGenerator(engine, deployment)
+        generator.schedule_phases([WorkloadPhase(0.0, 15)])
+        framework.schedule_snapshots(duration=200.0, interval=25.0)
+        generator.run(200.0)
+        assert len(alerts) == 1
+        assert alerts[0].attributes["component"] == "product_detail"
+
+    def test_runtime_deactivation_mid_run_reduces_overhead(self):
+        engine = SimulationEngine()
+        deployment = build_deployment(scale=PopulationScale.tiny(), seed=9, clock=engine.clock)
+        framework = MonitoringFramework(deployment, engine=engine)
+        framework.install()
+        generator = WorkloadGenerator(engine, deployment)
+        generator.schedule_phases([WorkloadPhase(0.0, 10)])
+        # Switch the whole framework off halfway through the run.
+        engine.schedule_at(100.0, framework.disable_all, priority=-10)
+        generator.run(200.0)
+        overhead_at_end = framework.overhead.total_seconds
+        by_component = framework.overhead.by_component()
+        assert overhead_at_end > 0
+        # After deactivation no further samples were charged: the totals match
+        # the invocation counts observed by the ACs (all before t=100).
+        total_invocations = sum(
+            ac.invocation_count for ac in framework.aspect_components.values()
+        )
+        assert framework.overhead.sample_count == 4 * total_invocations
+        assert set(by_component) <= set(deployment.interaction_names())
+
+    def test_multi_fault_kinds_coexist(self):
+        engine = SimulationEngine()
+        deployment = build_deployment(scale=PopulationScale.tiny(), seed=13, clock=engine.clock)
+        framework = MonitoringFramework(
+            deployment,
+            engine=engine,
+            config=FrameworkConfig(monitor_cpu=True, monitor_threads=True, monitor_connections=True),
+        )
+        framework.install()
+        injector = FaultInjector(deployment)
+        injector.inject_plan(
+            [
+                FaultSpec("home", "memory-leak", {"leak_bytes": 50 * KB, "period_n": 5}),
+                FaultSpec("product_detail", "thread-leak", {"period_n": 5}),
+                FaultSpec("search_results", "cpu-hog", {"increment_seconds": 0.005, "period_n": 5}),
+            ]
+        )
+        generator = WorkloadGenerator(engine, deployment)
+        generator.schedule_phases([WorkloadPhase(0.0, 12)])
+        framework.schedule_snapshots(duration=200.0, interval=50.0)
+        generator.run(200.0)
+
+        # Memory root cause still points at the memory leaker.
+        assert framework.root_cause("object_size").top().component == "home"
+        # The thread leak shows up in the runtime's thread accounting.
+        assert deployment.runtime.threads.count_by_owner("product_detail") > 0
+        # The CPU hog raised the component's demand.
+        assert deployment.servlet("search_results").base_cpu_demand_seconds > 0.22

@@ -1,0 +1,144 @@
+"""Tests for the virtual clock and the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.engine import SimulationEngine, StopSimulation
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(12.5).now == 12.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance_to_moves_forward(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_rejects_going_backwards(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+
+    def test_advance_by_accumulates(self):
+        clock = SimClock()
+        clock.advance_by(1.5)
+        clock.advance_by(2.5)
+        assert clock.now == 4.0
+
+    def test_advance_by_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance_by(-0.1)
+
+
+class TestSimulationEngine:
+    def test_events_run_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule_at(5.0, lambda: order.append("b"))
+        engine.schedule_at(1.0, lambda: order.append("a"))
+        engine.schedule_at(9.0, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_follows_events(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule_at(3.0, lambda: seen.append(engine.now))
+        engine.schedule_at(7.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [3.0, 7.0]
+
+    def test_ties_break_by_priority_then_insertion(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule_at(1.0, lambda: order.append("late"), priority=5)
+        engine.schedule_at(1.0, lambda: order.append("early"), priority=-5)
+        engine.schedule_at(1.0, lambda: order.append("mid1"))
+        engine.schedule_at(1.0, lambda: order.append("mid2"))
+        engine.run()
+        assert order == ["early", "mid1", "mid2", "late"]
+
+    def test_schedule_in_is_relative_to_now(self):
+        engine = SimulationEngine()
+        engine.schedule_at(10.0, lambda: engine.schedule_in(5.0, lambda: None, name="x"))
+        engine.run()
+        assert engine.now == 15.0
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine()
+        engine.clock.advance_to(10.0)
+        with pytest.raises(ValueError):
+            engine.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule_in(-1.0, lambda: None)
+
+    def test_run_until_leaves_future_events_pending(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(100.0, lambda: fired.append(2))
+        executed = engine.run_until(50.0)
+        assert executed == 1
+        assert fired == [1]
+        assert engine.pending_events == 1
+        assert engine.now == 50.0
+
+    def test_cancelled_events_do_not_fire(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule_at(1.0, lambda: fired.append(1))
+        event.cancel()
+        engine.run()
+        assert fired == []
+        assert engine.executed_events == 0
+
+    def test_stop_simulation_exception_halts_run(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def boom():
+            fired.append("boom")
+            raise StopSimulation()
+
+        engine.schedule_at(1.0, boom)
+        engine.schedule_at(2.0, lambda: fired.append("after"))
+        engine.run_until(10.0)
+        assert fired == ["boom"]
+
+    def test_events_scheduled_during_run_execute(self):
+        engine = SimulationEngine()
+        results = []
+
+        def first():
+            engine.schedule_in(1.0, lambda: results.append(engine.now))
+
+        engine.schedule_at(2.0, first)
+        engine.run_until(10.0)
+        assert results == [3.0]
+
+    def test_run_max_events_bound(self):
+        engine = SimulationEngine()
+        for index in range(10):
+            engine.schedule_at(float(index), lambda: None)
+        executed = engine.run(max_events=4)
+        assert executed == 4
+        assert engine.pending_events == 6
+
+    def test_trace_records_event_names(self):
+        engine = SimulationEngine(trace=True)
+        engine.schedule_at(1.0, lambda: None, name="alpha")
+        engine.schedule_at(2.0, lambda: None, name="beta")
+        engine.run()
+        assert engine.trace == ["alpha", "beta"]

@@ -1,0 +1,216 @@
+"""Tests for random streams, metric primitives and capacity resources."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import Counter, Gauge, MetricRegistry, TimeSeries, WindowedRate
+from repro.sim.random import RandomStreams
+from repro.sim.resources import CapacityResource, ResourceBusyError
+
+
+class TestRandomStreams:
+    def test_same_seed_same_draws(self):
+        a = RandomStreams(42)
+        b = RandomStreams(42)
+        assert [a.uniform("x") for _ in range(5)] == [b.uniform("x") for _ in range(5)]
+
+    def test_different_streams_are_independent(self):
+        streams = RandomStreams(42)
+        first = [streams.uniform("a") for _ in range(5)]
+        # Creating another stream must not perturb the first one.
+        fresh = RandomStreams(42)
+        fresh.uniform("b")
+        second = [fresh.uniform("a") for _ in range(5)]
+        assert first == second
+
+    def test_exponential_mean_is_close(self):
+        streams = RandomStreams(7)
+        draws = [streams.exponential("think", 7.0) for _ in range(4000)]
+        assert abs(np.mean(draws) - 7.0) < 0.5
+
+    def test_exponential_requires_positive_mean(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).exponential("x", 0.0)
+
+    def test_uniform_int_bounds_inclusive(self):
+        streams = RandomStreams(3)
+        draws = {streams.uniform_int("n", 0, 3) for _ in range(200)}
+        assert draws == {0, 1, 2, 3}
+
+    def test_choice_weighted_never_picks_zero_weight(self):
+        streams = RandomStreams(5)
+        picks = {streams.choice("c", ["a", "b"], [1.0, 0.0]) for _ in range(50)}
+        assert picks == {"a"}
+
+    def test_choice_validates_lengths(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).choice("c", ["a", "b"], [1.0])
+
+    def test_lognormal_service_time_mean(self):
+        streams = RandomStreams(11)
+        draws = [streams.lognormal_service_time("s", 0.1, cv=0.3) for _ in range(5000)]
+        assert abs(np.mean(draws) - 0.1) < 0.01
+        assert min(draws) > 0
+
+    def test_lognormal_zero_cv_is_deterministic(self):
+        assert RandomStreams(0).lognormal_service_time("s", 0.2, cv=0.0) == 0.2
+
+    def test_invalid_seed_type(self):
+        with pytest.raises(TypeError):
+            RandomStreams("not-a-seed")  # type: ignore[arg-type]
+
+
+class TestTimeSeries:
+    def test_records_and_exposes_arrays(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        series.record(1.0, 2.0)
+        assert list(series.times) == [0.0, 1.0]
+        assert list(series.values) == [1.0, 2.0]
+
+    def test_rejects_decreasing_timestamps(self):
+        series = TimeSeries()
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 1.0)
+
+    def test_value_at_uses_last_observation_carried_forward(self):
+        series = TimeSeries()
+        series.record(0.0, 10.0)
+        series.record(10.0, 20.0)
+        assert series.value_at(5.0) == 10.0
+        assert series.value_at(10.0) == 20.0
+        assert series.value_at(100.0) == 20.0
+
+    def test_window_selects_inclusive_range(self):
+        series = TimeSeries()
+        for t in range(10):
+            series.record(float(t), float(t))
+        windowed = series.window(2.0, 5.0)
+        assert list(windowed.times) == [2.0, 3.0, 4.0, 5.0]
+
+    def test_resample_regular_grid(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        series.record(10.0, 2.0)
+        resampled = series.resample(5.0)
+        assert list(resampled.times) == [0.0, 5.0, 10.0]
+        assert list(resampled.values) == [1.0, 1.0, 2.0]
+
+    def test_last_returns_none_when_empty(self):
+        assert TimeSeries().last() is None
+
+
+class TestCountersGaugesRates:
+    def test_counter_increments(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().increment(-1)
+
+    def test_gauge_set_and_add(self):
+        gauge = Gauge("g", initial=10.0)
+        gauge.add(-4.0)
+        assert gauge.value == 6.0
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+
+    def test_windowed_rate_produces_per_second_values(self):
+        rate = WindowedRate(window=10.0)
+        for t in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            rate.mark(t)
+        series = rate.finish(20.0)
+        assert len(series) == 2
+        assert series.values[0] == pytest.approx(0.5)   # 5 events / 10 s
+        assert series.values[1] == pytest.approx(0.0)
+
+    def test_registry_reuses_instances(self):
+        registry = MetricRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.series("s") is registry.series("s")
+        registry.gauge("g").set(3)
+        assert registry.snapshot() == {"a": 0.0, "g": 3.0}
+
+
+class TestCapacityResource:
+    def test_serves_immediately_when_idle(self):
+        resource = CapacityResource(2)
+        start, finish = resource.acquire(10.0, 5.0)
+        assert (start, finish) == (10.0, 15.0)
+
+    def test_queues_when_all_servers_busy(self):
+        resource = CapacityResource(1)
+        resource.acquire(0.0, 10.0)
+        start, finish = resource.acquire(2.0, 5.0)
+        assert start == 10.0
+        assert finish == 15.0
+        assert resource.mean_wait() == pytest.approx(4.0)  # (0 + 8) / 2
+
+    def test_parallel_servers_no_queueing(self):
+        resource = CapacityResource(2)
+        resource.acquire(0.0, 10.0)
+        start, _ = resource.acquire(0.0, 10.0)
+        assert start == 0.0
+
+    def test_queue_bound_raises(self):
+        resource = CapacityResource(1, max_queue=0)
+        resource.acquire(0.0, 10.0)
+        with pytest.raises(ResourceBusyError):
+            resource.acquire(1.0, 1.0)
+        assert resource.rejected == 1
+
+    def test_utilization(self):
+        resource = CapacityResource(2)
+        resource.acquire(0.0, 10.0)
+        assert resource.utilization(10.0) == pytest.approx(0.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CapacityResource(0)
+
+
+# --------------------------------------------------------------------------- #
+# Property-based tests
+# --------------------------------------------------------------------------- #
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=50))
+def test_property_timeseries_sorted_insertion(values):
+    """Recording at sorted timestamps always succeeds and preserves length."""
+    series = TimeSeries()
+    for index, value in enumerate(sorted(values)):
+        series.record(float(index), float(value))
+    assert len(series) == len(values)
+    assert np.all(np.diff(series.times) >= 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.floats(min_value=0.0, max_value=10.0),
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+)
+def test_property_capacity_resource_invariants(capacity, jobs):
+    """Starts never precede requests; finishes equal start + duration; busy time adds up."""
+    resource = CapacityResource(capacity)
+    total = 0.0
+    for request_time, duration in sorted(jobs):
+        start, finish = resource.acquire(request_time, duration)
+        assert start >= request_time
+        assert finish == pytest.approx(start + duration)
+        total += duration
+    assert resource.total_busy_time == pytest.approx(total)
+    assert resource.served == len(jobs)
