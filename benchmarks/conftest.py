@@ -12,12 +12,18 @@ to ``benchmarks/results/<name>.txt`` so they can be inspected after the run.
 
 from __future__ import annotations
 
+import importlib.util
 import os
 import sys
 
-_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
+# Editable installs (pip install -e .) resolve into src/ and make this a
+# no-op; anything else (no install, stale non-editable install, unrelated
+# same-name distribution) gets the working tree put first on sys.path.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+_spec = importlib.util.find_spec("repro")
+if _spec is None or not (_spec.origin or "").startswith(_SRC + os.sep):
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
 
 import pytest  # noqa: E402
 

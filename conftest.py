@@ -1,13 +1,18 @@
 """Repository-level pytest configuration.
 
-Ensures ``src/`` is importable even when the package has not been installed
-(the offline environment cannot always build editable installs), so that
-``pytest tests/`` and ``pytest benchmarks/`` work straight from a checkout.
+The package is normally installed editable (``pip install -e .`` — see
+``pyproject.toml``); when the importable ``repro`` does not resolve into
+this checkout's ``src/`` (no install, a stale non-editable install, or an
+unrelated distribution of the same name), put ``src/`` first on ``sys.path``
+so the working tree is always what gets tested.
 """
 
+import importlib.util
 import os
 import sys
 
-_SRC = os.path.join(os.path.dirname(__file__), "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+_spec = importlib.util.find_spec("repro")
+if _spec is None or not (_spec.origin or "").startswith(_SRC + os.sep):
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)

@@ -9,7 +9,7 @@ arguments and — once execution finished — the return value or exception.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 
@@ -48,9 +48,16 @@ def declaring_type_of(target: Any) -> str:
     return f"{cls.__module__}.{cls.__qualname__}"
 
 
-@dataclass
 class JoinPoint:
     """A method-execution join point.
+
+    One join point is allocated per intercepted call that at least one
+    enabled advice observes, so construction is kept deliberately cheap:
+    every field that is constant (or almost always default) lives as a class
+    attribute, the ``context`` scratch dict is materialised lazily, and the
+    weaver can specialise a subclass per woven method whose per-target
+    constants are class attributes too (see :func:`compile_join_point_class`)
+    so the hot path only stores the per-call fields.
 
     Attributes
     ----------
@@ -76,21 +83,82 @@ class JoinPoint:
         Component stores its "before" resource snapshot here).
     """
 
-    kind: str
-    target: Any
-    signature: Signature
+    # Class-level defaults: a weave-time-compiled subclass overrides the
+    # per-target ones, and instances only store what actually varies.
+    kind: str = "method-execution"
+    target: Any = None
+    signature: Optional[Signature] = None
     args: Tuple[Any, ...] = ()
-    kwargs: Dict[str, Any] = field(default_factory=dict)
     component: str = ""
     timestamp: float = 0.0
     result: Any = None
     exception: Optional[BaseException] = None
-    context: Dict[str, Any] = field(default_factory=dict)
+    _context: Optional[Dict[str, Any]] = None
+
+    def __init__(
+        self,
+        kind: str,
+        target: Any,
+        signature: Signature,
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+        component: str = "",
+        timestamp: float = 0.0,
+        result: Any = None,
+        exception: Optional[BaseException] = None,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.kind = kind
+        self.target = target
+        self.signature = signature
+        self.args = args
+        self.kwargs = kwargs if kwargs is not None else {}
+        self.component = component
+        self.timestamp = timestamp
+        self.result = result
+        self.exception = exception
+        if context is not None:
+            self._context = context
+
+    @property
+    def context(self) -> Dict[str, Any]:
+        """Per-execution scratch space, created on first access."""
+        ctx = self._context
+        if ctx is None:
+            ctx = self._context = {}
+        return ctx
 
     @property
     def full_name(self) -> str:
         """The signature's fully qualified name."""
         return self.signature.full_name
 
+    def __repr__(self) -> str:
+        return (
+            f"JoinPoint(kind={self.kind!r}, signature={self.signature.full_name!r}, "
+            f"component={self.component!r})"
+        )
+
     def __str__(self) -> str:
         return f"{self.kind}({self.signature.full_name})"
+
+
+def compile_join_point_class(
+    target: Any, signature: Signature, component: str
+) -> type:
+    """Specialise a :class:`JoinPoint` subclass for one woven method.
+
+    The returned class carries the per-target constants as class attributes;
+    the weaver's fast dispatch path then builds join points with
+    ``cls.__new__(cls)`` plus stores for only the per-call fields
+    (``args``, ``kwargs`` and — when a clock is present — ``timestamp``).
+    """
+
+    class CompiledJoinPoint(JoinPoint):
+        pass
+
+    CompiledJoinPoint.target = target
+    CompiledJoinPoint.signature = signature
+    CompiledJoinPoint.component = component
+    CompiledJoinPoint.__qualname__ = f"CompiledJoinPoint[{signature.full_name}]"
+    return CompiledJoinPoint

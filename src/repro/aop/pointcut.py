@@ -31,6 +31,7 @@ Examples
 
 from __future__ import annotations
 
+import functools
 import re
 from typing import List, Optional
 
@@ -88,7 +89,18 @@ def _compile_method_pattern(pattern: str) -> "re.Pattern[str]":
 # AST nodes
 # --------------------------------------------------------------------------- #
 class Pointcut:
-    """Base class of all pointcut expressions."""
+    """Base class of all pointcut expressions.
+
+    ``matches_signature`` results are memoised per ``(declaring_type,
+    method_name)`` pair: the weaver statically matches every candidate method
+    of every target against every registered advice, and the same signatures
+    recur for each woven instance (one deployment weaves one AC per servlet
+    against fourteen servlet classes).  Pointcut trees are immutable after
+    construction, so the cache never needs invalidation.
+    """
+
+    def __init__(self) -> None:
+        self._signature_cache: dict = {}
 
     def matches(self, join_point: JoinPoint) -> bool:
         """Whether this pointcut selects the given join point."""
@@ -96,6 +108,16 @@ class Pointcut:
 
     def matches_signature(self, declaring_type: str, method_name: str) -> bool:
         """Static matching against a bare signature (used by the weaver)."""
+        key = (declaring_type, method_name)
+        cached = self._signature_cache.get(key)
+        if cached is None:
+            cached = self._signature_cache[key] = self._match_signature(
+                declaring_type, method_name
+            )
+        return cached
+
+    def _match_signature(self, declaring_type: str, method_name: str) -> bool:
+        """Uncached signature matching implemented by each node type."""
         raise NotImplementedError
 
     # Operator sugar so pointcuts compose programmatically too.
@@ -113,12 +135,13 @@ class ExecutionPointcut(Pointcut):
     """``execution(TYPE_PATTERN.METHOD_PATTERN)``"""
 
     def __init__(self, type_pattern: str, method_pattern: str) -> None:
+        super().__init__()
         self.type_pattern = type_pattern
         self.method_pattern = method_pattern
         self._type_re = _compile_type_pattern(type_pattern)
         self._method_re = _compile_method_pattern(method_pattern)
 
-    def matches_signature(self, declaring_type: str, method_name: str) -> bool:
+    def _match_signature(self, declaring_type: str, method_name: str) -> bool:
         return bool(
             self._type_re.match(declaring_type) and self._method_re.match(method_name)
         )
@@ -136,10 +159,11 @@ class WithinPointcut(Pointcut):
     """``within(TYPE_PATTERN)``"""
 
     def __init__(self, type_pattern: str) -> None:
+        super().__init__()
         self.type_pattern = type_pattern
         self._type_re = _compile_type_pattern(type_pattern)
 
-    def matches_signature(self, declaring_type: str, method_name: str) -> bool:
+    def _match_signature(self, declaring_type: str, method_name: str) -> bool:
         return bool(self._type_re.match(declaring_type))
 
     def matches(self, join_point: JoinPoint) -> bool:
@@ -153,10 +177,11 @@ class AndPointcut(Pointcut):
     """Conjunction of two pointcuts."""
 
     def __init__(self, left: Pointcut, right: Pointcut) -> None:
+        super().__init__()
         self.left = left
         self.right = right
 
-    def matches_signature(self, declaring_type: str, method_name: str) -> bool:
+    def _match_signature(self, declaring_type: str, method_name: str) -> bool:
         return self.left.matches_signature(declaring_type, method_name) and self.right.matches_signature(
             declaring_type, method_name
         )
@@ -172,10 +197,11 @@ class OrPointcut(Pointcut):
     """Disjunction of two pointcuts."""
 
     def __init__(self, left: Pointcut, right: Pointcut) -> None:
+        super().__init__()
         self.left = left
         self.right = right
 
-    def matches_signature(self, declaring_type: str, method_name: str) -> bool:
+    def _match_signature(self, declaring_type: str, method_name: str) -> bool:
         return self.left.matches_signature(declaring_type, method_name) or self.right.matches_signature(
             declaring_type, method_name
         )
@@ -191,9 +217,10 @@ class NotPointcut(Pointcut):
     """Negation of a pointcut."""
 
     def __init__(self, inner: Pointcut) -> None:
+        super().__init__()
         self.inner = inner
 
-    def matches_signature(self, declaring_type: str, method_name: str) -> bool:
+    def _match_signature(self, declaring_type: str, method_name: str) -> bool:
         return not self.inner.matches_signature(declaring_type, method_name)
 
     def matches(self, join_point: JoinPoint) -> bool:
@@ -333,8 +360,14 @@ class _Parser:
         return ExecutionPointcut(type_pattern, method_pattern)
 
 
+@functools.lru_cache(maxsize=512)
 def parse_pointcut(expression: str) -> Pointcut:
     """Parse a pointcut expression into a :class:`Pointcut` tree.
+
+    Identical expressions return a shared tree: pointcut trees are immutable,
+    and every Aspect Component would otherwise re-parse the same handful of
+    expressions.  (Parse errors are not cached — ``lru_cache`` only stores
+    successful results.)
 
     Raises
     ------

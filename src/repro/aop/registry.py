@@ -14,7 +14,14 @@ from repro.aop.aspect import Aspect
 
 
 class AspectRegistry:
-    """Name-indexed collection of aspects with runtime toggling."""
+    """Name-indexed collection of aspects with runtime toggling.
+
+    Static signature matching is cached one level down, where it is shared
+    by every consumer: pointcut trees memoise ``matches_signature`` per
+    ``(declaring_type, method_name)`` and ``parse_pointcut`` shares one
+    immutable tree per expression (see :mod:`repro.aop.pointcut`), while the
+    weaver caches each registered aspect's advice list.
+    """
 
     def __init__(self) -> None:
         self._aspects: Dict[str, Aspect] = {}

@@ -17,7 +17,33 @@ Advice chain semantics for a single woven method call::
     } ... ))
 
 A disabled aspect's advices are skipped at call time (checked through the
-``enabled_probe`` captured at weave time), so toggling needs no re-weaving.
+aspect's ``enabled`` flag at each advice invocation), so toggling needs no
+re-weaving.  One deliberate refinement over the seed: when **no** owning
+aspect is enabled at call entry, the wrapper calls the original method
+directly and no :class:`JoinPoint` is allocated.  Consequently an aspect
+that is disabled at entry but becomes enabled *during* the intercepted call
+(only possible if the woven method itself, or another aspect's advice,
+toggles it) does not see that call's after advices — the seed, which always
+allocated the join point, would have run them.  Toggling between calls —
+the paper's activate/deactivate knob — behaves identically to the seed.
+
+Dispatch compilation
+--------------------
+The advice chain is compiled **at weave time** into the cheapest wrapper that
+can honour it:
+
+* *Monitor fast path* — the by far most common shape (the paper's Aspect
+  Component: one aspect contributing one ``before`` and one ``after``): a
+  flat wrapper with no per-call closure allocation and a single enabled
+  check up front.  When the aspect is disabled the original method is called
+  directly and **no** :class:`JoinPoint` is allocated.
+* *No-around path* — any mix of before/after advices without ``around``:
+  flat loops over precomputed ``(advice_body, aspect)`` pairs; the
+  :class:`JoinPoint` is only allocated once at least one owning aspect is
+  enabled.
+* *General path* — around advice present: the seed's inside-out chain, built
+  per call (around semantics require per-call closures), again skipping the
+  join point entirely when every aspect is disabled.
 """
 
 from __future__ import annotations
@@ -28,7 +54,12 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.aop.advice import Advice, AdviceKind
 from repro.aop.aspect import Aspect
-from repro.aop.joinpoint import JoinPoint, Signature, declaring_type_of
+from repro.aop.joinpoint import (
+    JoinPoint,
+    Signature,
+    compile_join_point_class,
+    declaring_type_of,
+)
 
 
 class WeavingError(RuntimeError):
@@ -60,6 +91,10 @@ class Weaver:
         self._clock = clock
         self._aspects: List[Aspect] = []
         self._woven: Dict[Tuple[int, str], _WovenMethod] = {}
+        #: Advice lists built once per registered aspect; ``Aspect.advices``
+        #: re-scans the class dict on every call, which the weave loop would
+        #: otherwise repeat for every candidate method of every target.
+        self._advice_cache: Dict[int, List[Advice]] = {}
 
     # ------------------------------------------------------------------ #
     # Aspect management
@@ -71,6 +106,7 @@ class Weaver:
         if aspect in self._aspects:
             raise WeavingError(f"aspect {aspect.name!r} is already registered")
         self._aspects.append(aspect)
+        self._advice_cache[id(aspect)] = aspect.advices()
 
     def unregister_aspect(self, aspect: Aspect) -> None:
         """Remove an aspect (does not touch already-woven methods)."""
@@ -78,6 +114,7 @@ class Weaver:
             self._aspects.remove(aspect)
         except ValueError as exc:
             raise WeavingError(f"aspect {aspect.name!r} is not registered") from exc
+        self._advice_cache.pop(id(aspect), None)
 
     @property
     def aspects(self) -> List[Aspect]:
@@ -128,7 +165,7 @@ class Weaver:
         for method_name in candidate_names:
             matched: List[Tuple[Advice, Aspect]] = []
             for aspect in self._aspects:
-                for advice in aspect.advices():
+                for advice in self._advice_cache[id(aspect)]:
                     if advice.applies_to(declaring_type, method_name):
                         matched.append((advice, aspect))
             if not matched:
@@ -155,56 +192,9 @@ class Weaver:
             raise WeavingError(f"{declaring_type} has no callable method {method_name!r}")
 
         signature = Signature(declaring_type=declaring_type, method_name=method_name)
-        clock = self._clock
-
-        befores = [(a, s) for a, s in matched if a.kind is AdviceKind.BEFORE]
-        afters = [(a, s) for a, s in matched if a.kind is AdviceKind.AFTER]
-        after_returnings = [(a, s) for a, s in matched if a.kind is AdviceKind.AFTER_RETURNING]
-        after_throwings = [(a, s) for a, s in matched if a.kind is AdviceKind.AFTER_THROWING]
-        arounds = [(a, s) for a, s in matched if a.kind is AdviceKind.AROUND]
-
-        @functools.wraps(original)
-        def wrapper(*args: Any, **kwargs: Any) -> Any:
-            join_point = JoinPoint(
-                kind="method-execution",
-                target=target,
-                signature=signature,
-                args=args,
-                kwargs=kwargs,
-                component=component_name,
-                timestamp=float(getattr(clock, "now", 0.0)) if clock is not None else 0.0,
-            )
-
-            def run_core() -> Any:
-                for advice, aspect in befores:
-                    if aspect.enabled:
-                        advice.body(join_point)
-                try:
-                    result = original(*args, **kwargs)
-                except BaseException as exc:
-                    join_point.exception = exc
-                    for advice, aspect in after_throwings:
-                        if aspect.enabled:
-                            advice.body(join_point)
-                    for advice, aspect in afters:
-                        if aspect.enabled:
-                            advice.body(join_point)
-                    raise
-                join_point.result = result
-                for advice, aspect in after_returnings:
-                    if aspect.enabled:
-                        advice.body(join_point)
-                for advice, aspect in afters:
-                    if aspect.enabled:
-                        advice.body(join_point)
-                return result
-
-            # Build the around chain from the inside (core) out.
-            call_chain: Callable[[], Any] = run_core
-            for advice, aspect in reversed(arounds):
-                call_chain = self._wrap_around(advice, aspect, join_point, call_chain)
-            return call_chain()
-
+        wrapper = self._compile_wrapper(
+            target, original, signature, component_name, matched
+        )
         wrapper.__woven__ = True  # type: ignore[attr-defined]
         setattr(target, method_name, wrapper)
         self._woven[key] = _WovenMethod(
@@ -214,6 +204,271 @@ class Weaver:
             wrapper=wrapper,
             advices=matched,
         )
+
+    # ------------------------------------------------------------------ #
+    # Dispatch compilation
+    # ------------------------------------------------------------------ #
+    def _compile_wrapper(
+        self,
+        target: Any,
+        original: Callable,
+        signature: Signature,
+        component_name: str,
+        matched: List[Tuple[Advice, Aspect]],
+    ) -> Callable:
+        """Build the cheapest wrapper honouring the matched advice chain."""
+        befores = [(a.body, s) for a, s in matched if a.kind is AdviceKind.BEFORE]
+        afters = [(a.body, s) for a, s in matched if a.kind is AdviceKind.AFTER]
+        after_returnings = [
+            (a.body, s) for a, s in matched if a.kind is AdviceKind.AFTER_RETURNING
+        ]
+        after_throwings = [
+            (a.body, s) for a, s in matched if a.kind is AdviceKind.AFTER_THROWING
+        ]
+        arounds = [(a, s) for a, s in matched if a.kind is AdviceKind.AROUND]
+
+        clock = self._clock
+        aspects = []
+        for _, aspect in matched:
+            if aspect not in aspects:
+                aspects.append(aspect)
+
+        if (
+            not arounds
+            and not after_returnings
+            and not after_throwings
+            and len(aspects) == 1
+            and len(befores) == 1
+            and len(afters) == 1
+            # The monitor wrapper probes `_enabled` directly, which is only
+            # equivalent while the `enabled` property is not overridden.
+            and type(aspects[0]).enabled is Aspect.enabled
+        ):
+            wrapper = self._compile_monitor_wrapper(
+                target,
+                original,
+                signature,
+                component_name,
+                aspects[0],
+                befores[0][0],
+                afters[0][0],
+                clock,
+            )
+        elif not arounds:
+            wrapper = self._compile_no_around_wrapper(
+                target,
+                original,
+                signature,
+                component_name,
+                aspects,
+                befores,
+                afters,
+                after_returnings,
+                after_throwings,
+                clock,
+            )
+        else:
+            wrapper = self._compile_general_wrapper(
+                target,
+                original,
+                signature,
+                component_name,
+                aspects,
+                befores,
+                afters,
+                after_returnings,
+                after_throwings,
+                arounds,
+                clock,
+            )
+        return functools.wraps(original)(wrapper)
+
+    @staticmethod
+    def _compile_monitor_wrapper(
+        target: Any,
+        original: Callable,
+        signature: Signature,
+        component_name: str,
+        aspect: Aspect,
+        before_body: Callable,
+        after_body: Callable,
+        clock: Optional[Any],
+    ) -> Callable:
+        """One aspect, exactly one before and one after: the AC shape.
+
+        This wrapper runs on every monitored request, so the per-call enabled
+        probe reads the aspect's ``_enabled`` attribute directly (the
+        ``enabled`` property is unmodified — :meth:`_compile_wrapper` only
+        selects this path in that case) and the clock read is specialised at
+        weave time (no ``getattr``/``float`` dance per call).  The join point
+        comes from a per-method compiled subclass whose constants are class
+        attributes, so only the per-call fields are stored.
+        """
+        jp_class = compile_join_point_class(target, signature, component_name)
+        new_jp = jp_class.__new__
+
+        if clock is None or not hasattr(clock, "now"):
+
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                if not aspect._enabled:
+                    return original(*args, **kwargs)
+                join_point = new_jp(jp_class)
+                join_point.args = args
+                join_point.kwargs = kwargs
+                before_body(join_point)
+                try:
+                    result = original(*args, **kwargs)
+                except BaseException as exc:
+                    join_point.exception = exc
+                    if aspect._enabled:
+                        after_body(join_point)
+                    raise
+                join_point.result = result
+                if aspect._enabled:
+                    after_body(join_point)
+                return result
+
+        else:
+
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                if not aspect._enabled:
+                    return original(*args, **kwargs)
+                join_point = new_jp(jp_class)
+                join_point.args = args
+                join_point.kwargs = kwargs
+                join_point.timestamp = clock.now
+                before_body(join_point)
+                try:
+                    result = original(*args, **kwargs)
+                except BaseException as exc:
+                    join_point.exception = exc
+                    if aspect._enabled:
+                        after_body(join_point)
+                    raise
+                join_point.result = result
+                if aspect._enabled:
+                    after_body(join_point)
+                return result
+
+        return wrapper
+
+    @staticmethod
+    def _compile_no_around_wrapper(
+        target: Any,
+        original: Callable,
+        signature: Signature,
+        component_name: str,
+        aspects: List[Aspect],
+        befores: List[Tuple[Callable, Aspect]],
+        afters: List[Tuple[Callable, Aspect]],
+        after_returnings: List[Tuple[Callable, Aspect]],
+        after_throwings: List[Tuple[Callable, Aspect]],
+        clock: Optional[Any],
+    ) -> Callable:
+        """Any mix of before/after advices, no around: flat dispatch."""
+
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            for live in aspects:
+                if live.enabled:
+                    break
+            else:
+                return original(*args, **kwargs)
+            join_point = JoinPoint(
+                "method-execution",
+                target,
+                signature,
+                args,
+                kwargs,
+                component_name,
+                float(getattr(clock, "now", 0.0)) if clock is not None else 0.0,
+            )
+            for body, aspect in befores:
+                if aspect.enabled:
+                    body(join_point)
+            try:
+                result = original(*args, **kwargs)
+            except BaseException as exc:
+                join_point.exception = exc
+                for body, aspect in after_throwings:
+                    if aspect.enabled:
+                        body(join_point)
+                for body, aspect in afters:
+                    if aspect.enabled:
+                        body(join_point)
+                raise
+            join_point.result = result
+            for body, aspect in after_returnings:
+                if aspect.enabled:
+                    body(join_point)
+            for body, aspect in afters:
+                if aspect.enabled:
+                    body(join_point)
+            return result
+
+        return wrapper
+
+    @staticmethod
+    def _compile_general_wrapper(
+        target: Any,
+        original: Callable,
+        signature: Signature,
+        component_name: str,
+        aspects: List[Aspect],
+        befores: List[Tuple[Callable, Aspect]],
+        afters: List[Tuple[Callable, Aspect]],
+        after_returnings: List[Tuple[Callable, Aspect]],
+        after_throwings: List[Tuple[Callable, Aspect]],
+        arounds: List[Tuple[Advice, Aspect]],
+        clock: Optional[Any],
+    ) -> Callable:
+        """Around advice present: build the inside-out chain per call."""
+
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            for live in aspects:
+                if live.enabled:
+                    break
+            else:
+                return original(*args, **kwargs)
+            join_point = JoinPoint(
+                "method-execution",
+                target,
+                signature,
+                args,
+                kwargs,
+                component_name,
+                float(getattr(clock, "now", 0.0)) if clock is not None else 0.0,
+            )
+
+            def run_core() -> Any:
+                for body, aspect in befores:
+                    if aspect.enabled:
+                        body(join_point)
+                try:
+                    result = original(*args, **kwargs)
+                except BaseException as exc:
+                    join_point.exception = exc
+                    for body, aspect in after_throwings:
+                        if aspect.enabled:
+                            body(join_point)
+                    for body, aspect in afters:
+                        if aspect.enabled:
+                            body(join_point)
+                    raise
+                join_point.result = result
+                for body, aspect in after_returnings:
+                    if aspect.enabled:
+                        body(join_point)
+                for body, aspect in afters:
+                    if aspect.enabled:
+                        body(join_point)
+                return result
+
+            call_chain: Callable[[], Any] = run_core
+            for advice, aspect in reversed(arounds):
+                call_chain = Weaver._wrap_around(advice, aspect, join_point, call_chain)
+            return call_chain()
+
+        return wrapper
 
     @staticmethod
     def _wrap_around(

@@ -118,6 +118,53 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.registry import BenchOptions, all_bench_names, run_benches, write_json
+
+    if args.list:
+        for name in all_bench_names():
+            print(name)
+        return 0
+
+    options = BenchOptions.from_environment()
+    if args.seed is not None:
+        options.seed = args.seed
+    if args.duration_scale is not None:
+        options.duration_scale = args.duration_scale
+    if args.tiny:
+        options.tiny = True
+    names = None
+    if args.only:
+        names = [name.strip() for name in args.only.split(",") if name.strip()]
+        unknown = sorted(set(names) - set(all_bench_names()))
+        if unknown:
+            known = ", ".join(all_bench_names())
+            print(f"error: unknown benchmark(s): {', '.join(unknown)} (known: {known})", file=sys.stderr)
+            return 2
+
+    print(f"== repro bench (seed={options.seed}, duration_scale={options.duration_scale}, tiny={options.tiny}) ==")
+    results = run_benches(names, options, progress=lambda name: print(f"-- running {name} ..."))
+
+    failed = False
+    for result in results:
+        speedup = (
+            f"{result.speedup_vs_seed:.2f}x vs seed" if result.speedup_vs_seed is not None else "no comparable baseline"
+        )
+        if result.passed is None:
+            verdict = "info"
+        elif result.passed:
+            verdict = "PASS"
+        else:
+            verdict = "FAIL"
+            failed = True
+        target = f" (target {result.target_speedup:.2f}x)" if result.target_speedup is not None else ""
+        print(f"{result.name:18s} {speedup}{target} [{verdict}]")
+    if args.json:
+        write_json(args.json, results, options)
+        print(f"wrote {args.json}")
+    return 1 if failed else 0
+
+
 def _cmd_fig7(args: argparse.Namespace) -> int:
     scenario = fig7_injection_sizes(
         duration_scale=args.duration_scale, seed=args.seed, scale=_population(args), ebs=args.ebs
@@ -173,6 +220,21 @@ def build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=help_text)
         add_common(sub, include_ebs=(name != "fig3"))
         sub.set_defaults(handler=handler)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run the perf microbenchmarks (speedups vs. the seed baseline)"
+    )
+    bench_parser.add_argument("--json", metavar="PATH", help="write a BENCH_perf.json artifact")
+    bench_parser.add_argument("--only", metavar="NAMES", help="comma-separated benchmark names")
+    bench_parser.add_argument("--list", action="store_true", help="list benchmark names and exit")
+    bench_parser.add_argument("--seed", type=int, default=None, help="override REPRO_BENCH_SEED")
+    bench_parser.add_argument(
+        "--duration-scale", type=float, default=None, help="override REPRO_BENCH_DURATION_SCALE"
+    )
+    bench_parser.add_argument(
+        "--tiny", action="store_true", help="tiny iteration counts (CI smoke; REPRO_BENCH_TINY=1)"
+    )
+    bench_parser.set_defaults(handler=_cmd_bench)
 
     return parser
 

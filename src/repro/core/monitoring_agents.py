@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.db.jdbc import DataSource
-from repro.core.sizing import retained_component_size
+from repro.core.sizing import ComponentSizeCache
 from repro.jmx.mbean import MBean, attribute, operation
 from repro.jmx.object_name import ObjectName
 from repro.jvm.objects import JavaObject
@@ -117,6 +117,7 @@ class ObjectSizeAgent(MonitoringAgent):
         super().__init__()
         self._runtime = runtime
         self._roots: Dict[str, List[JavaObject]] = {}
+        self._size_cache = ComponentSizeCache(heap=runtime.heap)
 
     @operation
     def register_component(self, component: str, root: JavaObject) -> None:
@@ -124,11 +125,13 @@ class ObjectSizeAgent(MonitoringAgent):
         self._roots.setdefault(component, [])
         if root not in self._roots[component]:
             self._roots[component].append(root)
+            self._size_cache.invalidate(component)
 
     @operation
     def unregister_component(self, component: str) -> None:
         """Forget a component's objects."""
         self._roots.pop(component, None)
+        self._size_cache.invalidate(component)
 
     @attribute
     def ComponentCount(self) -> int:
@@ -144,11 +147,7 @@ class ObjectSizeAgent(MonitoringAgent):
         roots = self._roots.get(component)
         if not roots:
             return {"object_size": 0.0}
-        return {
-            "object_size": float(
-                retained_component_size(roots, heap=self._runtime.heap)
-            )
-        }
+        return {"object_size": float(self._size_cache.component_size(component, roots))}
 
 
 class HeapAgent(MonitoringAgent):

@@ -12,7 +12,7 @@ These functions implement exactly that rule over the simulated
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.jvm.heap import Heap
 from repro.jvm.objects import JavaObject
@@ -73,3 +73,58 @@ def retained_component_size(
                 continue
             total += child.shallow_size
     return total
+
+
+class ComponentSizeCache:
+    """Dirty-flag memoisation of :func:`retained_component_size`.
+
+    The monitoring stack measures every component's one-level size twice per
+    intercepted request (the Aspect Component samples before *and* after the
+    execution) plus once per periodic snapshot, but a component's size only
+    changes when one of its roots gains/loses a reference (leak injections)
+    or when a referenced object dies (garbage collection).  Both causes are
+    observable in O(#roots) without walking the reference graph:
+
+    * every :class:`~repro.jvm.objects.JavaObject` bumps a ``version``
+      counter on reference mutations, and
+    * the :class:`~repro.jvm.heap.Heap` bumps a ``liveness_epoch`` whenever
+      any object stops being live.
+
+    A cached size is therefore valid while the heap epoch and every root's
+    ``(object_id, version)`` pair are unchanged.  Child-object sizes are
+    immutable after allocation in this model, so they cannot invalidate a
+    one-level measurement on their own.
+    """
+
+    def __init__(self, heap: Optional[Heap] = None) -> None:
+        self._heap = heap
+        #: component -> (liveness epoch, ((root id, root version), ...), size)
+        self._cache: Dict[str, Tuple[int, Tuple[Tuple[int, int], ...], int]] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def component_size(self, component: str, roots: List[JavaObject]) -> int:
+        """Cached one-level size of ``component``'s root set."""
+        heap = self._heap
+        epoch = heap.liveness_epoch if heap is not None else 0
+        stamp = tuple((root.object_id, root.version) for root in roots)
+        entry = self._cache.get(component)
+        if entry is not None and entry[0] == epoch and entry[1] == stamp:
+            self._hits += 1
+            return entry[2]
+        size = retained_component_size(roots, heap=heap)
+        self._cache[component] = (epoch, stamp, size)
+        self._misses += 1
+        return size
+
+    def invalidate(self, component: Optional[str] = None) -> None:
+        """Drop one component's cached size (or all of them)."""
+        if component is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(component, None)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cache hit/miss counters (for the perf harness and tests)."""
+        return {"hits": self._hits, "misses": self._misses}

@@ -19,6 +19,7 @@ The parser produces small AST dataclasses consumed by
 
 from __future__ import annotations
 
+import functools
 import re
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple, Union
@@ -511,8 +512,16 @@ class _SqlParser:
         return DeleteStatement(table=table, where=where)
 
 
+@functools.lru_cache(maxsize=1024)
 def parse_sql(sql: str) -> Statement:
-    """Parse a SQL statement into an AST node.
+    """Parse a SQL statement into an AST node (cached per SQL string).
+
+    The servlets issue a fixed repertoire of parameterised statements
+    (values travel via ``?`` parameters, never via the SQL text), so the
+    same strings are parsed millions of times per experiment; re-tokenising
+    them was the single largest interpreter cost of a simulated request.
+    Statement ASTs are treated as immutable by the executors, so sharing one
+    tree per SQL string is safe.  (Syntax errors are not cached.)
 
     Raises
     ------

@@ -45,6 +45,7 @@ class Heap:
         self._allocation_count = 0
         self._freed_count = 0
         self._peak_used = 0
+        self._liveness_epoch = 0
 
     # ------------------------------------------------------------------ #
     # Allocation / deallocation
@@ -95,6 +96,7 @@ class Heap:
             raise KeyError(f"object {obj.object_id} is not live on this heap")
         self._used_bytes -= stored.shallow_size
         self._freed_count += 1
+        self._liveness_epoch += 1
         self._roots.discard(obj.object_id)
         stored.alive = False
 
@@ -151,6 +153,17 @@ class Heap:
     def freed_count(self) -> int:
         """Total number of objects freed."""
         return self._freed_count
+
+    @property
+    def liveness_epoch(self) -> int:
+        """Counter bumped whenever an object stops being live.
+
+        Size caches (see :mod:`repro.core.sizing`) use this as a cheap
+        dirty flag: one-level component sizes can only change when a
+        referenced object dies or a root's reference set mutates, never on
+        unrelated allocations.
+        """
+        return self._liveness_epoch
 
     def live_objects(self) -> Iterable[JavaObject]:
         """Iterate over live objects (order: allocation id)."""

@@ -45,6 +45,7 @@ class JavaObject:
         "_references",
         "_fields",
         "alive",
+        "version",
     )
 
     def __init__(
@@ -64,6 +65,10 @@ class JavaObject:
         self._references: List["JavaObject"] = []
         self._fields: Dict[str, "JavaObject"] = {}
         self.alive = True
+        #: Bumped on every outgoing-reference mutation; lets size caches
+        #: detect that an object's one-level reference set changed without
+        #: re-walking it (see :mod:`repro.core.sizing`).
+        self.version = 0
 
     # ------------------------------------------------------------------ #
     # Reference management
@@ -73,10 +78,12 @@ class JavaObject:
         if other is self:
             raise ValueError("an object cannot reference itself in this model")
         self._references.append(other)
+        self.version += 1
 
     def remove_reference(self, other: "JavaObject") -> None:
         """Remove one direct reference to ``other`` (raises if absent)."""
         self._references.remove(other)
+        self.version += 1
 
     def set_field(self, name: str, value: Optional["JavaObject"]) -> None:
         """Set a named reference field (``None`` clears it)."""
@@ -84,6 +91,7 @@ class JavaObject:
             self._fields.pop(name, None)
         else:
             self._fields[name] = value
+        self.version += 1
 
     def get_field(self, name: str) -> Optional["JavaObject"]:
         """Return the named reference field or ``None``."""
@@ -93,6 +101,7 @@ class JavaObject:
         """Drop every outgoing reference (named and unnamed)."""
         self._references.clear()
         self._fields.clear()
+        self.version += 1
 
     @property
     def references(self) -> List["JavaObject"]:

@@ -1,0 +1,33 @@
+"""Performance measurement harness (``repro bench``).
+
+A small, dependency-free microbenchmark framework for the reproduction
+stack.  It exists so that every performance-oriented PR has a trajectory to
+beat: benchmarks measure the *current* implementation against bundled
+seed-reference implementations (see :mod:`repro.perf.seed_reference`) and
+against wall-clock baselines recorded at the seed commit
+(:mod:`repro.perf.baseline`), and emit a machine-readable JSON artifact
+(``BENCH_perf.json``).
+
+Environment knobs (shared with the figure benchmarks):
+
+``REPRO_BENCH_SEED``
+    Master seed for the end-to-end experiment benches (default 42).
+``REPRO_BENCH_DURATION_SCALE``
+    Virtual-time scale of the end-to-end benches (default 0.05 — the
+    recorded baselines were measured at this scale).
+``REPRO_BENCH_TINY``
+    ``1`` shrinks the microbench iteration counts and uses the tiny TPC-W
+    population, for CI smoke runs.
+"""
+
+from repro.perf.registry import BenchResult, all_bench_names, run_benches
+from repro.perf.timer import BenchTimer, measure_rate, measure_seconds
+
+__all__ = [
+    "BenchResult",
+    "BenchTimer",
+    "all_bench_names",
+    "measure_rate",
+    "measure_seconds",
+    "run_benches",
+]

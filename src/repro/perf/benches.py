@@ -1,0 +1,339 @@
+"""The microbenchmark suite behind ``repro bench``.
+
+Coverage, mirroring the hottest layers of the reproduction stack:
+
+``event_loop``
+    Discrete-event engine throughput on a realistic mix (a closed-loop
+    browser-style population of self-rescheduling chains plus a pre-scheduled
+    sampler fan), current engine vs. the seed's dataclass-heap engine.
+``woven_dispatch``
+    Woven method call overhead (the Aspect Component shape: one ``before`` +
+    one ``after``), current compiled dispatch vs. the seed's closure chain —
+    measured with monitoring enabled and disabled.
+``snapshot_sizing``
+    Per-component one-level size sampling with the dirty-flag cache vs. the
+    seed's full re-walk, under a leak-style mutation pattern.
+``fig3_e2e`` / ``fig4_e2e``
+    End-to-end wall-clock of the paper experiments (vs. wall-clock recorded
+    at the seed commit — only comparable on similar hardware).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.perf.baseline import RECORDED_ON, recorded_e2e_seconds
+from repro.perf.registry import BenchOptions, BenchResult, microbench
+from repro.perf.seed_reference import SeedSimulationEngine, SeedWeaver
+from repro.perf.timer import measure_rate, measure_seconds
+
+#: Minimum speedups this PR's tentpole commits to (ISSUE 1).
+EVENT_LOOP_TARGET = 3.0
+DISPATCH_TARGET = 3.0
+#: >= 40 % wall-clock reduction expressed as a speedup ratio.
+E2E_TARGET = 1.0 / (1.0 - 0.40)
+
+
+# --------------------------------------------------------------------------- #
+# Event loop
+# --------------------------------------------------------------------------- #
+def _event_loop_workload(engine, chains: int, total: int, fan: int) -> int:
+    """Schedule the mixed workload on ``engine`` and drain it."""
+    count = [0]
+    clock = engine.clock
+    schedule = getattr(engine, "schedule_callback", None) or engine.schedule_at
+
+    def make_chain() -> Callable[[], None]:
+        def tick() -> None:
+            count[0] += 1
+            if count[0] < total:
+                schedule(clock.now + 1.0, tick)
+
+        return tick
+
+    def noop() -> None:
+        return None
+
+    for index in range(fan):
+        schedule(index * 0.05, noop)
+    for index in range(chains):
+        engine.schedule_at(index * 0.001, make_chain())
+    engine.run()
+    return engine.executed_events
+
+
+@microbench("event_loop")
+def bench_event_loop(options: BenchOptions) -> BenchResult:
+    """Engine throughput: current tuple-heap engine vs. seed dataclass heap."""
+    chains, total, fan = (50, 30_000, 4_000) if options.tiny else (200, 150_000, 20_000)
+
+    from repro.sim.engine import SimulationEngine
+
+    current = measure_rate(lambda: _event_loop_workload(SimulationEngine(), chains, total, fan))
+    seed = measure_rate(lambda: _event_loop_workload(SeedSimulationEngine(), chains, total, fan))
+    current_rate = float(current["best_ops_per_second"])  # type: ignore[arg-type]
+    seed_rate = float(seed["best_ops_per_second"])  # type: ignore[arg-type]
+    return BenchResult(
+        name="event_loop",
+        metrics={
+            "events_per_second": current_rate,
+            "seed_events_per_second": seed_rate,
+            "chains": chains,
+            "events_total": total,
+            "prescheduled_fan": fan,
+        },
+        speedup_vs_seed=current_rate / seed_rate,
+        target_speedup=EVENT_LOOP_TARGET,
+        config={"tiny": options.tiny},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Woven dispatch
+# --------------------------------------------------------------------------- #
+class _BenchTarget:
+    """Stand-in application component with a Java-style class name."""
+
+    java_class_name = "org.tpcw.servlet.TPCW_bench"
+    component_name = "bench"
+
+    def service(self, value: int) -> int:
+        return value + 1
+
+
+def _make_monitor_aspect():
+    from repro.aop.aspect import Aspect, after, before
+
+    class _MonitorAspect(Aspect):
+        """One before + one after: the Aspect Component dispatch shape.
+
+        The bodies are deliberately empty so the benchmark isolates dispatch
+        infrastructure (wrapper, join point, enabled probes) rather than
+        advice work, which is identical under both weavers.
+        """
+
+        @before("execution(org.tpcw..*.service)")
+        def record_before(self, join_point) -> None:
+            pass
+
+        @after("execution(org.tpcw..*.service)")
+        def record_after(self, join_point) -> None:
+            pass
+
+    return _MonitorAspect()
+
+
+def _dispatch_rates(weaver_factory: Callable[[], object], calls: int) -> Dict[str, float]:
+    target = _BenchTarget()
+    aspect = _make_monitor_aspect()
+    weaver = weaver_factory()
+    weaver.register_aspect(aspect)  # type: ignore[attr-defined]
+    weaver.weave_object(target, method_names=["service"])  # type: ignore[attr-defined]
+
+    def run_calls() -> int:
+        service = target.service
+        for index in range(calls):
+            service(index)
+        return calls
+
+    enabled = measure_rate(run_calls)
+    aspect.disable()
+    disabled = measure_rate(run_calls)
+    return {
+        "enabled": float(enabled["best_ops_per_second"]),  # type: ignore[arg-type]
+        "disabled": float(disabled["best_ops_per_second"]),  # type: ignore[arg-type]
+    }
+
+
+@microbench("woven_dispatch")
+def bench_woven_dispatch(options: BenchOptions) -> BenchResult:
+    """Woven vs. unwoven call overhead, compiled dispatch vs. seed chain."""
+    calls = 30_000 if options.tiny else 150_000
+
+    from repro.aop.weaver import Weaver
+
+    current = _dispatch_rates(Weaver, calls)
+    seed = _dispatch_rates(SeedWeaver, calls)
+
+    # Unwoven reference: the raw method call, for the overhead-factor metric.
+    target = _BenchTarget()
+
+    def run_unwoven() -> int:
+        service = target.service
+        for index in range(calls):
+            service(index)
+        return calls
+
+    unwoven = float(measure_rate(run_unwoven)["best_ops_per_second"])  # type: ignore[arg-type]
+
+    return BenchResult(
+        name="woven_dispatch",
+        metrics={
+            "calls_per_second_enabled": current["enabled"],
+            "calls_per_second_disabled": current["disabled"],
+            "seed_calls_per_second_enabled": seed["enabled"],
+            "seed_calls_per_second_disabled": seed["disabled"],
+            "unwoven_calls_per_second": unwoven,
+            "enabled_overhead_factor": unwoven / current["enabled"],
+            "calls": calls,
+        },
+        # The paper's claim is about *always-on* monitoring, so the enabled
+        # path is the one that must clear the target.
+        speedup_vs_seed=current["enabled"] / seed["enabled"],
+        target_speedup=DISPATCH_TARGET,
+        config={"tiny": options.tiny},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Snapshot sizing
+# --------------------------------------------------------------------------- #
+def _build_component_heap(components: int, children: int):
+    from repro.jvm.heap import Heap
+
+    heap = Heap()
+    roots: Dict[str, List[object]] = {}
+    for index in range(components):
+        root = heap.allocate(f"org.tpcw.Component{index}", 128, root=True)
+        for child_index in range(children):
+            child = heap.allocate("java.util.HashMap$Node", 64)
+            root.add_reference(child)
+        roots[f"component{index}"] = [root]
+    return heap, roots
+
+
+@microbench("snapshot_sizing")
+def bench_snapshot_sizing(options: BenchOptions) -> BenchResult:
+    """Cached component sizing vs. the seed's full reference-graph re-walk.
+
+    Every tenth sample mutates one component's root (the leak-injection
+    pattern), so the cache's dirty-flag revalidation is part of the measured
+    path rather than an unrealistic 100 % hit rate.  Each timed run builds
+    its own fresh heap: sharing one would let earlier runs' leaked children
+    inflate later runs' walk cost and bias the comparison (the shared setup
+    cost slightly *understates* the cache win, which is the safe direction).
+    """
+    components, children = (4, 100) if options.tiny else (10, 500)
+    samples = 2_000 if options.tiny else 10_000
+
+    from repro.core.sizing import ComponentSizeCache, retained_component_size
+
+    def run_cached() -> int:
+        heap, roots = _build_component_heap(components, children)
+        names = sorted(roots)
+        cache = ComponentSizeCache(heap=heap)
+        leak_root = roots[names[0]][0]
+        for index in range(samples):
+            if index % 10 == 9:
+                leak_root.add_reference(heap.allocate("byte[]", 1024))  # type: ignore[attr-defined]
+            cache.component_size(names[index % components], roots[names[index % components]])
+        return samples
+
+    def run_uncached() -> int:
+        heap, roots = _build_component_heap(components, children)
+        names = sorted(roots)
+        leak_root = roots[names[0]][0]
+        for index in range(samples):
+            if index % 10 == 9:
+                leak_root.add_reference(heap.allocate("byte[]", 1024))  # type: ignore[attr-defined]
+            retained_component_size(roots[names[index % components]], heap=heap)
+        return samples
+
+    cached = float(measure_rate(run_cached)["best_ops_per_second"])  # type: ignore[arg-type]
+    uncached = float(measure_rate(run_uncached)["best_ops_per_second"])  # type: ignore[arg-type]
+    return BenchResult(
+        name="snapshot_sizing",
+        metrics={
+            "samples_per_second_cached": cached,
+            "samples_per_second_uncached": uncached,
+            "components": components,
+            "children_per_component": children,
+            "samples": samples,
+        },
+        speedup_vs_seed=cached / uncached,
+        target_speedup=None,
+        config={"tiny": options.tiny},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end experiments
+# --------------------------------------------------------------------------- #
+def _e2e_config(options: BenchOptions) -> Dict[str, object]:
+    # The e2e benches always use the tiny population: they measure
+    # interpreter overhead of the stack, and the recorded baseline was
+    # measured tiny.  The figure benchmarks (pytest benchmarks/) cover the
+    # paper-scale population.
+    return {"duration_scale": options.duration_scale, "tiny": True, "seed": options.seed}
+
+
+def _run_e2e(name: str, runner: Callable[[], Dict[str, object]], options: BenchOptions) -> BenchResult:
+    config = _e2e_config(options)
+    last: Dict[str, object] = {}
+
+    def timed_runner() -> None:
+        last.clear()
+        last.update(runner())
+
+    stats = measure_seconds(timed_runner, repeats=2, warmup=False)
+    seconds = float(stats["best_seconds"])  # type: ignore[arg-type]
+    extra = dict(last)
+    baseline = recorded_e2e_seconds(name, config)
+    metrics: Dict[str, object] = {
+        "wall_clock_seconds": seconds,
+        "recorded_seed_seconds": baseline,
+        "recorded_on": RECORDED_ON if baseline is not None else None,
+        **extra,
+    }
+    speedup = baseline / seconds if baseline is not None else None
+    if speedup is not None:
+        metrics["wall_clock_reduction_percent"] = 100.0 * (1.0 - 1.0 / speedup)
+    return BenchResult(
+        name=name,
+        metrics=metrics,
+        speedup_vs_seed=speedup,
+        target_speedup=E2E_TARGET if baseline is not None else None,
+        config=config,
+    )
+
+
+@microbench("fig3_e2e")
+def bench_fig3_e2e(options: BenchOptions) -> BenchResult:
+    """Wall-clock of the Fig. 3 overhead experiment (monitored + unmonitored)."""
+    from repro.experiments.scenarios import fig3_overhead
+    from repro.tpcw.population import PopulationScale
+
+    def runner() -> Dict[str, object]:
+        result = fig3_overhead(
+            duration_scale=options.duration_scale,
+            seed=options.seed,
+            scale=PopulationScale.tiny(),
+        )
+        return {
+            "overhead_percent": round(result.overhead_percent(), 4),
+            "monitored_requests": result.monitored.completed_requests,
+            "unmonitored_requests": result.unmonitored.completed_requests,
+        }
+
+    return _run_e2e("fig3_e2e", runner, options)
+
+
+@microbench("fig4_e2e")
+def bench_fig4_e2e(options: BenchOptions) -> BenchResult:
+    """Wall-clock of the Fig. 4 single-leak experiment."""
+    from repro.experiments.scenarios import fig4_single_leak
+    from repro.tpcw.population import PopulationScale
+
+    def runner() -> Dict[str, object]:
+        scenario = fig4_single_leak(
+            duration_scale=options.duration_scale,
+            seed=options.seed,
+            scale=PopulationScale.tiny(),
+        )
+        top = scenario.root_cause.top()
+        return {
+            "completed_requests": scenario.result.completed_requests,
+            "root_cause_component": top.component if top else "",
+        }
+
+    return _run_e2e("fig4_e2e", runner, options)

@@ -1,0 +1,138 @@
+"""Microbenchmark registry and JSON artifact emitter.
+
+Benchmarks register themselves with :func:`microbench`; the CLI (``repro
+bench``) runs them through :func:`run_benches` and persists the results with
+:func:`write_json`.  Each benchmark returns a :class:`BenchResult`, whose
+``speedup_vs_seed`` / ``target_speedup`` drive the pass/fail verdict.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro._version import __version__
+
+
+@dataclass
+class BenchOptions:
+    """Shared knobs, resolved from the environment by default."""
+
+    seed: int = 42
+    duration_scale: float = 0.05
+    tiny: bool = False
+
+    @classmethod
+    def from_environment(cls) -> "BenchOptions":
+        """Resolve options from ``REPRO_BENCH_*`` variables."""
+        return cls(
+            seed=int(os.environ.get("REPRO_BENCH_SEED", "42")),
+            duration_scale=float(os.environ.get("REPRO_BENCH_DURATION_SCALE", "0.05")),
+            tiny=os.environ.get("REPRO_BENCH_TINY", "0") == "1",
+        )
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one microbenchmark."""
+
+    name: str
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: Ratio current/seed (higher is better); ``None`` when no comparable
+    #: baseline exists for the configuration that was run.
+    speedup_vs_seed: Optional[float] = None
+    #: Minimum acceptable ``speedup_vs_seed`` (``None``: informational only).
+    target_speedup: Optional[float] = None
+    config: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> Optional[bool]:
+        """Whether the target was met (``None`` when not comparable)."""
+        if self.target_speedup is None:
+            return None
+        if self.speedup_vs_seed is None:
+            return None
+        return self.speedup_vs_seed >= self.target_speedup
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form."""
+        return {
+            "name": self.name,
+            "metrics": self.metrics,
+            "speedup_vs_seed": self.speedup_vs_seed,
+            "target_speedup": self.target_speedup,
+            "passed": self.passed,
+            "config": self.config,
+        }
+
+
+#: name -> bench callable.
+_BENCHES: Dict[str, Callable[[BenchOptions], BenchResult]] = {}
+
+
+def microbench(name: str) -> Callable:
+    """Decorator registering a benchmark under ``name``."""
+
+    def register(fn: Callable[[BenchOptions], BenchResult]) -> Callable:
+        if name in _BENCHES:
+            raise ValueError(f"benchmark {name!r} is already registered")
+        _BENCHES[name] = fn
+        return fn
+
+    return register
+
+
+def all_bench_names() -> List[str]:
+    """Registered benchmark names, in registration order."""
+    _load_benches()
+    return list(_BENCHES)
+
+
+def run_benches(
+    names: Optional[List[str]] = None,
+    options: Optional[BenchOptions] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[BenchResult]:
+    """Run the named benchmarks (all of them by default)."""
+    _load_benches()
+    options = options or BenchOptions.from_environment()
+    selected = names if names is not None else list(_BENCHES)
+    unknown = [name for name in selected if name not in _BENCHES]
+    if unknown:
+        raise KeyError(f"unknown benchmark(s): {', '.join(sorted(unknown))}")
+    results: List[BenchResult] = []
+    for name in selected:
+        if progress is not None:
+            progress(name)
+        results.append(_BENCHES[name](options))
+    return results
+
+
+def write_json(path: str, results: List[BenchResult], options: BenchOptions) -> None:
+    """Persist a bench run as a ``BENCH_perf.json``-style artifact."""
+    payload = {
+        "schema": "repro-bench/v1",
+        "version": __version__,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "options": {
+            "seed": options.seed,
+            "duration_scale": options.duration_scale,
+            "tiny": options.tiny,
+        },
+        "benches": [result.to_dict() for result in results],
+        "all_targets_met": all(result.passed is not False for result in results),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def _load_benches() -> None:
+    """Import the benchmark definitions (idempotent)."""
+    # Imported lazily so `import repro.perf` stays cheap and dependency-free.
+    from repro.perf import benches  # noqa: F401

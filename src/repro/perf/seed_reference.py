@@ -1,0 +1,300 @@
+"""Seed-commit reference implementations, bundled for honest comparisons.
+
+The ``repro bench`` speedup numbers are only meaningful if the baseline is
+measured on the *same* machine, in the same process, on the same Python.
+This module therefore preserves the seed commit's hot-path implementations
+verbatim (the ``order=True`` dataclass event heap and the closure-chain
+weaver with its eagerly allocated dataclass join point), so every bench run
+re-measures the seed algorithm live instead of trusting stale numbers.
+
+Nothing outside :mod:`repro.perf` may import from here — these classes exist
+purely as measurement controls.
+"""
+
+from __future__ import annotations
+
+import functools
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.aop.advice import Advice, AdviceKind
+from repro.aop.aspect import Aspect
+from repro.aop.joinpoint import Signature, declaring_type_of
+
+
+# --------------------------------------------------------------------------- #
+# Seed simulation engine (dataclass events, O(n) pending scan)
+# --------------------------------------------------------------------------- #
+class SeedClock:
+    """The seed's clock: ``now`` was a property over a private slot."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now!r}, requested={timestamp!r}"
+            )
+        self._now = float(timestamp)
+
+
+class SeedStopSimulation(Exception):
+    """Seed-reference twin of :class:`repro.sim.engine.StopSimulation`."""
+
+
+@dataclass(order=True)
+class SeedEvent:
+    """The seed's totally ordered event dataclass."""
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class SeedSimulationEngine:
+    """The seed commit's event loop, kept verbatim for baseline timing."""
+
+    def __init__(self, clock: Optional[SeedClock] = None, trace: bool = False) -> None:
+        self.clock = clock if clock is not None else SeedClock()
+        self._heap: List[SeedEvent] = []
+        self._seq = itertools.count()
+        self._executed = 0
+        self._trace_enabled = trace
+        self._trace: List[str] = []
+        self._stopped = False
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> SeedEvent:
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule event in the past: now={self.clock.now}, time={time}"
+            )
+        event = SeedEvent(
+            time=float(time),
+            priority=priority,
+            seq=next(self._seq),
+            callback=callback,
+            name=name,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def executed_events(self) -> int:
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def _pop_live(self) -> Optional[SeedEvent]:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def step(self) -> bool:
+        event = self._pop_live()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        if self._trace_enabled and event.name:
+            self._trace.append(event.name)
+        self._executed += 1
+        event.callback()
+        return True
+
+    def run_until(self, end_time: float) -> int:
+        executed_before = self._executed
+        self._stopped = False
+        while not self._stopped:
+            event = self._pop_live()
+            if event is None:
+                break
+            if event.time > end_time:
+                heapq.heappush(self._heap, event)
+                break
+            self.clock.advance_to(event.time)
+            if self._trace_enabled and event.name:
+                self._trace.append(event.name)
+            self._executed += 1
+            try:
+                event.callback()
+            except SeedStopSimulation:
+                self._stopped = True
+        if self.clock.now < end_time:
+            self.clock.advance_to(end_time)
+        return self._executed - executed_before
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        executed_before = self._executed
+        self._stopped = False
+        while not self._stopped:
+            if max_events is not None and self._executed - executed_before >= max_events:
+                break
+            try:
+                if not self.step():
+                    break
+            except SeedStopSimulation:
+                break
+        return self._executed - executed_before
+
+
+# --------------------------------------------------------------------------- #
+# Seed join point (eagerly allocated dataclass) and weaver (closure chain)
+# --------------------------------------------------------------------------- #
+@dataclass
+class SeedJoinPoint:
+    """The seed's dataclass join point with eagerly created dicts."""
+
+    kind: str
+    target: Any
+    signature: Signature
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    component: str = ""
+    timestamp: float = 0.0
+    result: Any = None
+    exception: Optional[BaseException] = None
+    context: Dict[str, Any] = field(default_factory=dict)
+
+
+class SeedWeaver:
+    """The seed commit's weaver: per-call closures, no dispatch compilation."""
+
+    def __init__(self, clock: Optional[Any] = None) -> None:
+        self._clock = clock
+        self._aspects: List[Aspect] = []
+        self._woven: Dict[Tuple[int, str], Callable] = {}
+
+    def register_aspect(self, aspect: Aspect) -> None:
+        self._aspects.append(aspect)
+
+    def weave_object(
+        self,
+        target: Any,
+        method_names: Optional[List[str]] = None,
+        component: Optional[str] = None,
+    ) -> List[str]:
+        declaring_type = declaring_type_of(target)
+        component_name = component or getattr(target, "component_name", None) or declaring_type
+        candidate_names = (
+            method_names
+            if method_names is not None
+            else [
+                name
+                for name in dir(type(target))
+                if not name.startswith("_") and callable(getattr(type(target), name, None))
+            ]
+        )
+        woven_names: List[str] = []
+        for method_name in candidate_names:
+            matched: List[Tuple[Advice, Aspect]] = []
+            for aspect in self._aspects:
+                for advice in aspect.advices():
+                    if advice.applies_to(declaring_type, method_name):
+                        matched.append((advice, aspect))
+            if not matched:
+                continue
+            self._weave_method(target, declaring_type, method_name, component_name, matched)
+            woven_names.append(method_name)
+        return woven_names
+
+    def _weave_method(
+        self,
+        target: Any,
+        declaring_type: str,
+        method_name: str,
+        component_name: str,
+        matched: List[Tuple[Advice, Aspect]],
+    ) -> None:
+        original = getattr(target, method_name)
+        signature = Signature(declaring_type=declaring_type, method_name=method_name)
+        clock = self._clock
+
+        befores = [(a, s) for a, s in matched if a.kind is AdviceKind.BEFORE]
+        afters = [(a, s) for a, s in matched if a.kind is AdviceKind.AFTER]
+        after_returnings = [(a, s) for a, s in matched if a.kind is AdviceKind.AFTER_RETURNING]
+        after_throwings = [(a, s) for a, s in matched if a.kind is AdviceKind.AFTER_THROWING]
+        arounds = [(a, s) for a, s in matched if a.kind is AdviceKind.AROUND]
+
+        @functools.wraps(original)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            join_point = SeedJoinPoint(
+                kind="method-execution",
+                target=target,
+                signature=signature,
+                args=args,
+                kwargs=kwargs,
+                component=component_name,
+                timestamp=float(getattr(clock, "now", 0.0)) if clock is not None else 0.0,
+            )
+
+            def run_core() -> Any:
+                for advice, aspect in befores:
+                    if aspect.enabled:
+                        advice.body(join_point)
+                try:
+                    result = original(*args, **kwargs)
+                except BaseException as exc:
+                    join_point.exception = exc
+                    for advice, aspect in after_throwings:
+                        if aspect.enabled:
+                            advice.body(join_point)
+                    for advice, aspect in afters:
+                        if aspect.enabled:
+                            advice.body(join_point)
+                    raise
+                join_point.result = result
+                for advice, aspect in after_returnings:
+                    if aspect.enabled:
+                        advice.body(join_point)
+                for advice, aspect in afters:
+                    if aspect.enabled:
+                        advice.body(join_point)
+                return result
+
+            call_chain: Callable[[], Any] = run_core
+            for advice, aspect in reversed(arounds):
+                call_chain = _seed_wrap_around(advice, aspect, join_point, call_chain)
+            return call_chain()
+
+        setattr(target, method_name, wrapper)
+        self._woven[(id(target), method_name)] = wrapper
+
+
+def _seed_wrap_around(
+    advice: Advice, aspect: Aspect, join_point: SeedJoinPoint, inner: Callable[[], Any]
+) -> Callable[[], Any]:
+    def call() -> Any:
+        if not aspect.enabled:
+            return inner()
+        return advice.body(join_point, inner)
+
+    return call

@@ -13,23 +13,24 @@ from __future__ import annotations
 class SimClock:
     """A monotonically non-decreasing virtual clock.
 
+    ``now`` is a plain slot attribute rather than a property: the clock is
+    read on every event, request and sample of the simulation, and a Python
+    property call on that path costs more than the rest of the read.  Writers
+    must go through :meth:`advance_to` / :meth:`advance_by` (the engine is the
+    only sanctioned writer).
+
     Parameters
     ----------
     start:
         Initial simulated time in seconds (default ``0.0``).
     """
 
-    __slots__ = ("_now",)
+    __slots__ = ("now",)
 
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
             raise ValueError(f"clock cannot start at negative time: {start}")
-        self._now = float(start)
-
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
+        self.now = float(start)
 
     def advance_to(self, timestamp: float) -> None:
         """Move the clock forward to ``timestamp``.
@@ -39,17 +40,17 @@ class SimClock:
         ValueError
             If ``timestamp`` lies in the past (the clock never goes back).
         """
-        if timestamp < self._now:
+        if timestamp < self.now:
             raise ValueError(
-                f"cannot move clock backwards: now={self._now!r}, requested={timestamp!r}"
+                f"cannot move clock backwards: now={self.now!r}, requested={timestamp!r}"
             )
-        self._now = float(timestamp)
+        self.now = float(timestamp)
 
     def advance_by(self, delta: float) -> None:
         """Move the clock forward by ``delta`` seconds (must be >= 0)."""
         if delta < 0:
             raise ValueError(f"cannot advance clock by negative delta: {delta}")
-        self._now += float(delta)
+        self.now += float(delta)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SimClock(now={self._now:.6f})"
+        return f"SimClock(now={self.now:.6f})"

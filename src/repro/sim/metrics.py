@@ -14,14 +14,22 @@ import numpy as np
 
 
 class TimeSeries:
-    """An append-only ``(timestamp, value)`` series."""
+    """An append-only ``(timestamp, value)`` series.
 
-    __slots__ = ("name", "_times", "_values")
+    The numpy views returned by :attr:`times` / :attr:`values` are cached and
+    only rebuilt after a new observation is recorded; analysis code calls
+    them repeatedly (masking, trend fits, report rendering) and rebuilding an
+    array per access dominated snapshot post-processing in the seed.
+    """
+
+    __slots__ = ("name", "_times", "_values", "_times_arr", "_values_arr")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._times: List[float] = []
         self._values: List[float] = []
+        self._times_arr: Optional[np.ndarray] = None
+        self._values_arr: Optional[np.ndarray] = None
 
     def record(self, timestamp: float, value: float) -> None:
         """Append one observation.  Timestamps must be non-decreasing."""
@@ -31,19 +39,27 @@ class TimeSeries:
             )
         self._times.append(float(timestamp))
         self._values.append(float(value))
+        self._times_arr = None
+        self._values_arr = None
 
     def __len__(self) -> int:
         return len(self._times)
 
     @property
     def times(self) -> np.ndarray:
-        """Timestamps as a numpy array."""
-        return np.asarray(self._times, dtype=float)
+        """Timestamps as a numpy array (cached until the next ``record``)."""
+        arr = self._times_arr
+        if arr is None:
+            arr = self._times_arr = np.asarray(self._times, dtype=float)
+        return arr
 
     @property
     def values(self) -> np.ndarray:
-        """Values as a numpy array."""
-        return np.asarray(self._values, dtype=float)
+        """Values as a numpy array (cached until the next ``record``)."""
+        arr = self._values_arr
+        if arr is None:
+            arr = self._values_arr = np.asarray(self._values, dtype=float)
+        return arr
 
     def last(self) -> Optional[Tuple[float, float]]:
         """The most recent ``(timestamp, value)`` pair, or ``None`` if empty."""
@@ -65,9 +81,14 @@ class TimeSeries:
         if end < start:
             raise ValueError(f"invalid window [{start}, {end}]")
         out = TimeSeries(self.name)
-        for t, v in zip(self._times, self._values):
-            if start <= t <= end:
-                out.record(t, v)
+        if not self._times:
+            return out
+        # Timestamps are sorted, so the window is one contiguous slice.
+        times = self.times
+        lo = int(np.searchsorted(times, start, side="left"))
+        hi = int(np.searchsorted(times, end, side="right"))
+        out._times = self._times[lo:hi]
+        out._values = self._values[lo:hi]
         return out
 
     def resample(self, interval: float, end: Optional[float] = None) -> "TimeSeries":
@@ -78,10 +99,20 @@ class TimeSeries:
             return TimeSeries(self.name)
         stop = end if end is not None else self._times[-1]
         out = TimeSeries(self.name)
+        # The grid is accumulated (not multiplied out) to stay bit-for-bit
+        # identical with the seed's repeated-addition float behaviour.
+        grid: List[float] = []
         t = self._times[0]
         while t <= stop + 1e-12:
-            out.record(t, self.value_at(t))
+            grid.append(t)
             t += interval
+        if not grid:
+            return out
+        idx = np.searchsorted(self.times, np.asarray(grid, dtype=float), side="right") - 1
+        np.clip(idx, 0, None, out=idx)
+        values = self.values[idx]
+        out._times = grid
+        out._values = [float(v) for v in values]
         return out
 
     def to_rows(self) -> List[Tuple[float, float]]:
@@ -139,6 +170,16 @@ class WindowedRate:
     Used by the experiment harness to produce throughput curves (Fig. 3):
     ``mark(t)`` records one completed request at simulated time ``t``; the
     completed windows are exposed as a :class:`TimeSeries` of events/second.
+
+    Marks may arrive **out of order**: the closed-loop workload records each
+    request at issue time but stamps it with its completion time, and a slow
+    request issued early can complete after a fast request issued later.  The
+    seed implementation flushed windows eagerly on the highest timestamp seen
+    so far, which silently attributed any late mark to the *current* window.
+    Counts are instead buffered per window index and only emitted by
+    :meth:`finish`; a mark for a window that has already been emitted (only
+    possible across ``finish`` calls, e.g. stragglers of a previous run
+    segment) is clamped into the oldest still-open window.
     """
 
     def __init__(self, window: float, name: str = "") -> None:
@@ -146,33 +187,46 @@ class WindowedRate:
             raise ValueError(f"window must be positive, got {window}")
         self.name = name
         self.window = float(window)
-        self._window_start = 0.0
-        self._count_in_window = 0
+        self._emitted_windows = 0
+        self._pending: Dict[int, int] = {}
         self._series = TimeSeries(name)
 
     def mark(self, timestamp: float, count: int = 1) -> None:
-        """Record ``count`` events at ``timestamp``."""
+        """Record ``count`` events at ``timestamp`` (any order)."""
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
-        self._flush_up_to(timestamp)
-        self._count_in_window += count
+        index = int(timestamp // self.window)
+        if index < self._emitted_windows:
+            index = self._emitted_windows
+        self._pending[index] = self._pending.get(index, 0) + count
 
     def _flush_up_to(self, timestamp: float) -> None:
-        while timestamp >= self._window_start + self.window:
-            midpoint = self._window_start + self.window / 2.0
-            self._series.record(midpoint, self._count_in_window / self.window)
-            self._window_start += self.window
-            self._count_in_window = 0
+        # Window boundaries use the same multiplicative arithmetic as the
+        # index computation in mark() (``timestamp // window``); deriving
+        # them by repeated addition would disagree with ``//`` for widths
+        # that are not exactly representable in binary.
+        window = self.window
+        while timestamp >= (self._emitted_windows + 1) * window:
+            index = self._emitted_windows
+            midpoint = index * window + window / 2.0
+            count = self._pending.pop(index, 0)
+            self._series.record(midpoint, count / window)
+            self._emitted_windows += 1
 
     def finish(self, end_time: float) -> TimeSeries:
-        """Flush any complete windows up to ``end_time`` and return the series."""
+        """Emit every window that completes by ``end_time``; return the series."""
         self._flush_up_to(end_time)
         return self._series
 
     @property
     def series(self) -> TimeSeries:
-        """The throughput series for windows completed so far."""
+        """The throughput series for windows emitted so far (see ``finish``)."""
         return self._series
+
+    @property
+    def pending_marks(self) -> int:
+        """Marks buffered for windows that have not been emitted yet."""
+        return sum(self._pending.values())
 
 
 class MetricRegistry:

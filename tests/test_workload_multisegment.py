@@ -1,0 +1,170 @@
+"""Multi-segment workload runs and out-of-order throughput accounting.
+
+Covers the two seed bugs fixed in this PR:
+
+* ``EmulatedBrowser._issue_request`` used to drop (not park) the next
+  request once it fell past ``end_time``, so a second
+  :meth:`WorkloadGenerator.run` resumed with a dead browser population.
+* ``WindowedRate.mark`` eagerly flushed windows on the highest completion
+  timestamp seen, silently attributing out-of-order completions to the
+  wrong (current) window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import WindowedRate
+from repro.tpcw.application import build_deployment
+from repro.tpcw.population import PopulationScale
+from repro.tpcw.workload import WorkloadGenerator, WorkloadPhase
+
+
+def _generator(seed: int = 3) -> WorkloadGenerator:
+    engine = SimulationEngine()
+    deployment = build_deployment(scale=PopulationScale.tiny(), seed=seed, clock=engine.clock)
+    return WorkloadGenerator(engine, deployment, think_time_mean=5.0)
+
+
+class TestMultiSegmentRuns:
+    def test_second_segment_resumes_population(self):
+        generator = _generator()
+        generator.schedule_phases([WorkloadPhase(0.0, 10)])
+        generator.run(120.0)
+        first = generator.completed_requests
+        assert first > 50
+        assert generator.active_browsers == 0  # stopped between segments
+
+        generator.run(120.0)
+        second = generator.completed_requests - first
+        # The revived population keeps producing load at a comparable rate.
+        assert second > first * 0.5
+        assert generator.active_browsers == 0
+
+    def test_browsers_are_parked_not_dropped(self):
+        generator = _generator()
+        generator.schedule_phases([WorkloadPhase(0.0, 5)])
+        generator.run(60.0)
+        parked = [browser for browser in generator._browsers if browser.parked_time is not None]
+        # Every browser's next request fell past end_time and was parked.
+        assert parked, "expected at least one parked browser after a segment"
+        for browser in parked:
+            assert browser.parked_time > 0.0
+
+    def test_three_segments_accumulate(self):
+        generator = _generator(seed=9)
+        generator.schedule_phases([WorkloadPhase(0.0, 5)])
+        totals = []
+        for _ in range(3):
+            generator.run(60.0)
+            totals.append(generator.completed_requests)
+        assert totals[0] > 0
+        assert totals[2] > totals[1] > totals[0]
+
+    def test_ramp_down_is_not_resurrected_by_next_segment(self):
+        # A browser removed by set_active_browsers must stay removed even if
+        # it had a parked request: deliberate stop() drops the parked state.
+        generator = _generator()
+        generator.schedule_phases([WorkloadPhase(0.0, 10)])
+        generator.run(60.0)
+        parked = [b for b in generator._browsers if b.parked_time is not None]
+        assert len(parked) == 10
+        generator.set_active_browsers(4)  # ramp down between segments
+        live = [
+            b for b in generator._browsers if b.active or b.parked_time is not None
+        ]
+        assert len(live) == 4
+        generator.run(60.0)
+        # Only the remaining population was revived; no extra browsers built.
+        assert len(generator._browsers) == 10
+        revived = {b.browser_id for b in generator._browsers if b.requests_issued > 0}
+        assert len(revived) == 10  # all issued in segment 1...
+        active_like = [
+            b for b in generator._browsers if b.active or b.parked_time is not None
+        ]
+        assert len(active_like) == 4  # ...but only 4 carried into segment 2
+
+    def test_growing_between_segments_counts_parked_browsers(self):
+        generator = _generator()
+        generator.schedule_phases([WorkloadPhase(0.0, 5)])
+        generator.run(60.0)
+        generator.set_active_browsers(8)  # 5 parked survive, only 3 added
+        assert len(generator._browsers) == 8
+
+    def test_trace_keeps_request_event_names(self):
+        engine = SimulationEngine(trace=True)
+        deployment = build_deployment(
+            scale=PopulationScale.tiny(), seed=3, clock=engine.clock
+        )
+        generator = WorkloadGenerator(engine, deployment, think_time_mean=5.0)
+        generator.schedule_phases([WorkloadPhase(0.0, 3)])
+        generator.run(60.0)
+        request_events = [name for name in engine.trace if name.endswith(".request")]
+        assert len(request_events) >= generator.completed_requests - 3
+
+    def test_segment_shorter_than_parked_delay_keeps_browsers_parked(self):
+        # A micro-segment that cannot reach any parked request must keep the
+        # population parked (not schedule-and-lose it).
+        generator = _generator()
+        generator.schedule_phases([WorkloadPhase(0.0, 5)])
+        generator.run(60.0)
+        first = generator.completed_requests
+        generator.run(0.001)  # too short for any parked request to fire
+        parked = [b for b in generator._browsers if b.parked_time is not None]
+        assert len(parked) == 5
+        generator.run(120.0)
+        assert generator.completed_requests > first  # population survived
+
+    def test_single_segment_unchanged_without_second_run(self):
+        generator = _generator()
+        generator.schedule_phases([WorkloadPhase(0.0, 10)])
+        generator.run(120.0)
+        assert generator.active_browsers == 0
+        assert generator.error_count == 0
+
+
+class TestWindowedRateOutOfOrder:
+    def test_in_order_marks_match_seed_behaviour(self):
+        rate = WindowedRate(window=10.0)
+        for t in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            rate.mark(t)
+        series = rate.finish(20.0)
+        assert len(series) == 2
+        assert series.values[0] == pytest.approx(0.5)
+        assert series.values[1] == pytest.approx(0.0)
+        assert list(series.times) == [5.0, 15.0]
+
+    def test_out_of_order_marks_land_in_their_own_window(self):
+        rate = WindowedRate(window=10.0)
+        rate.mark(25.0)  # completes late in window 2
+        rate.mark(5.0)   # completes earlier — seed put this in window 2!
+        rate.mark(15.0)
+        series = rate.finish(30.0)
+        assert list(series.values) == pytest.approx([0.1, 0.1, 0.1])
+
+    def test_boundary_mark_goes_to_later_window(self):
+        rate = WindowedRate(window=10.0)
+        rate.mark(10.0)
+        series = rate.finish(20.0)
+        assert list(series.values) == pytest.approx([0.0, 0.1])
+
+    def test_stragglers_after_finish_are_clamped_forward(self):
+        rate = WindowedRate(window=10.0)
+        rate.mark(5.0)
+        rate.finish(10.0)  # window 0 emitted
+        rate.mark(7.0)     # straggler for an already-emitted window
+        series = rate.finish(20.0)
+        # The straggler is clamped into the oldest open window, not lost.
+        assert list(series.values) == pytest.approx([0.1, 0.1])
+
+    def test_pending_marks_counter(self):
+        rate = WindowedRate(window=10.0)
+        rate.mark(5.0, count=3)
+        assert rate.pending_marks == 3
+        rate.finish(10.0)
+        assert rate.pending_marks == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedRate(window=10.0).mark(1.0, count=-1)
