@@ -46,13 +46,24 @@ def mann_kendall(values: Sequence[float], alpha: float = 0.05) -> TrendResult:
     if n < 3:
         return TrendResult(statistic=0.0, z_score=0.0, p_value=1.0, increasing=False, significant=False)
 
-    # S = sum of signs of all pairwise forward differences.
-    s = 0.0
-    for i in range(n - 1):
-        s += np.sign(data[i + 1:] - data[i]).sum()
+    _, tie_counts = np.unique(data, return_counts=True)
+
+    # S = sum of signs of all pairwise forward differences.  Rather than the
+    # former O(n^2) per-row loop, recover the exact integer S from Kendall's
+    # tau-b (scipy's C implementation, O(n log n)):
+    #     tau_b = S / sqrt((P - T_time) * (P - T_values))
+    # with P = n(n-1)/2 total pairs and T the tied-pair counts; time indices
+    # are strictly increasing, so T_time = 0.  |S| <= P stays far below the
+    # float53 rounding horizon, so round() reproduces the loop bit for bit.
+    n_pairs = n * (n - 1) / 2.0
+    tie_pairs = float((tie_counts * (tie_counts - 1) / 2.0).sum())
+    tau = scipy_stats.kendalltau(np.arange(n, dtype=float), data).correlation
+    if np.isnan(tau):  # all observations tied: every pairwise sign is zero
+        s = 0.0
+    else:
+        s = float(round(tau * np.sqrt(n_pairs * (n_pairs - tie_pairs))))
 
     # Variance with tie correction.
-    _, tie_counts = np.unique(data, return_counts=True)
     tie_term = (tie_counts * (tie_counts - 1) * (2 * tie_counts + 5)).sum()
     variance = (n * (n - 1) * (2 * n + 5) - tie_term) / 18.0
     if variance <= 0:
@@ -110,13 +121,15 @@ def theil_sen_slope(times: Sequence[float], values: Sequence[float], max_pairs: 
         n = t.shape[0]
         if n < 2:
             return 0.0
-    slopes = []
-    for i in range(n - 1):
-        dt = t[i + 1:] - t[i]
-        dy = y[i + 1:] - y[i]
-        valid = dt != 0
-        if valid.any():
-            slopes.append(dy[valid] / dt[valid])
-    if not slopes:
+    # All pairwise forward differences at once: after the stride cap the
+    # series holds at most ~sqrt(2 * max_pairs) points, so the n x n
+    # difference matrices stay small.  The upper-triangle indices enumerate
+    # pairs in the same row-major (i ascending, then j) order as the former
+    # per-row loop, and the median sorts anyway, so results are identical.
+    row, col = np.triu_indices(n, k=1)
+    dt = t[col] - t[row]
+    dy = y[col] - y[row]
+    valid = dt != 0
+    if not valid.any():
         return 0.0
-    return float(np.median(np.concatenate(slopes)))
+    return float(np.median(dy[valid] / dt[valid]))

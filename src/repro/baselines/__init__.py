@@ -17,9 +17,14 @@ from __future__ import annotations
 from repro.baselines.blackbox import BlackBoxMonitor, BlackBoxReport
 from repro.baselines.pinpoint import PinpointAnalyzer, PinpointReport
 from repro.baselines.rejuvenation import (
+    NoActionPolicy,
+    PolicyObservation,
     ProactiveRejuvenationPolicy,
+    RejuvenationAction,
     RejuvenationOutcome,
+    RejuvenationPolicy,
     TimeBasedRejuvenationPolicy,
+    exposure_seconds,
 )
 
 __all__ = [
@@ -27,7 +32,12 @@ __all__ = [
     "BlackBoxReport",
     "PinpointAnalyzer",
     "PinpointReport",
+    "RejuvenationPolicy",
+    "NoActionPolicy",
     "TimeBasedRejuvenationPolicy",
     "ProactiveRejuvenationPolicy",
     "RejuvenationOutcome",
+    "RejuvenationAction",
+    "PolicyObservation",
+    "exposure_seconds",
 ]

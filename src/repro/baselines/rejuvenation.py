@@ -2,17 +2,30 @@
 
 The motivation of root-cause *component* determination is surgical
 rejuvenation (micro-reboot of the guilty component) instead of whole-server
-restarts.  These small analytic policies let the extension benchmark
-quantify that benefit: given the heap trajectory of a run, how many
-rejuvenation actions does each policy take and how much availability is lost?
+restarts.  Each policy supports two modes:
+
+* **analytic** (:meth:`~RejuvenationPolicy.evaluate`): given the heap
+  trajectory of an already-finished run, how many rejuvenation actions would
+  the policy have taken and how much availability would have been lost?
+* **live** (:meth:`~RejuvenationPolicy.decide`): consulted mid-run by the
+  :class:`~repro.core.rejuvenation.RejuvenationController`, which actually
+  executes the returned action inside the simulation (full-server restart or
+  component micro-reboot, Candea et al.'s micro-reboot argument).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
 
 from repro.analysis.trend import linear_slope
 from repro.sim.metrics import TimeSeries
+
+#: Action kinds a policy can request from the live controller.
+FULL_RESTART = "full-restart"
+MICRO_REBOOT = "micro-reboot"
 
 
 @dataclass
@@ -26,7 +39,84 @@ class RejuvenationOutcome:
     exposure_seconds: float
 
 
-class TimeBasedRejuvenationPolicy:
+@dataclass(frozen=True)
+class RejuvenationAction:
+    """One action a policy asks the live controller to execute."""
+
+    kind: str  #: :data:`FULL_RESTART` or :data:`MICRO_REBOOT`
+    downtime_seconds: float
+    #: Micro-reboot target; ``None`` for whole-server actions.
+    component: Optional[str] = None
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in (FULL_RESTART, MICRO_REBOOT):
+            raise ValueError(f"unknown rejuvenation action kind {self.kind!r}")
+        if self.downtime_seconds < 0:
+            raise ValueError(f"downtime must be non-negative, got {self.downtime_seconds}")
+
+
+@dataclass
+class PolicyObservation:
+    """What the live controller knows when it consults a policy.
+
+    ``heap_series`` is windowed to the samples recorded since the last
+    executed action, so a policy sees the *fresh* trend (a micro-reboot that
+    reclaimed the leak resets the extrapolation instead of diluting it).
+    """
+
+    now: float
+    heap_series: TimeSeries
+    heap_capacity: float
+    #: Simulated time the run (or this policy's bookkeeping) started.
+    start_time: float = 0.0
+    #: End of the most recent executed action's downtime, ``None`` before any.
+    last_action_end: Optional[float] = None
+    #: Current root-cause suspect (only resolved for policies that ask for it).
+    suspect_component: Optional[str] = None
+
+
+class RejuvenationPolicy:
+    """Base class: a named policy with analytic and live decision modes."""
+
+    name = "abstract"
+    #: Whether the live controller should resolve the root-cause suspect
+    #: before consulting :meth:`decide` (it costs a strategy analysis).
+    needs_root_cause = False
+
+    def evaluate(
+        self, heap_series: TimeSeries, window_seconds: float, heap_capacity: float
+    ) -> RejuvenationOutcome:
+        """Analytic mode: actions/downtime over an observed window."""
+        raise NotImplementedError
+
+    def decide(self, observation: PolicyObservation) -> Optional[RejuvenationAction]:
+        """Live mode: the action to execute now, or ``None``."""
+        raise NotImplementedError
+
+
+class NoActionPolicy(RejuvenationPolicy):
+    """Never rejuvenates (the do-nothing baseline every comparison needs)."""
+
+    name = "no-action"
+
+    def evaluate(
+        self, heap_series: TimeSeries, window_seconds: float, heap_capacity: float
+    ) -> RejuvenationOutcome:
+        """Zero actions; exposure is whatever the trajectory shows."""
+        return RejuvenationOutcome(
+            policy=self.name,
+            actions=0,
+            downtime_seconds=0.0,
+            exposure_seconds=exposure_seconds(heap_series, heap_capacity),
+        )
+
+    def decide(self, observation: PolicyObservation) -> Optional[RejuvenationAction]:
+        """Never acts."""
+        return None
+
+
+class TimeBasedRejuvenationPolicy(RejuvenationPolicy):
     """Restart the whole application server every ``interval`` seconds.
 
     Parameters
@@ -48,7 +138,7 @@ class TimeBasedRejuvenationPolicy:
     def evaluate(self, heap_series: TimeSeries, window_seconds: float, heap_capacity: float) -> RejuvenationOutcome:
         """Number of restarts and downtime over the window."""
         actions = int(window_seconds // self.interval)
-        exposure = _exposure_seconds(heap_series, heap_capacity)
+        exposure = exposure_seconds(heap_series, heap_capacity)
         return RejuvenationOutcome(
             policy=self.name,
             actions=actions,
@@ -56,8 +146,23 @@ class TimeBasedRejuvenationPolicy:
             exposure_seconds=exposure,
         )
 
+    def decide(self, observation: PolicyObservation) -> Optional[RejuvenationAction]:
+        """Restart once ``interval`` has elapsed since the last restart."""
+        reference = (
+            observation.last_action_end
+            if observation.last_action_end is not None
+            else observation.start_time
+        )
+        if observation.now - reference < self.interval:
+            return None
+        return RejuvenationAction(
+            kind=FULL_RESTART,
+            downtime_seconds=self.restart_downtime,
+            reason=f"scheduled restart every {self.interval:.0f}s",
+        )
 
-class ProactiveRejuvenationPolicy:
+
+class ProactiveRejuvenationPolicy(RejuvenationPolicy):
     """Micro-reboot the guilty component when exhaustion is predicted.
 
     The policy extrapolates the observed heap trend; when the predicted time
@@ -68,27 +173,52 @@ class ProactiveRejuvenationPolicy:
     """
 
     name = "proactive-microreboot"
+    needs_root_cause = True
 
-    def __init__(self, horizon: float = 1800.0, microreboot_downtime: float = 2.0) -> None:
+    def __init__(
+        self,
+        horizon: float = 1800.0,
+        microreboot_downtime: float = 2.0,
+        min_samples: int = 3,
+    ) -> None:
         if horizon <= 0 or microreboot_downtime < 0:
             raise ValueError("horizon must be positive and microreboot_downtime non-negative")
+        if min_samples < 2:
+            raise ValueError(f"min_samples must be >= 2, got {min_samples}")
         self.horizon = float(horizon)
         self.microreboot_downtime = float(microreboot_downtime)
+        self.min_samples = int(min_samples)
+
+    def _time_to_exhaustion(
+        self, heap_series: TimeSeries, heap_capacity: float
+    ) -> Optional[float]:
+        """Predicted seconds until the heap trend reaches capacity.
+
+        ``None`` when there is no usable upward trend (too few samples or a
+        flat/shrinking heap).
+        """
+        if len(heap_series) < self.min_samples:
+            return None
+        slope = linear_slope(heap_series.times, heap_series.values)
+        if slope <= 0:
+            return None
+        last = heap_series.values[-1]
+        return max(0.0, (heap_capacity - last) / slope)
 
     def evaluate(self, heap_series: TimeSeries, window_seconds: float, heap_capacity: float) -> RejuvenationOutcome:
         """Number of micro-reboots and downtime over the window."""
         actions = 0
-        if len(heap_series) >= 3:
-            slope = linear_slope(heap_series.times, heap_series.values)
-            if slope > 0:
-                last = heap_series.values[-1]
-                time_to_exhaustion = max(0.0, (heap_capacity - last) / slope)
-                if time_to_exhaustion < self.horizon:
-                    actions = 1
-                # Steady leaks over long windows need periodic recycling.
-                if time_to_exhaustion > 0:
-                    actions = max(actions, int(window_seconds // max(time_to_exhaustion, 1.0)))
-        exposure = _exposure_seconds(heap_series, heap_capacity)
+        time_to_exhaustion = self._time_to_exhaustion(heap_series, heap_capacity)
+        if time_to_exhaustion is not None:
+            if time_to_exhaustion < self.horizon:
+                actions = 1
+            # Steady leaks over long windows need periodic recycling.  The
+            # 1-second floor also covers an already-exhausted heap
+            # (time_to_exhaustion == 0), which must recycle at least as often
+            # as a nearly-exhausted one instead of reporting a single action
+            # for an arbitrarily long window.
+            actions = max(actions, int(window_seconds // max(time_to_exhaustion, 1.0)))
+        exposure = exposure_seconds(heap_series, heap_capacity)
         return RejuvenationOutcome(
             policy=self.name,
             actions=actions,
@@ -96,16 +226,58 @@ class ProactiveRejuvenationPolicy:
             exposure_seconds=exposure,
         )
 
+    def decide(self, observation: PolicyObservation) -> Optional[RejuvenationAction]:
+        """Micro-reboot the suspect when exhaustion is predicted within the horizon."""
+        time_to_exhaustion = self._time_to_exhaustion(
+            observation.heap_series, observation.heap_capacity
+        )
+        if time_to_exhaustion is None or time_to_exhaustion >= self.horizon:
+            return None
+        if observation.suspect_component is None:
+            # No component to blame yet; a micro-reboot has no target.
+            return None
+        return RejuvenationAction(
+            kind=MICRO_REBOOT,
+            downtime_seconds=self.microreboot_downtime,
+            component=observation.suspect_component,
+            reason=f"exhaustion predicted in {time_to_exhaustion:.0f}s (< {self.horizon:.0f}s)",
+        )
 
-def _exposure_seconds(heap_series: TimeSeries, heap_capacity: float, danger_fraction: float = 0.9) -> float:
-    """Seconds spent above ``danger_fraction`` of capacity (step integration)."""
-    if len(heap_series) < 2 or heap_capacity <= 0:
+
+def exposure_seconds(
+    heap_series: TimeSeries,
+    heap_capacity: float,
+    danger_fraction: float = 0.9,
+    window_end: Optional[float] = None,
+) -> float:
+    """Seconds spent above ``danger_fraction`` of capacity (step integration).
+
+    Each sample above the threshold contributes the interval up to the next
+    sample.  The *final* sample, which has no successor, contributes the
+    remainder of the observation window when ``window_end`` is given (zero
+    when the window ends at or before the sample — never credit exposure
+    past the stated window), and one median sample spacing when no window
+    end is known — the seed implementation credited it nothing,
+    under-reporting exposure exactly when the run ends in the danger zone.
+    """
+    if len(heap_series) == 0 or heap_capacity <= 0:
         return 0.0
     times = heap_series.times
     values = heap_series.values
     threshold = danger_fraction * heap_capacity
-    exposure = 0.0
-    for index in range(len(times) - 1):
-        if values[index] >= threshold:
-            exposure += times[index + 1] - times[index]
-    return float(exposure)
+    if len(times) == 1:
+        if values[0] >= threshold and window_end is not None and window_end > times[0]:
+            return float(window_end - times[0])
+        return 0.0
+    intervals = np.diff(times)
+    exposure = float(intervals[values[:-1] >= threshold].sum())
+    if values[-1] >= threshold:
+        if window_end is not None:
+            exposure += max(0.0, float(window_end - times[-1]))
+        else:
+            exposure += float(np.median(intervals))
+    return exposure
+
+
+#: Backwards-compatible alias (the policies above used to call this name).
+_exposure_seconds = exposure_seconds

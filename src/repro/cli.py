@@ -9,6 +9,7 @@ Front-end targets::
     python -m repro.cli fig4                       # single-leak experiment
     python -m repro.cli fig5                       # four identical leaks (+ Fig. 6 map)
     python -m repro.cli fig7                       # heterogeneous leak sizes
+    python -m repro.cli rejuvenation               # live restarts vs. micro-reboots
     python -m repro.cli environment                # Table I, paper vs. reproduction
 
 All experiments run in virtual time; ``--duration-scale`` scales the paper's
@@ -23,13 +24,20 @@ from typing import List, Optional
 
 from repro._version import __version__
 from repro.experiments.environment import environment_rows
-from repro.experiments.reporting import fig3_report, fig6_report, format_table, leak_scenario_report
+from repro.experiments.reporting import (
+    fig3_report,
+    fig6_report,
+    format_table,
+    leak_scenario_report,
+    rejuvenation_report,
+)
 from repro.experiments.scenarios import (
     fig3_overhead,
     fig4_single_leak,
     fig5_multi_leak,
     fig6_manager_map,
     fig7_injection_sizes,
+    fig_rejuvenation,
 )
 from repro.tpcw.population import PopulationScale
 
@@ -165,6 +173,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_rejuvenation(args: argparse.Namespace) -> int:
+    scenario = fig_rejuvenation(
+        duration_scale=args.duration_scale, seed=args.seed, scale=_population(args), ebs=args.ebs
+    )
+    print(rejuvenation_report(scenario))
+    return 0
+
+
 def _cmd_fig7(args: argparse.Namespace) -> int:
     scenario = fig7_injection_sizes(
         duration_scale=args.duration_scale, seed=args.seed, scale=_population(args), ebs=args.ebs
@@ -216,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig4", _cmd_fig4, "single-leak experiment"),
         ("fig5", _cmd_fig5, "four identical leaks (+ the Fig. 6 map)"),
         ("fig7", _cmd_fig7, "heterogeneous leak sizes"),
+        ("rejuvenation", _cmd_rejuvenation, "live rejuvenation: no action vs. restarts vs. micro-reboots"),
     ]:
         sub = subparsers.add_parser(name, help=help_text)
         add_common(sub, include_ebs=(name != "fig3"))

@@ -71,6 +71,12 @@ class RequestOutcome:
     gc_pause_seconds: float = 0.0
     monitoring_overhead_seconds: float = 0.0
     rejected: bool = False
+    #: The request was refused because the server (or its target component)
+    #: was down for rejuvenation, not because capacity ran out.
+    refused_by_outage: bool = False
+    #: Earliest time the outage that refused this request ends (callers that
+    #: model patient clients can retry then); 0.0 when not refused.
+    retry_after: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -125,6 +131,45 @@ class ApplicationServer:
         self.external_cost_providers: List[Callable[[], float]] = []
         self._completed = 0
         self._rejected = 0
+        #: Active / future outage windows: ``(start, end, component-or-None)``.
+        #: A ``None`` component means the whole server is down (full restart);
+        #: otherwise only requests routed to that component are refused
+        #: (micro-reboot).  Installed by the rejuvenation controller.
+        self._outages: List[tuple] = []
+        self._refused_by_outage = 0
+
+    # ------------------------------------------------------------------ #
+    # Rejuvenation outages
+    # ------------------------------------------------------------------ #
+    def begin_outage(self, start: float, end: float, component: Optional[str] = None) -> None:
+        """Refuse requests during ``[start, end)``.
+
+        ``component=None`` takes the whole server down (full restart);
+        naming a component refuses only requests routed to it (micro-reboot
+        of one component while the rest keep serving).
+        """
+        if end <= start:
+            raise ValueError(f"outage must have positive duration, got [{start}, {end})")
+        self._outages.append((float(start), float(end), component))
+
+    def outage_for(self, now: float, servlet_name: Optional[str] = None) -> Optional[tuple]:
+        """The outage window covering ``now`` for ``servlet_name``, if any.
+
+        Expired windows are pruned as a side effect so the list stays small.
+        """
+        if not self._outages:
+            return None
+        self._outages = [entry for entry in self._outages if entry[1] > now]
+        for entry in self._outages:
+            start, end, component = entry
+            if start <= now < end and (component is None or component == servlet_name):
+                return entry
+        return None
+
+    @property
+    def refused_during_outage(self) -> int:
+        """Requests refused because a rejuvenation outage was in effect."""
+        return self._refused_by_outage
 
     # ------------------------------------------------------------------ #
     def add_external_cost_provider(self, provider: Callable[[], float]) -> None:
@@ -156,6 +201,28 @@ class ApplicationServer:
         response = HttpServletResponse()
         registration = self.dispatcher.resolve(request.uri)
         servlet_name = registration.name if registration is not None else ""
+
+        # A server (or component) down for rejuvenation refuses up front:
+        # the servlet never executes, so no SQL runs, no heap is allocated
+        # and no injected fault fires while the component is being recycled.
+        outage = self._outages and self.outage_for(arrival_time, servlet_name)
+        if outage:
+            response.set_status(HttpServletResponse.SC_SERVICE_UNAVAILABLE)
+            self._rejected += 1
+            self._refused_by_outage += 1
+            self.metrics.counter("requests.rejected").increment()
+            self.metrics.counter("requests.refused_outage").increment()
+            return RequestOutcome(
+                request=request,
+                response=response,
+                arrival_time=arrival_time,
+                completion_time=arrival_time,
+                response_time=0.0,
+                servlet_name=servlet_name,
+                rejected=True,
+                refused_by_outage=True,
+                retry_after=outage[1],
+            )
 
         # Execute the servlet code (real Python execution, simulated resources).
         db_cost_before = self.datasource.total_cost_seconds

@@ -145,6 +145,17 @@ class SessionManager:
             self._runtime.heap.remove_root(backing)
             backing.clear_references()
 
+    def invalidate_all(self) -> int:
+        """Invalidate every live session (server restart); returns how many.
+
+        Clients keep their stale session ids; the next request simply gets a
+        fresh session, exactly like hitting a rebooted Tomcat.
+        """
+        sessions = list(self._sessions.values())
+        for session in sessions:
+            session.invalidate()
+        return len(sessions)
+
     def expire_idle_sessions(self, now: float) -> int:
         """Expire sessions idle longer than the timeout; returns how many."""
         expired = [

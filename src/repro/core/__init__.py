@@ -37,6 +37,11 @@ from repro.core.monitoring_agents import (
     ThreadAgent,
 )
 from repro.core.overhead import OverheadAccount
+from repro.core.rejuvenation import (
+    RejuvenationController,
+    RejuvenationEvent,
+    RejuvenationReport,
+)
 from repro.core.resource_map import ComponentSample, ComponentStats, ResourceComponentMap
 from repro.core.rootcause import (
     PaperMapStrategy,
@@ -68,6 +73,9 @@ __all__ = [
     "Suspicion",
     "RootCauseReport",
     "OverheadAccount",
+    "RejuvenationController",
+    "RejuvenationEvent",
+    "RejuvenationReport",
     "MonitoringFrontEnd",
     "MonitoringFramework",
     "FrameworkConfig",

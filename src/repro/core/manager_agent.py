@@ -14,7 +14,7 @@ data points).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.aspect_component import ASPECT_DOMAIN
 from repro.core.monitoring_agents import AGENT_DOMAIN
@@ -22,7 +22,7 @@ from repro.core.resource_map import DEFAULT_METRIC, ComponentSample, ResourceCom
 from repro.core.rootcause import PaperMapStrategy, RootCauseReport, RootCauseStrategy
 from repro.jmx.mbean import MBean, attribute, operation
 from repro.jmx.mbean_server import MBeanServer
-from repro.jmx.notifications import NotificationBroadcaster
+from repro.jmx.notifications import Notification, NotificationBroadcaster, type_filter
 from repro.jmx.object_name import ObjectName
 
 #: Canonical ObjectName of the manager agent.
@@ -30,6 +30,10 @@ MANAGER_OBJECT_NAME = ObjectName.of("repro.core", type="ManagerAgent")
 
 #: Notification emitted when a component's consumption crosses the alert threshold.
 AGING_SUSPECT_NOTIFICATION = "repro.aging.suspect"
+
+#: Buffered AC samples are folded into the map once this many accumulate
+#: (or earlier, whenever anything reads the map).
+SAMPLE_FLUSH_THRESHOLD = 256
 
 
 class ManagerAgent(MBean, NotificationBroadcaster):
@@ -63,34 +67,95 @@ class ManagerAgent(MBean, NotificationBroadcaster):
         self._clock = clock
         self.strategy = strategy or PaperMapStrategy()
         self.alert_growth_bytes = float(alert_growth_bytes)
-        self.map = ResourceComponentMap()
+        self._map = ResourceComponentMap()
         self._known_components: List[str] = []
+        self._known_set: set = set()
+        self._pending_samples: List[ComponentSample] = []
+        #: Per-component delta sums of the buffered samples / consumption at
+        #: the last flush — a cheap running estimate that lets the buffered
+        #: intake still raise aging alerts promptly (see record_sample).
+        self._pending_growth: Dict[str, float] = {}
+        self._folded_consumption: Dict[str, float] = {}
         self._alerted: set = set()
         self._snapshot_count = 0
+        #: Whether snapshots also poll the heap agent's ``live_bytes`` walk
+        #: (an O(live objects) reference-graph closure).  Off by default;
+        #: the rejuvenation controller switches it on because its policies
+        #: extrapolate the post-GC ``heap_live`` series.
+        self.poll_live_heap = False
 
     # ------------------------------------------------------------------ #
     def _now(self) -> float:
         return float(getattr(self._clock, "now", 0.0)) if self._clock is not None else 0.0
+
+    @property
+    def map(self) -> ResourceComponentMap:
+        """The resource-component map, with buffered samples folded in."""
+        self._flush_samples()
+        return self._map
 
     # ------------------------------------------------------------------ #
     # Sample intake (called by ACs through the MBeanServer)
     # ------------------------------------------------------------------ #
     @operation
     def record_sample(self, sample: ComponentSample) -> None:
-        """Fold one Aspect-Component sample into the map."""
+        """Buffer one Aspect-Component sample (folded into the map in batches).
+
+        ACs deliver two samples per intercepted request; buffering them and
+        folding in bulk replaces per-sample series appends on the hottest
+        monitoring path.  Every read of the map flushes first, so buffering
+        is invisible to consumers.
+        """
         if not isinstance(sample, ComponentSample):
             raise TypeError(f"expected a ComponentSample, got {type(sample).__name__}")
-        if sample.component not in self._known_components:
-            self._known_components.append(sample.component)
-        self.map.add_sample(sample)
-        self._check_alert(sample.component)
+        self._pending_samples.append(sample)
+        component = sample.component
+        if component not in self._alerted:
+            # Running delta-sum estimate: when the folded consumption plus
+            # the buffered growth reaches the alert threshold, flush now so
+            # the aging alert fires on the sample that crossed it instead of
+            # up to a buffer's worth of samples later.
+            growth = self._pending_growth.get(component, 0.0) + sample.deltas.get(
+                DEFAULT_METRIC, 0.0
+            )
+            self._pending_growth[component] = growth
+            if (
+                growth > 0
+                and self._folded_consumption.get(component, 0.0) + growth
+                >= self.alert_growth_bytes
+            ):
+                self._flush_samples()
+                return
+        if len(self._pending_samples) >= SAMPLE_FLUSH_THRESHOLD:
+            self._flush_samples()
+
+    def _flush_samples(self) -> None:
+        """Fold every buffered sample into the map and run alert checks."""
+        pending = self._pending_samples
+        if not pending:
+            return
+        self._pending_samples = []
+        self._pending_growth.clear()
+        touched = dict.fromkeys(sample.component for sample in pending)
+        for component in touched:
+            if component not in self._known_set:
+                self._known_set.add(component)
+                self._known_components.append(component)
+        self._map.add_samples(pending)
+        for component in touched:
+            self._check_alert(component)
+            if component not in self._alerted:
+                self._folded_consumption[component] = self._map.consumption(
+                    component, DEFAULT_METRIC
+                )
 
     @operation
     def register_component(self, component: str) -> None:
         """Declare a component so it shows up in the map even if never sampled."""
-        if component not in self._known_components:
+        if component not in self._known_set:
+            self._known_set.add(component)
             self._known_components.append(component)
-        self.map.register_component(component)
+        self._map.register_component(component)
 
     # ------------------------------------------------------------------ #
     # Polling
@@ -102,6 +167,7 @@ class ManagerAgent(MBean, NotificationBroadcaster):
         Returns the component -> object_size mapping recorded, and also
         records whole-JVM heap usage under the pseudo component ``"<jvm>"``.
         """
+        self._flush_samples()
         when = timestamp if timestamp is not None else self._now()
         sizes: Dict[str, float] = {}
         object_size_agents = self._server.query_names(f"{AGENT_DOMAIN}:type=object-size,*")
@@ -112,22 +178,31 @@ class ManagerAgent(MBean, NotificationBroadcaster):
                     continue
                 size = float(values.get("object_size", 0.0))
                 sizes[component] = size
-                self.map.record_observation(component, "object_size", when, size)
+                self._map.record_observation(component, "object_size", when, size)
                 self._check_alert(component)
         heap_agents = self._server.query_names(f"{AGENT_DOMAIN}:type=heap,*")
         for agent_name in heap_agents:
             values = self._server.invoke(agent_name, "sample", "<jvm>")
             if values:
-                self.map.record_observation(
+                self._map.record_observation(
                     "<jvm>", "heap_used", when, float(values.get("heap_used", 0.0))
                 )
+                if self.poll_live_heap:
+                    # The post-GC floor — a reference-graph walk, so polled
+                    # only when a rejuvenation controller consumes it.
+                    self._map.record_observation(
+                        "<jvm>",
+                        "heap_live",
+                        when,
+                        float(self._server.invoke(agent_name, "live_bytes")),
+                    )
         self._snapshot_count += 1
         return sizes
 
     def _check_alert(self, component: str) -> None:
         if component in self._alerted:
             return
-        growth = self.map.consumption(component, DEFAULT_METRIC)
+        growth = self._map.consumption(component, DEFAULT_METRIC)
         if growth >= self.alert_growth_bytes:
             self._alerted.add(component)
             self.send_notification(
@@ -158,7 +233,27 @@ class ManagerAgent(MBean, NotificationBroadcaster):
     @operation
     def list_components(self) -> List[str]:
         """Components known to the manager (sorted)."""
+        self._flush_samples()
         return sorted(self._known_components)
+
+    # ------------------------------------------------------------------ #
+    # Rejuvenation trigger hook
+    # ------------------------------------------------------------------ #
+    def add_rejuvenation_trigger(
+        self, callback: Callable[[Optional[str], Notification], None]
+    ) -> None:
+        """Invoke ``callback(component, notification)`` on aging alerts.
+
+        The hook the live rejuvenation subsystem hangs off: when a
+        component's accumulated consumption first crosses the alert
+        threshold, the controller gets told immediately instead of waiting
+        for its next periodic check.
+        """
+
+        def _relay(notification: Notification, handback: object) -> None:
+            callback(notification.attributes.get("component"), notification)
+
+        self.add_notification_listener(_relay, type_filter(AGING_SUSPECT_NOTIFICATION))
 
     # ------------------------------------------------------------------ #
     # AC control
@@ -218,6 +313,7 @@ class ManagerAgent(MBean, NotificationBroadcaster):
     @attribute
     def ComponentCount(self) -> int:
         """Number of components known to the manager."""
+        self._flush_samples()
         return len(self._known_components)
 
     @attribute

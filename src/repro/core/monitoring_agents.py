@@ -165,6 +165,19 @@ class HeapAgent(MonitoringAgent):
         """Configured maximum heap size in bytes."""
         return self._runtime.total_memory()
 
+    @operation
+    def live_bytes(self) -> float:
+        """Reachable (post-GC floor) heap bytes.
+
+        A separate operation rather than part of :meth:`sample`: it walks the
+        reference graph, which is far too expensive for the per-request AC
+        sampling path.  The manager polls it once per periodic snapshot; the
+        rejuvenation controller extrapolates this series, because exhaustion
+        is driven by unreclaimable growth, not the garbage sawtooth that
+        ``heap_used`` rides between collections.
+        """
+        return float(self._runtime.heap.live_reachable_bytes())
+
     def _measure(self, component: str) -> Dict[str, float]:
         return {
             "heap_used": float(self._runtime.used_memory()),

@@ -1,0 +1,305 @@
+"""Live rejuvenation subsystem: in-sim restarts and micro-reboots.
+
+The paper's whole point of AOP-based root-cause *component* determination is
+to enable surgical rejuvenation — a micro-reboot of the guilty component
+(Candea et al.) — instead of whole-server restarts.  The
+:class:`RejuvenationController` closes that loop inside the simulation: it
+watches the heap trend the monitoring stack records, consults a
+:class:`~repro.baselines.rejuvenation.RejuvenationPolicy`, and *executes*
+the decided action mid-run:
+
+* **full restart** — the server refuses load for ``downtime_seconds``
+  (browsers park and retry when it is back), every component's retained
+  state is dropped, HTTP sessions are invalidated, and a full collection
+  sweeps the freed state — the heap returns to its post-deploy level.
+* **micro-reboot** — only the guilty component's accumulated objects are
+  reclaimed (:meth:`~repro.jvm.heap.Heap.reclaim_owned`) and only requests
+  routed to that component are refused, for a downtime that is orders of
+  magnitude smaller.
+
+Besides the periodic checks, the controller hangs off the manager's
+aging-suspect notification (:meth:`ManagerAgent.add_rejuvenation_trigger`),
+so a component crossing the alert threshold is re-examined immediately
+instead of at the next check boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.baselines.rejuvenation import (
+    FULL_RESTART,
+    MICRO_REBOOT,
+    PolicyObservation,
+    RejuvenationAction,
+    RejuvenationPolicy,
+)
+from repro.core.manager_agent import ManagerAgent
+from repro.sim.engine import SimulationEngine
+from repro.tpcw.application import TpcwDeployment
+
+#: Event priority of periodic rejuvenation checks: after manager snapshots
+#: (5) and black-box samples (6), so a same-time snapshot lands first and the
+#: policy sees the freshest heap observation.
+CHECK_PRIORITY = 7
+#: Priority of alert-triggered checks (after a same-time periodic check).
+ALERT_CHECK_PRIORITY = 8
+
+
+@dataclass
+class RejuvenationEvent:
+    """One executed rejuvenation action."""
+
+    time: float
+    kind: str  #: ``"full-restart"`` or ``"micro-reboot"``
+    downtime_seconds: float
+    component: Optional[str] = None
+    reason: str = ""
+    reclaimed_objects: int = 0
+    reclaimed_bytes: int = 0
+
+    @property
+    def ends_at(self) -> float:
+        """When the action's outage window closes."""
+        return self.time + self.downtime_seconds
+
+
+@dataclass
+class RejuvenationReport:
+    """Summary of a controller's activity over one run."""
+
+    policy: str
+    actions: int
+    total_downtime_seconds: float
+    reclaimed_bytes: int
+    #: Requests refused while an outage window was in effect.
+    refused_requests: int
+    events: List[RejuvenationEvent] = field(default_factory=list)
+
+
+class RejuvenationController:
+    """Watches the monitored heap trend and rejuvenates mid-run.
+
+    Parameters
+    ----------
+    deployment:
+        The TPC-W deployment to act on (server outages, heap reclaim).
+    manager:
+        The JMX Manager Agent whose map supplies the heap series and the
+        root-cause suspect.
+    engine:
+        Simulation engine used to schedule periodic checks.
+    policy:
+        Decides *when* to act and *what* to do.
+    clear_sessions:
+        Whether a full restart also invalidates every HTTP session (a real
+        Tomcat restart does; disable for session-preserving redeploys).
+    trend_metric:
+        Which ``"<jvm>"`` series the policy extrapolates.  Defaults to
+        ``heap_live`` (the post-GC floor): ``heap_used`` rides the garbage
+        sawtooth between collections, whose slope reflects allocation rate
+        rather than the leak.  Falls back to ``heap_used`` automatically
+        while the live series has no samples yet.
+    """
+
+    def __init__(
+        self,
+        deployment: TpcwDeployment,
+        manager: ManagerAgent,
+        engine: SimulationEngine,
+        policy: RejuvenationPolicy,
+        clear_sessions: bool = True,
+        trend_metric: str = "heap_live",
+    ) -> None:
+        self.deployment = deployment
+        self.manager = manager
+        self.engine = engine
+        self.policy = policy
+        self.clear_sessions = clear_sessions
+        self.trend_metric = trend_metric
+        # Snapshots only pay the live-bytes reference-graph walk when a
+        # controller is around to extrapolate the resulting series.
+        manager.poll_live_heap = True
+        self.events: List[RejuvenationEvent] = []
+        self._start_time = engine.now
+        self._last_action_end: Optional[float] = None
+        self._alert_check_pending = False
+        self._checks_run = 0
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def schedule_checks(
+        self, duration: float, interval: float, start: Optional[float] = None
+    ) -> int:
+        """Schedule periodic policy checks; returns how many were scheduled."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        begin = start if start is not None else self.engine.now
+        count = 0
+        t = begin + interval
+        while t <= begin + duration + 1e-9:
+            self.engine.schedule_at(
+                t,
+                lambda when=t: self.check(when),
+                priority=CHECK_PRIORITY,
+                name="rejuvenation.check",
+            )
+            count += 1
+            t += interval
+        return count
+
+    def install_alert_trigger(self) -> None:
+        """Re-check immediately when the manager flags an aging suspect.
+
+        The manager raises the alert in the middle of request processing
+        (inside an Aspect-Component advice), so the check is deferred to its
+        own event at the same simulated time rather than executed inline.
+        """
+
+        def _on_suspect(component: Optional[str], notification) -> None:
+            if self._alert_check_pending:
+                return
+            self._alert_check_pending = True
+
+            def _deferred_check() -> None:
+                self._alert_check_pending = False
+                self.check()
+
+            self.engine.schedule_at(
+                self.engine.now,
+                _deferred_check,
+                priority=ALERT_CHECK_PRIORITY,
+                name="rejuvenation.alert-check",
+            )
+
+        self.manager.add_rejuvenation_trigger(_on_suspect)
+
+    # ------------------------------------------------------------------ #
+    # Decision + execution
+    # ------------------------------------------------------------------ #
+    def check(self, timestamp: Optional[float] = None) -> Optional[RejuvenationEvent]:
+        """Consult the policy once; execute and return its action, if any."""
+        now = timestamp if timestamp is not None else self.engine.now
+        self._checks_run += 1
+        if self._last_action_end is not None and now < self._last_action_end:
+            return None  # the previous action's downtime is still running
+        heap_series = self.manager.map.series("<jvm>", self.trend_metric)
+        if len(heap_series) == 0:
+            heap_series = self.manager.map.series("<jvm>", "heap_used")
+        window_start = (
+            self._last_action_end if self._last_action_end is not None else self._start_time
+        )
+        observation = PolicyObservation(
+            now=now,
+            heap_series=heap_series.window(window_start, now),
+            heap_capacity=float(self.deployment.runtime.total_memory()),
+            start_time=self._start_time,
+            last_action_end=self._last_action_end,
+            suspect_component=self._suspect() if self.policy.needs_root_cause else None,
+        )
+        action = self.policy.decide(observation)
+        if action is None:
+            return None
+        return self.execute(action, now)
+
+    def _suspect(self) -> Optional[str]:
+        report = self.manager.determine_root_cause()
+        top = report.top()
+        if top is None or top.responsibility <= 0:
+            return None
+        return top.component
+
+    def execute(self, action: RejuvenationAction, at_time: float) -> RejuvenationEvent:
+        """Carry out ``action`` at ``at_time`` and record the event."""
+        if action.kind == FULL_RESTART:
+            event = self._full_restart(at_time, action)
+        elif action.kind == MICRO_REBOOT:
+            if action.component is None:
+                raise ValueError("micro-reboot actions must name a component")
+            event = self._micro_reboot(at_time, action)
+        else:  # pragma: no cover - RejuvenationAction validates kinds
+            raise ValueError(f"unknown action kind {action.kind!r}")
+        self.events.append(event)
+        self._last_action_end = event.ends_at
+        return event
+
+    def _full_restart(self, at_time: float, action: RejuvenationAction) -> RejuvenationEvent:
+        deployment = self.deployment
+        server = deployment.server
+        heap = deployment.runtime.heap
+        if action.downtime_seconds > 0:
+            server.begin_outage(at_time, at_time + action.downtime_seconds, component=None)
+        used_before = heap.used_bytes
+        objects_before = heap.live_object_count
+        # Drop every component's retained state (a restart forgets static
+        # fields and caches) and, like a real redeploy, the session store.
+        for component in deployment.interaction_names():
+            deployment.servlet(component).instance_root.clear_references()
+        if self.clear_sessions:
+            server.sessions.invalidate_all()
+        # Sweep the freed state.  The collector is invoked directly: the
+        # outage window already models the restart's cost, so no GC pause is
+        # charged to the first post-restart request.
+        deployment.runtime.collector.collect()
+        return RejuvenationEvent(
+            time=at_time,
+            kind=FULL_RESTART,
+            downtime_seconds=action.downtime_seconds,
+            reason=action.reason,
+            reclaimed_objects=objects_before - heap.live_object_count,
+            reclaimed_bytes=used_before - heap.used_bytes,
+        )
+
+    def _micro_reboot(self, at_time: float, action: RejuvenationAction) -> RejuvenationEvent:
+        deployment = self.deployment
+        component = action.component
+        if action.downtime_seconds > 0:
+            deployment.server.begin_outage(
+                at_time, at_time + action.downtime_seconds, component=component
+            )
+        # Recycle only the guilty component: drop its retained references and
+        # free its accumulated objects; every other component keeps serving.
+        deployment.servlet(component).instance_root.clear_references()
+        objects, reclaimed = deployment.runtime.reclaim_owned(component)
+        return RejuvenationEvent(
+            time=at_time,
+            kind=MICRO_REBOOT,
+            downtime_seconds=action.downtime_seconds,
+            component=component,
+            reason=action.reason,
+            reclaimed_objects=objects,
+            reclaimed_bytes=reclaimed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    @property
+    def action_count(self) -> int:
+        """Number of executed rejuvenation actions."""
+        return len(self.events)
+
+    @property
+    def total_downtime_seconds(self) -> float:
+        """Accumulated downtime across all executed actions."""
+        return sum(event.downtime_seconds for event in self.events)
+
+    @property
+    def checks_run(self) -> int:
+        """How many times the policy was consulted."""
+        return self._checks_run
+
+    def report(self) -> RejuvenationReport:
+        """Summarise the controller's activity."""
+        return RejuvenationReport(
+            policy=self.policy.name,
+            actions=self.action_count,
+            total_downtime_seconds=self.total_downtime_seconds,
+            reclaimed_bytes=sum(event.reclaimed_bytes for event in self.events),
+            refused_requests=self.deployment.server.refused_during_outage,
+            events=list(self.events),
+        )

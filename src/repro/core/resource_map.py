@@ -10,7 +10,7 @@ into the most-suspicious quadrant.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.metrics import TimeSeries
 
@@ -120,6 +120,59 @@ class ResourceComponentMap:
             stats.observe(metric, sample.timestamp, value)
         self._sample_count += 1
         self._note_time(sample.timestamp)
+
+    def add_samples(self, samples: Sequence[ComponentSample]) -> None:
+        """Fold a batch of samples at once (the manager's buffered intake).
+
+        Equivalent to calling :meth:`add_sample` per element — per-component
+        sample order, and therefore every accumulation, is preserved — but
+        series appends happen as one bulk extend per (component, metric)
+        instead of one list append + cache invalidation per observation.
+        """
+        if not samples:
+            return
+        by_component: Dict[str, List[ComponentSample]] = {}
+        for sample in samples:
+            group = by_component.get(sample.component)
+            if group is None:
+                group = by_component[sample.component] = []
+            group.append(sample)
+        for component, group in by_component.items():
+            stats = self.stats(component)
+            stats.invocations += len(group)
+            delta_totals = stats.cumulative_deltas
+            delta_metrics = set().union(*(sample.deltas.keys() for sample in group))
+            for metric in sorted(delta_metrics):
+                try:
+                    # C-level comprehension; AC samples of one component
+                    # virtually always carry the same metric keys.
+                    total = sum([sample.deltas[metric] for sample in group])
+                except KeyError:
+                    total = sum(sample.deltas.get(metric, 0.0) for sample in group)
+                delta_totals[metric] = delta_totals.get(metric, 0.0) + total
+            value_metrics = set().union(*(sample.values.keys() for sample in group))
+            if value_metrics:
+                metric_times = None
+                for metric in sorted(value_metrics):
+                    try:
+                        metric_values = [sample.values[metric] for sample in group]
+                        if metric_times is None:
+                            metric_times = [sample.timestamp for sample in group]
+                        times = metric_times
+                    except KeyError:
+                        pairs = [
+                            (sample.timestamp, sample.values[metric])
+                            for sample in group
+                            if metric in sample.values
+                        ]
+                        times = [pair[0] for pair in pairs]
+                        metric_values = [pair[1] for pair in pairs]
+                    stats.first_values.setdefault(metric, metric_values[0])
+                    stats.last_values[metric] = metric_values[-1]
+                    stats.series_for(metric).record_many(times, metric_values)
+        self._sample_count += len(samples)
+        self._note_time(min(sample.timestamp for sample in samples))
+        self._note_time(max(sample.timestamp for sample in samples))
 
     def record_observation(self, component: str, metric: str, timestamp: float, value: float) -> None:
         """Record a polled (snapshot) observation for a component."""

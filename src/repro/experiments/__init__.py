@@ -19,11 +19,13 @@ from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_exp
 from repro.experiments.scenarios import (
     Fig3Result,
     LeakScenarioResult,
+    RejuvenationScenarioResult,
     fig3_overhead,
     fig4_single_leak,
     fig5_multi_leak,
     fig6_manager_map,
     fig7_injection_sizes,
+    fig_rejuvenation,
     scope_overhead_ablation,
     strategy_ablation,
 )
@@ -36,11 +38,13 @@ __all__ = [
     "run_experiment",
     "Fig3Result",
     "LeakScenarioResult",
+    "RejuvenationScenarioResult",
     "fig3_overhead",
     "fig4_single_leak",
     "fig5_multi_leak",
     "fig6_manager_map",
     "fig7_injection_sizes",
+    "fig_rejuvenation",
     "scope_overhead_ablation",
     "strategy_ablation",
 ]

@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.scenarios import Fig3Result, LeakScenarioResult
+from repro.experiments.scenarios import (
+    Fig3Result,
+    LeakScenarioResult,
+    RejuvenationScenarioResult,
+)
 from repro.sim.metrics import TimeSeries
 
 
@@ -139,6 +143,47 @@ def _injection_count(scenario: LeakScenarioResult, component: str) -> int:
                 tail = description[index + len(marker):]
                 return int(tail.split()[0])
     return 0
+
+
+# --------------------------------------------------------------------------- #
+# Live rejuvenation comparison
+# --------------------------------------------------------------------------- #
+def rejuvenation_report(scenario: RejuvenationScenarioResult) -> str:
+    """Per-policy availability summary and heap-occupancy curves."""
+    lines = [
+        "== Live rejuvenation: no action vs. full restarts vs. micro-reboots ==",
+        "expectation: micro-reboots of the root-cause component buy the same "
+        "heap protection as full restarts for a fraction of the downtime "
+        "(Candea et al.'s micro-reboot argument)",
+        f"heap capacity: {scenario.heap_capacity / (1024.0 * 1024.0):.2f} MB, "
+        f"run length: {scenario.duration:.0f} s, "
+        f"leak: {', '.join(f'{component} ({size} B)' for component, size in scenario.injected_components.items())}",
+        "",
+        "per-policy availability:",
+        format_table(scenario.summary_rows()),
+        "",
+        "heap occupancy curves (MB):",
+        format_table(scenario.heap_rows(points=12)),
+    ]
+    events = []
+    for name, result in scenario.results.items():
+        if result.rejuvenation is None:
+            continue
+        for event in result.rejuvenation.events:
+            events.append(
+                {
+                    "policy": name,
+                    "time_s": round(event.time, 1),
+                    "action": event.kind,
+                    "component": event.component or "(whole server)",
+                    "downtime_s": round(event.downtime_seconds, 2),
+                    "reclaimed_kb": round(event.reclaimed_bytes / 1024.0, 1),
+                    "reason": event.reason,
+                }
+            )
+    if events:
+        lines += ["", "executed actions:", format_table(events)]
+    return "\n".join(lines)
 
 
 # --------------------------------------------------------------------------- #

@@ -15,8 +15,10 @@ from typing import Dict, List, Optional
 
 from repro.baselines.blackbox import BlackBoxMonitor
 from repro.baselines.pinpoint import PinpointAnalyzer
+from repro.baselines.rejuvenation import RejuvenationPolicy
 from repro.container.server import ServerConfig
 from repro.core.framework import FrameworkConfig, MonitoringFramework
+from repro.core.rejuvenation import RejuvenationController, RejuvenationReport
 from repro.core.rootcause import RootCauseReport, RootCauseStrategy
 from repro.faults.injector import FaultInjector, FaultSpec
 from repro.sim.engine import SimulationEngine
@@ -57,6 +59,13 @@ class ExperimentConfig:
     collect_pinpoint_traces: bool = False
     #: Sample a black-box host monitor alongside (never adds overhead).
     collect_blackbox_samples: bool = True
+    #: Live rejuvenation policy executed mid-run by a
+    #: :class:`~repro.core.rejuvenation.RejuvenationController` (requires
+    #: ``monitored``); ``None`` disables the controller entirely.
+    rejuvenation: Optional[RejuvenationPolicy] = None
+    #: Seconds between rejuvenation policy checks (defaults to
+    #: ``snapshot_interval`` so checks see fresh samples).
+    rejuvenation_check_interval: Optional[float] = None
 
     def effective_phases(self) -> List[WorkloadPhase]:
         """The phase list, defaulting to one constant-EB phase."""
@@ -88,6 +97,8 @@ class ExperimentResult:
     mean_response_time: float
     pinpoint: Optional[PinpointAnalyzer] = None
     blackbox: Optional[BlackBoxMonitor] = None
+    #: Summary of the live rejuvenation controller's activity, when enabled.
+    rejuvenation: Optional[RejuvenationReport] = None
     #: Live handles for follow-up analysis (kept out of reports).
     deployment: Optional[TpcwDeployment] = None
     framework: Optional[MonitoringFramework] = None
@@ -173,6 +184,24 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             )
             t += interval
 
+    controller: Optional[RejuvenationController] = None
+    if config.rejuvenation is not None:
+        if framework is None:
+            raise ValueError(
+                "live rejuvenation requires monitored=True (the controller reads "
+                "the manager's heap series and root-cause report)"
+            )
+        controller = RejuvenationController(
+            deployment, framework.manager, engine, config.rejuvenation
+        )
+        check_interval = (
+            config.rejuvenation_check_interval
+            if config.rejuvenation_check_interval is not None
+            else config.snapshot_interval
+        )
+        controller.schedule_checks(duration=config.duration, interval=check_interval)
+        controller.install_alert_trigger()
+
     pinpoint: Optional[PinpointAnalyzer] = None
     generator = WorkloadGenerator(
         engine,
@@ -231,6 +260,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         mean_response_time=generator.mean_response_time(),
         pinpoint=pinpoint,
         blackbox=blackbox,
+        rejuvenation=controller.report() if controller is not None else None,
         deployment=deployment,
         framework=framework,
     )

@@ -41,6 +41,11 @@ class MBeanServer(NotificationBroadcaster):
         super().__init__()
         self.name = name
         self._registry: Dict[ObjectName, MBean] = {}
+        #: Pattern -> matching names.  Aspect Components resolve the same
+        #: agent/manager patterns twice per intercepted request, so pattern
+        #: matching + sorting dominated the sample path; the registry only
+        #: changes on (un)registration, which clears the cache wholesale.
+        self._query_cache: Dict[str, List[ObjectName]] = {}
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -63,6 +68,7 @@ class MBeanServer(NotificationBroadcaster):
         if object_name in self._registry:
             raise InstanceAlreadyExistsError(f"object name already registered: {object_name}")
         self._registry[object_name] = mbean
+        self._query_cache.clear()
         self.send_notification(
             REGISTRATION_NOTIFICATION,
             source=str(object_name),
@@ -76,6 +82,7 @@ class MBeanServer(NotificationBroadcaster):
         mbean = self._registry.pop(object_name, None)
         if mbean is None:
             raise InstanceNotFoundError(str(object_name))
+        self._query_cache.clear()
         self.send_notification(
             UNREGISTRATION_NOTIFICATION,
             source=str(object_name),
@@ -104,14 +111,25 @@ class MBeanServer(NotificationBroadcaster):
     # Queries
     # ------------------------------------------------------------------ #
     def query_names(self, pattern: "ObjectName | str | None" = None) -> List[ObjectName]:
-        """Object names matching ``pattern`` (all names when ``None``)."""
+        """Object names matching ``pattern`` (all names when ``None``).
+
+        Results are cached per pattern until the registry changes; a fresh
+        list is returned each call, so callers may mutate it freely.
+        """
+        key = "\x00all" if pattern is None else str(pattern)
+        cached = self._query_cache.get(key)
+        if cached is not None:
+            return list(cached)
         if pattern is None:
-            return sorted(self._registry, key=lambda n: n.canonical)
-        pattern_name = to_object_name(pattern)
-        return sorted(
-            (name for name in self._registry if pattern_name.matches(name)),
-            key=lambda n: n.canonical,
-        )
+            result = sorted(self._registry, key=lambda n: n.canonical)
+        else:
+            pattern_name = to_object_name(pattern)
+            result = sorted(
+                (name for name in self._registry if pattern_name.matches(name)),
+                key=lambda n: n.canonical,
+            )
+        self._query_cache[key] = result
+        return list(result)
 
     def query_mbeans(self, pattern: "ObjectName | str | None" = None) -> Dict[ObjectName, MBean]:
         """Mapping of matching names to their MBeans."""

@@ -13,7 +13,7 @@ The experiment machine in the paper ran Tomcat with a 1 GB heap (Table I);
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.jvm.objects import JavaObject
 
@@ -99,6 +99,27 @@ class Heap:
         self._liveness_epoch += 1
         self._roots.discard(obj.object_id)
         stored.alive = False
+
+    def reclaim_owned(self, owner: str, keep_roots: bool = True) -> Tuple[int, int]:
+        """Free every live object attributed to ``owner``; return ``(count, bytes)``.
+
+        The surgical half of a component micro-reboot: only the guilty
+        component's accumulated objects are reclaimed, without a full
+        collection and without touching any other component's state.  GC
+        roots (the component's long-lived instance object) survive by
+        default — a micro-reboot recycles the component's *state*, not the
+        component itself.
+        """
+        victims = [
+            obj
+            for obj in self._objects.values()
+            if obj.owner == owner and not (keep_roots and obj.object_id in self._roots)
+        ]
+        freed_bytes = 0
+        for obj in victims:
+            freed_bytes += obj.shallow_size
+            self.free(obj)
+        return len(victims), freed_bytes
 
     # ------------------------------------------------------------------ #
     # Roots
@@ -193,6 +214,18 @@ class Heap:
                 if ref.object_id not in visited and ref.object_id in self._objects:
                     stack.append(ref)
         return visited
+
+    def live_reachable_bytes(self) -> int:
+        """Shallow bytes of objects reachable from the root set.
+
+        ``used_bytes`` includes collectable garbage accumulated since the
+        last collection; this is the post-GC floor — the signal rejuvenation
+        policies extrapolate, since exhaustion is driven by unreclaimable
+        growth, not by the garbage sawtooth in between collections.
+        """
+        reachable = self.reachable_from_roots()
+        objects = self._objects
+        return sum(objects[object_id].shallow_size for object_id in reachable)
 
     def used_by_owner(self) -> Dict[str, int]:
         """Total shallow bytes of live objects grouped by owning component."""

@@ -16,6 +16,13 @@ Coverage, mirroring the hottest layers of the reproduction stack:
 ``fig3_e2e`` / ``fig4_e2e``
     End-to-end wall-clock of the paper experiments (vs. wall-clock recorded
     at the seed commit — only comparable on similar hardware).
+``manager_intake``
+    Manager-agent sample intake: buffered/batched folding vs. the seed's
+    per-sample fold, re-measured live in the same process.
+``rejuvenation_e2e``
+    End-to-end wall-clock of the three-policy live rejuvenation scenario
+    (no action / time-based full restarts / proactive micro-reboots), plus
+    the availability metrics the comparison is about.
 """
 
 from __future__ import annotations
@@ -316,6 +323,92 @@ def bench_fig3_e2e(options: BenchOptions) -> BenchResult:
         }
 
     return _run_e2e("fig3_e2e", runner, options)
+
+
+# --------------------------------------------------------------------------- #
+# Manager sample intake
+# --------------------------------------------------------------------------- #
+@microbench("manager_intake")
+def bench_manager_intake(options: BenchOptions) -> BenchResult:
+    """Buffered manager intake vs. the seed's per-sample fold (live A/B)."""
+    from repro.core.manager_agent import ManagerAgent
+    from repro.core.resource_map import ComponentSample
+    from repro.jmx.mbean_server import MBeanServer
+
+    count = 10_000 if options.tiny else 50_000
+    samples = [
+        ComponentSample(
+            component=f"c{index % 14}",
+            timestamp=float(index),
+            deltas={"object_size": 1.0},
+            values={"object_size": float(index), "heap_used": 1e6, "heap_free": 2e6},
+        )
+        for index in range(count)
+    ]
+
+    class _SeedIntakeManager(ManagerAgent):
+        """The pre-batching intake: fold + alert check per sample."""
+
+        def record_sample(self, sample):  # type: ignore[override]
+            if sample.component not in self._known_components:
+                self._known_components.append(sample.component)
+            self._map.add_sample(sample)
+            self._check_alert(sample.component)
+
+    def run_with(manager_class) -> Callable[[], int]:
+        def run() -> int:
+            manager = manager_class(MBeanServer())
+            record = manager.record_sample
+            for sample in samples:
+                record(sample)
+            manager._flush_samples()
+            return count
+
+        return run
+
+    current = float(measure_rate(run_with(ManagerAgent))["best_ops_per_second"])  # type: ignore[arg-type]
+    seed = float(measure_rate(run_with(_SeedIntakeManager))["best_ops_per_second"])  # type: ignore[arg-type]
+    return BenchResult(
+        name="manager_intake",
+        metrics={
+            "samples_per_second_batched": current,
+            "samples_per_second_seed": seed,
+            "samples": count,
+        },
+        speedup_vs_seed=current / seed,
+        target_speedup=None,
+        config={"tiny": options.tiny},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Live rejuvenation end-to-end
+# --------------------------------------------------------------------------- #
+@microbench("rejuvenation_e2e")
+def bench_rejuvenation_e2e(options: BenchOptions) -> BenchResult:
+    """Wall-clock + availability metrics of the live rejuvenation scenario."""
+    from repro.experiments.scenarios import fig_rejuvenation
+    from repro.tpcw.population import PopulationScale
+
+    def runner() -> Dict[str, object]:
+        scenario = fig_rejuvenation(
+            duration_scale=options.duration_scale,
+            seed=options.seed,
+            scale=PopulationScale.tiny(),
+        )
+        return {
+            "full_restart_downtime_s": round(scenario.downtime_seconds("time-based"), 2),
+            "microreboot_downtime_s": round(
+                scenario.downtime_seconds("proactive-microreboot"), 2
+            ),
+            "no_action_exposure_s": round(scenario.exposure("no-action"), 1),
+            "microreboot_exposure_s": round(
+                scenario.exposure("proactive-microreboot"), 1
+            ),
+            "no_action_errors": scenario.results["no-action"].error_count,
+        }
+
+    return _run_e2e("rejuvenation_e2e", runner, options)
 
 
 @microbench("fig4_e2e")

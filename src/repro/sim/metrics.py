@@ -42,6 +42,36 @@ class TimeSeries:
         self._times_arr = None
         self._values_arr = None
 
+    def record_many(self, timestamps: List[float], values: List[float]) -> None:
+        """Append a batch of observations with one cache invalidation.
+
+        The manager agent folds buffered Aspect-Component samples in bulk;
+        one ``extend`` per flush replaces per-sample ``record`` calls on the
+        hottest monitoring path.  Timestamps must be non-decreasing within
+        the batch and relative to the existing series.
+        """
+        if not timestamps:
+            return
+        if len(timestamps) != len(values):
+            raise ValueError(
+                f"timestamps and values must have equal length "
+                f"({len(timestamps)} vs {len(values)})"
+            )
+        batch_times = [float(t) for t in timestamps]
+        if self._times and batch_times[0] < self._times[-1]:
+            raise ValueError(
+                f"timestamps must be non-decreasing: got {batch_times[0]} "
+                f"after {self._times[-1]}"
+            )
+        # Timsort is O(n) on already-sorted input, so this stays cheap for
+        # the (valid) common case while still rejecting unordered batches.
+        if sorted(batch_times) != batch_times:
+            raise ValueError("timestamps must be non-decreasing within the batch")
+        self._times.extend(batch_times)
+        self._values.extend(float(v) for v in values)
+        self._times_arr = None
+        self._values_arr = None
+
     def __len__(self) -> int:
         return len(self._times)
 

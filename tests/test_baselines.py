@@ -7,8 +7,14 @@ import pytest
 from repro.baselines.blackbox import BlackBoxMonitor
 from repro.baselines.pinpoint import PinpointAnalyzer
 from repro.baselines.rejuvenation import (
+    FULL_RESTART,
+    MICRO_REBOOT,
+    NoActionPolicy,
+    PolicyObservation,
     ProactiveRejuvenationPolicy,
+    RejuvenationAction,
     TimeBasedRejuvenationPolicy,
+    exposure_seconds,
 )
 from repro.db.engine import Database
 from repro.db.jdbc import DataSource
@@ -130,3 +136,113 @@ class TestRejuvenationPolicies:
             TimeBasedRejuvenationPolicy(interval=0)
         with pytest.raises(ValueError):
             ProactiveRejuvenationPolicy(horizon=0)
+
+    def test_exposure_counts_final_sample_above_threshold(self):
+        # Regression: the step integration used to iterate range(len - 1),
+        # so a run that *ends* in the danger zone reported zero exposure.
+        series = TimeSeries("heap")
+        for t in (0.0, 60.0, 120.0):
+            series.record(t, 0.95e9)
+        # Median-spacing fallback: two 60 s steps plus one 60 s final credit.
+        assert exposure_seconds(series, 1e9) == pytest.approx(180.0)
+        # Observation-window extension: the final sample covers up to the end.
+        assert exposure_seconds(series, 1e9, window_end=200.0) == pytest.approx(200.0)
+        # ... but never past the stated window: a window ending exactly at
+        # (or before) the final sample credits it nothing extra.
+        assert exposure_seconds(series, 1e9, window_end=120.0) == pytest.approx(120.0)
+        assert exposure_seconds(series, 1e9, window_end=90.0) == pytest.approx(120.0)
+
+    def test_exposure_single_sample_needs_window_end(self):
+        series = TimeSeries("heap")
+        series.record(10.0, 0.99e9)
+        assert exposure_seconds(series, 1e9) == 0.0
+        assert exposure_seconds(series, 1e9, window_end=70.0) == pytest.approx(60.0)
+
+    def test_exposure_below_threshold_unaffected(self):
+        series = self._leaking_heap_series(10_000.0, 4 * 3600.0)
+        assert exposure_seconds(series, 1e9) == 0.0
+
+    def test_exhausted_heap_recycles_at_least_as_often_as_nearly_exhausted(self):
+        # Regression: when the heap is already at/above capacity the
+        # predicted time-to-exhaustion is 0, and the periodic-recycling term
+        # used to be skipped entirely, reporting one action for an
+        # arbitrarily long window.
+        window = 7200.0
+        capacity = 1e9
+
+        def series(start: float, end: float) -> TimeSeries:
+            out = TimeSeries("heap")
+            for step in range(13):
+                t = step * window / 12.0
+                out.record(t, start + (end - start) * step / 12.0)
+            return out
+
+        policy = ProactiveRejuvenationPolicy(horizon=1800.0)
+        nearly = policy.evaluate(series(0.80e9, 0.999e9), window, capacity)
+        exhausted = policy.evaluate(series(0.90e9, 1.05e9), window, capacity)
+        assert nearly.actions > 1
+        assert exhausted.actions >= nearly.actions
+
+
+class TestRejuvenationPolicyDecide:
+    """Live-mode decisions consumed by the RejuvenationController."""
+
+    def _observation(self, series: TimeSeries, now: float, **kwargs) -> PolicyObservation:
+        return PolicyObservation(
+            now=now, heap_series=series, heap_capacity=1e9, **kwargs
+        )
+
+    def _rising_series(self, slope: float, until: float) -> TimeSeries:
+        series = TimeSeries("heap")
+        t = 0.0
+        while t <= until:
+            series.record(t, 0.5e9 + slope * t)
+            t += 60.0
+        return series
+
+    def test_no_action_policy_never_acts(self):
+        series = self._rising_series(1e6, 1800.0)
+        assert NoActionPolicy().decide(self._observation(series, 1800.0)) is None
+
+    def test_time_based_waits_for_interval(self):
+        policy = TimeBasedRejuvenationPolicy(interval=600.0, restart_downtime=30.0)
+        series = TimeSeries("heap")
+        assert policy.decide(self._observation(series, 300.0)) is None
+        action = policy.decide(self._observation(series, 600.0))
+        assert action is not None
+        assert action.kind == FULL_RESTART
+        assert action.downtime_seconds == 30.0
+        # After an executed action, the clock restarts from the action's end.
+        assert policy.decide(self._observation(series, 900.0, last_action_end=630.0)) is None
+        assert policy.decide(self._observation(series, 1230.0, last_action_end=630.0)) is not None
+
+    def test_proactive_targets_the_suspect(self):
+        policy = ProactiveRejuvenationPolicy(horizon=3600.0, microreboot_downtime=2.0)
+        series = self._rising_series(400_000.0, 900.0)
+        action = policy.decide(
+            self._observation(series, 900.0, suspect_component="product_detail")
+        )
+        assert action is not None
+        assert action.kind == MICRO_REBOOT
+        assert action.component == "product_detail"
+        assert action.downtime_seconds == 2.0
+
+    def test_proactive_without_suspect_does_nothing(self):
+        policy = ProactiveRejuvenationPolicy(horizon=3600.0)
+        series = self._rising_series(400_000.0, 900.0)
+        assert policy.decide(self._observation(series, 900.0)) is None
+
+    def test_proactive_flat_heap_does_nothing(self):
+        policy = ProactiveRejuvenationPolicy(horizon=3600.0)
+        series = TimeSeries("heap")
+        for t in (0.0, 60.0, 120.0, 180.0):
+            series.record(t, 0.5e9)
+        assert policy.decide(
+            self._observation(series, 180.0, suspect_component="home")
+        ) is None
+
+    def test_action_validation(self):
+        with pytest.raises(ValueError):
+            RejuvenationAction(kind="reboot-the-universe", downtime_seconds=1.0)
+        with pytest.raises(ValueError):
+            RejuvenationAction(kind=FULL_RESTART, downtime_seconds=-1.0)

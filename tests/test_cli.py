@@ -65,3 +65,11 @@ class TestCliCommands:
         out = capsys.readouterr().out
         assert "Fig. 4" in out
         assert "root-cause ranking" in out
+
+    def test_rejuvenation_command_small_run(self, capsys):
+        exit_code = main(["rejuvenation", "--tiny", "--duration-scale", "0.02"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "per-policy availability" in out
+        assert "proactive-microreboot" in out
+        assert "time-based" in out
