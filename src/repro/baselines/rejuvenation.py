@@ -48,6 +48,9 @@ class RejuvenationAction:
     #: Micro-reboot target; ``None`` for whole-server actions.
     component: Optional[str] = None
     reason: str = ""
+    #: Resource channel the decision was made on (``"heap"``, ``"threads"``,
+    #: ``"connections"``); purely informational for whole-server restarts.
+    resource: str = "heap"
 
     def __post_init__(self) -> None:
         if self.kind not in (FULL_RESTART, MICRO_REBOOT):
@@ -63,6 +66,12 @@ class PolicyObservation:
     ``heap_series`` is windowed to the samples recorded since the last
     executed action, so a policy sees the *fresh* trend (a micro-reboot that
     reclaimed the leak resets the extrapolation instead of diluting it).
+
+    Since the controller grew multi-resource channels, ``heap_series`` /
+    ``heap_capacity`` carry whichever monitored series the consulted channel
+    watches (live heap bytes, total threads, active pooled connections) —
+    ``resource`` names it; the field names are kept for the policies written
+    against the heap-only controller.
     """
 
     now: float
@@ -74,6 +83,18 @@ class PolicyObservation:
     last_action_end: Optional[float] = None
     #: Current root-cause suspect (only resolved for policies that ask for it).
     suspect_component: Optional[str] = None
+    #: Name of the resource channel this observation describes.
+    resource: str = "heap"
+
+    @property
+    def series(self) -> TimeSeries:
+        """Resource-neutral alias of ``heap_series``."""
+        return self.heap_series
+
+    @property
+    def capacity(self) -> float:
+        """Resource-neutral alias of ``heap_capacity``."""
+        return self.heap_capacity
 
 
 class RejuvenationPolicy:
@@ -93,6 +114,14 @@ class RejuvenationPolicy:
     def decide(self, observation: PolicyObservation) -> Optional[RejuvenationAction]:
         """Live mode: the action to execute now, or ``None``."""
         raise NotImplementedError
+
+    def on_action_executed(self, observation: PolicyObservation, event) -> None:
+        """Feedback hook: the controller executed an action this policy asked for.
+
+        ``event`` is the controller's ``RejuvenationEvent``.  The default is
+        a no-op; the adaptive policy uses it to settle its recorded
+        predictions against the realized recycle time.
+        """
 
 
 class NoActionPolicy(RejuvenationPolicy):

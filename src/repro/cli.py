@@ -10,6 +10,7 @@ Front-end targets::
     python -m repro.cli fig5                       # four identical leaks (+ Fig. 6 map)
     python -m repro.cli fig7                       # heterogeneous leak sizes
     python -m repro.cli rejuvenation               # live restarts vs. micro-reboots
+    python -m repro.cli adaptive                   # adaptive policies + SLA cost model
     python -m repro.cli environment                # Table I, paper vs. reproduction
 
 All experiments run in virtual time; ``--duration-scale`` scales the paper's
@@ -25,6 +26,7 @@ from typing import List, Optional
 from repro._version import __version__
 from repro.experiments.environment import environment_rows
 from repro.experiments.reporting import (
+    adaptive_report,
     fig3_report,
     fig6_report,
     format_table,
@@ -37,6 +39,7 @@ from repro.experiments.scenarios import (
     fig5_multi_leak,
     fig6_manager_map,
     fig7_injection_sizes,
+    fig_adaptive,
     fig_rejuvenation,
 )
 from repro.tpcw.population import PopulationScale
@@ -181,6 +184,14 @@ def _cmd_rejuvenation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_adaptive(args: argparse.Namespace) -> int:
+    scenario = fig_adaptive(
+        duration_scale=args.duration_scale, seed=args.seed, scale=_population(args), ebs=args.ebs
+    )
+    print(adaptive_report(scenario))
+    return 0
+
+
 def _cmd_fig7(args: argparse.Namespace) -> int:
     scenario = fig7_injection_sizes(
         duration_scale=args.duration_scale, seed=args.seed, scale=_population(args), ebs=args.ebs
@@ -233,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig5", _cmd_fig5, "four identical leaks (+ the Fig. 6 map)"),
         ("fig7", _cmd_fig7, "heterogeneous leak sizes"),
         ("rejuvenation", _cmd_rejuvenation, "live rejuvenation: no action vs. restarts vs. micro-reboots"),
+        ("adaptive", _cmd_adaptive, "adaptive rejuvenation & SLA comparison over memory/thread/connection leaks"),
     ]:
         sub = subparsers.add_parser(name, help=help_text)
         add_common(sub, include_ebs=(name != "fig3"))

@@ -48,6 +48,11 @@ class ServerConfig:
     max_threads: int = 150
     accept_queue: int = 400
     heap_bytes: int = DEFAULT_HEAP_BYTES
+    #: Maximum live JVM threads (OS/ulimit analogue); thread-leak scenarios
+    #: predict exhaustion against this bound.
+    thread_capacity: Optional[int] = 2048
+    #: JDBC connection-pool bound; ``None`` keeps the deployment default.
+    pool_size: Optional[int] = None
     #: Coefficient of variation of per-request CPU service times.
     service_time_cv: float = 0.25
     #: Multiplier applied to database cost (lets ablations slow the DB down).
@@ -115,7 +120,9 @@ class ApplicationServer:
         self.config = config or ServerConfig()
         self.application = application
         self.datasource = datasource
-        self.runtime = runtime or JvmRuntime(heap_bytes=self.config.heap_bytes)
+        self.runtime = runtime or JvmRuntime(
+            heap_bytes=self.config.heap_bytes, thread_capacity=self.config.thread_capacity
+        )
         self.streams = streams
         self.sessions = SessionManager(self.runtime)
         self.dispatcher = RequestDispatcher(application, self.sessions)

@@ -196,6 +196,25 @@ class ManagerAgent(MBean, NotificationBroadcaster):
                         when,
                         float(self._server.invoke(agent_name, "live_bytes")),
                     )
+        # Extension resources: the thread and connection-pool agents (when
+        # installed) contribute whole-JVM series under the same ``"<jvm>"``
+        # pseudo component, giving the rejuvenation controller's thread and
+        # connection channels an evenly spaced trend to extrapolate.
+        for agent_name in self._server.query_names(f"{AGENT_DOMAIN}:type=threads,*"):
+            values = self._server.invoke(agent_name, "sample", "<jvm>")
+            if values:
+                self._map.record_observation(
+                    "<jvm>", "threads_total", when, float(values.get("threads_total", 0.0))
+                )
+        for agent_name in self._server.query_names(f"{AGENT_DOMAIN}:type=connections,*"):
+            values = self._server.invoke(agent_name, "sample", "<jvm>")
+            if values:
+                self._map.record_observation(
+                    "<jvm>",
+                    "connections_active",
+                    when,
+                    float(values.get("connections_active", 0.0)),
+                )
         self._snapshot_count += 1
         return sizes
 

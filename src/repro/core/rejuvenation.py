@@ -4,18 +4,29 @@ The paper's whole point of AOP-based root-cause *component* determination is
 to enable surgical rejuvenation — a micro-reboot of the guilty component
 (Candea et al.) — instead of whole-server restarts.  The
 :class:`RejuvenationController` closes that loop inside the simulation: it
-watches the heap trend the monitoring stack records, consults a
+watches the resource trends the monitoring stack records, consults a
 :class:`~repro.baselines.rejuvenation.RejuvenationPolicy`, and *executes*
 the decided action mid-run:
 
 * **full restart** — the server refuses load for ``downtime_seconds``
   (browsers park and retry when it is back), every component's retained
-  state is dropped, HTTP sessions are invalidated, and a full collection
-  sweeps the freed state — the heap returns to its post-deploy level.
-* **micro-reboot** — only the guilty component's accumulated objects are
-  reclaimed (:meth:`~repro.jvm.heap.Heap.reclaim_owned`) and only requests
+  state is dropped, HTTP sessions are invalidated, leaked threads die,
+  held connections return to the pool, and a full collection sweeps the
+  freed state — every resource returns to its post-deploy level.
+* **micro-reboot** — only the guilty component is recycled: its retained
+  references are dropped, its accumulated heap objects reclaimed
+  (:meth:`~repro.jvm.heap.Heap.reclaim_owned`), its runaway threads
+  terminated, its held pool connections force-closed — and only requests
   routed to that component are refused, for a downtime that is orders of
   magnitude smaller.
+
+What the controller *watches* is pluggable: a :class:`ResourceChannel`
+binds one monitored whole-JVM series to its capacity, its
+component-attribution rule, and the ``"<jvm>"`` metric the manager's
+snapshots record.  The built-in channels cover the paper's case study
+(:class:`HeapChannel`) and its future-work aging causes
+(:class:`ThreadChannel`, :class:`ConnectionChannel`), so one controller
+with one policy recycles whichever resource trends toward exhaustion.
 
 Besides the periodic checks, the controller hangs off the manager's
 aging-suspect notification (:meth:`ManagerAgent.add_rejuvenation_trigger`),
@@ -26,7 +37,7 @@ instead of at the next check boundary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.rejuvenation import (
     FULL_RESTART,
@@ -37,6 +48,7 @@ from repro.baselines.rejuvenation import (
 )
 from repro.core.manager_agent import ManagerAgent
 from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import TimeSeries
 from repro.tpcw.application import TpcwDeployment
 
 #: Event priority of periodic rejuvenation checks: after manager snapshots
@@ -47,6 +59,156 @@ CHECK_PRIORITY = 7
 ALERT_CHECK_PRIORITY = 8
 
 
+# --------------------------------------------------------------------------- #
+# Resource channels
+# --------------------------------------------------------------------------- #
+class ResourceChannel:
+    """One monitored resource the controller can predict and recycle.
+
+    A channel binds together: the whole-JVM series the manager's snapshots
+    record for the resource, the capacity that series exhausts against, and
+    the attribution rule naming the component to blame.  The *recycling*
+    itself is component-scoped and shared (a micro-reboot recycles the whole
+    component — heap state, threads and connections alike); channels only
+    differ in what they watch and whom they blame.
+    """
+
+    name = "abstract"
+    #: ``"<jvm>"`` metric recorded by manager snapshots for this resource.
+    metric = ""
+    #: Metric to fall back to while ``metric`` has no samples yet.
+    fallback_metric: Optional[str] = None
+    #: Whether the manager must pay the live-heap reference walk per snapshot.
+    wants_live_heap = False
+
+    def series(self, manager: ManagerAgent) -> TimeSeries:
+        """The monitored series this channel extrapolates."""
+        series = manager.map.series("<jvm>", self.metric)
+        if len(series) == 0 and self.fallback_metric is not None:
+            series = manager.map.series("<jvm>", self.fallback_metric)
+        return series
+
+    def capacity(self, deployment: TpcwDeployment) -> float:
+        """Units at which the resource is exhausted."""
+        raise NotImplementedError
+
+    def suspect(self, controller: "RejuvenationController") -> Optional[str]:
+        """The component to blame for this resource's growth (or ``None``)."""
+        raise NotImplementedError
+
+
+class HeapChannel(ResourceChannel):
+    """Post-GC live heap bytes vs. heap capacity (the paper's case study).
+
+    Attribution goes through the manager's root-cause analysis — heap growth
+    is only attributable via the per-component object-size accounting the
+    Aspect Components collect.
+
+    Parameters
+    ----------
+    metric:
+        Which ``"<jvm>"`` series to extrapolate.  Defaults to ``heap_live``
+        (the post-GC floor): ``heap_used`` rides the garbage sawtooth
+        between collections, whose slope reflects allocation rate rather
+        than the leak.  Falls back to ``heap_used`` automatically while the
+        live series has no samples yet.
+    """
+
+    name = "heap"
+    metric = "heap_live"
+    fallback_metric = "heap_used"
+    wants_live_heap = True
+
+    def __init__(self, metric: str = "heap_live") -> None:
+        self.metric = metric
+
+    def capacity(self, deployment: TpcwDeployment) -> float:
+        return float(deployment.runtime.total_memory())
+
+    def suspect(self, controller: "RejuvenationController") -> Optional[str]:
+        report = controller.manager.determine_root_cause()
+        top = report.top()
+        if top is None or top.responsibility <= 0:
+            return None
+        return top.component
+
+
+class ThreadChannel(ResourceChannel):
+    """Live thread count vs. the JVM's thread capacity (future-work cause).
+
+    Attribution is direct: the thread registry tags every thread with the
+    component that spawned it, so the busiest owner among the application
+    components is the suspect — no strategy analysis needed.
+    """
+
+    name = "threads"
+    metric = "threads_total"
+
+    def capacity(self, deployment: TpcwDeployment) -> float:
+        capacity = deployment.runtime.threads.capacity
+        return float(capacity) if capacity is not None else float("inf")
+
+    def suspect(self, controller: "RejuvenationController") -> Optional[str]:
+        threads = controller.deployment.runtime.threads
+        best: Optional[str] = None
+        best_count = 0
+        for component in controller.deployment.interaction_names():
+            count = threads.count_by_owner(component)
+            if count > best_count:
+                best, best_count = component, count
+        return best
+
+
+class ConnectionChannel(ResourceChannel):
+    """Active pooled connections vs. the pool bound (future-work cause).
+
+    Attribution is direct: every borrow is tagged with the borrowing
+    component (see :meth:`~repro.db.jdbc.DataSource.get_connection`), so
+    the component holding the most connections is the suspect.
+    """
+
+    name = "connections"
+    metric = "connections_active"
+
+    def capacity(self, deployment: TpcwDeployment) -> float:
+        return float(deployment.datasource.pool_size)
+
+    def suspect(self, controller: "RejuvenationController") -> Optional[str]:
+        by_owner = controller.deployment.datasource.active_by_owner()
+        best: Optional[str] = None
+        best_count = 0
+        for component in controller.deployment.interaction_names():
+            count = by_owner.get(component, 0)
+            if count > best_count:
+                best, best_count = component, count
+        return best
+
+
+#: Channel constructors by name (the ``ExperimentConfig`` wiring strings).
+CHANNEL_FACTORIES = {
+    HeapChannel.name: HeapChannel,
+    ThreadChannel.name: ThreadChannel,
+    ConnectionChannel.name: ConnectionChannel,
+}
+
+
+def build_channels(names: List[str]) -> List[ResourceChannel]:
+    """Instantiate channels from their names (``heap``/``threads``/``connections``)."""
+    channels: List[ResourceChannel] = []
+    for name in names:
+        factory = CHANNEL_FACTORIES.get(name)
+        if factory is None:
+            raise KeyError(
+                f"unknown resource channel {name!r} "
+                f"(expected one of {sorted(CHANNEL_FACTORIES)})"
+            )
+        channels.append(factory())
+    return channels
+
+
+# --------------------------------------------------------------------------- #
+# Events / reports
+# --------------------------------------------------------------------------- #
 @dataclass
 class RejuvenationEvent:
     """One executed rejuvenation action."""
@@ -56,8 +218,12 @@ class RejuvenationEvent:
     downtime_seconds: float
     component: Optional[str] = None
     reason: str = ""
+    #: Resource channel whose trend triggered the action.
+    resource: str = "heap"
     reclaimed_objects: int = 0
     reclaimed_bytes: int = 0
+    reclaimed_threads: int = 0
+    reclaimed_connections: int = 0
 
     @property
     def ends_at(self) -> float:
@@ -75,19 +241,21 @@ class RejuvenationReport:
     reclaimed_bytes: int
     #: Requests refused while an outage window was in effect.
     refused_requests: int
+    reclaimed_threads: int = 0
+    reclaimed_connections: int = 0
     events: List[RejuvenationEvent] = field(default_factory=list)
 
 
 class RejuvenationController:
-    """Watches the monitored heap trend and rejuvenates mid-run.
+    """Watches the monitored resource trends and rejuvenates mid-run.
 
     Parameters
     ----------
     deployment:
-        The TPC-W deployment to act on (server outages, heap reclaim).
+        The TPC-W deployment to act on (server outages, resource recycling).
     manager:
-        The JMX Manager Agent whose map supplies the heap series and the
-        root-cause suspect.
+        The JMX Manager Agent whose map supplies the monitored series and
+        the root-cause suspect.
     engine:
         Simulation engine used to schedule periodic checks.
     policy:
@@ -96,11 +264,12 @@ class RejuvenationController:
         Whether a full restart also invalidates every HTTP session (a real
         Tomcat restart does; disable for session-preserving redeploys).
     trend_metric:
-        Which ``"<jvm>"`` series the policy extrapolates.  Defaults to
-        ``heap_live`` (the post-GC floor): ``heap_used`` rides the garbage
-        sawtooth between collections, whose slope reflects allocation rate
-        rather than the leak.  Falls back to ``heap_used`` automatically
-        while the live series has no samples yet.
+        Back-compat shorthand: the heap channel's metric (see
+        :class:`HeapChannel`).  Ignored when ``channels`` is given.
+    channels:
+        The resource channels to watch, consulted in order each check
+        (defaults to the heap channel alone, the pre-multi-resource
+        behaviour).
     """
 
     def __init__(
@@ -111,19 +280,30 @@ class RejuvenationController:
         policy: RejuvenationPolicy,
         clear_sessions: bool = True,
         trend_metric: str = "heap_live",
+        channels: Optional[List[ResourceChannel]] = None,
     ) -> None:
         self.deployment = deployment
         self.manager = manager
         self.engine = engine
         self.policy = policy
         self.clear_sessions = clear_sessions
-        self.trend_metric = trend_metric
+        self.channels: List[ResourceChannel] = (
+            list(channels) if channels is not None else [HeapChannel(metric=trend_metric)]
+        )
+        if not self.channels:
+            raise ValueError("a rejuvenation controller needs at least one channel")
         # Snapshots only pay the live-bytes reference-graph walk when a
-        # controller is around to extrapolate the resulting series.
-        manager.poll_live_heap = True
+        # channel actually extrapolates the resulting series.
+        if any(channel.wants_live_heap for channel in self.channels):
+            manager.poll_live_heap = True
         self.events: List[RejuvenationEvent] = []
         self._start_time = engine.now
         self._last_action_end: Optional[float] = None
+        #: Per-channel start of the fresh observation window (reset by the
+        #: actions that recycle that channel's resource).
+        self._window_start: Dict[str, float] = {
+            channel.name: self._start_time for channel in self.channels
+        }
         self._alert_check_pending = False
         self._checks_run = 0
 
@@ -181,53 +361,81 @@ class RejuvenationController:
     # ------------------------------------------------------------------ #
     # Decision + execution
     # ------------------------------------------------------------------ #
-    def check(self, timestamp: Optional[float] = None) -> Optional[RejuvenationEvent]:
-        """Consult the policy once; execute and return its action, if any."""
-        now = timestamp if timestamp is not None else self.engine.now
-        self._checks_run += 1
-        if self._last_action_end is not None and now < self._last_action_end:
-            return None  # the previous action's downtime is still running
-        heap_series = self.manager.map.series("<jvm>", self.trend_metric)
-        if len(heap_series) == 0:
-            heap_series = self.manager.map.series("<jvm>", "heap_used")
-        window_start = (
-            self._last_action_end if self._last_action_end is not None else self._start_time
-        )
-        observation = PolicyObservation(
+    def observe(self, channel: ResourceChannel, now: float) -> PolicyObservation:
+        """Build the policy observation for one channel at ``now``."""
+        series = channel.series(self.manager)
+        window_start = self._window_start.get(channel.name, self._start_time)
+        return PolicyObservation(
             now=now,
-            heap_series=heap_series.window(window_start, now),
-            heap_capacity=float(self.deployment.runtime.total_memory()),
+            heap_series=series.window(window_start, now),
+            heap_capacity=channel.capacity(self.deployment),
             start_time=self._start_time,
             last_action_end=self._last_action_end,
-            suspect_component=self._suspect() if self.policy.needs_root_cause else None,
+            suspect_component=(
+                channel.suspect(self) if self.policy.needs_root_cause else None
+            ),
+            resource=channel.name,
         )
-        action = self.policy.decide(observation)
-        if action is None:
-            return None
-        return self.execute(action, now)
 
-    def _suspect(self) -> Optional[str]:
-        report = self.manager.determine_root_cause()
-        top = report.top()
-        if top is None or top.responsibility <= 0:
-            return None
-        return top.component
+    def check(self, timestamp: Optional[float] = None) -> Optional[RejuvenationEvent]:
+        """Consult the policy once per channel; execute and return the last action."""
+        now = timestamp if timestamp is not None else self.engine.now
+        self._checks_run += 1
+        executed: Optional[RejuvenationEvent] = None
+        for channel in self.channels:
+            if self._last_action_end is not None and now < self._last_action_end:
+                break  # an action's downtime is still running
+            observation = self.observe(channel, now)
+            action = self.policy.decide(observation)
+            if action is None:
+                continue
+            executed = self.execute(action, now, observation=observation)
+            if action.kind == FULL_RESTART:
+                break  # the restart recycled every channel's resource
+        return executed
 
-    def execute(self, action: RejuvenationAction, at_time: float) -> RejuvenationEvent:
+    def execute(
+        self,
+        action: RejuvenationAction,
+        at_time: float,
+        observation: Optional[PolicyObservation] = None,
+    ) -> RejuvenationEvent:
         """Carry out ``action`` at ``at_time`` and record the event."""
+        # The consulted channel names the resource being recycled; policies
+        # written before multi-resource channels leave ``action.resource`` at
+        # its ``"heap"`` default, so the observation wins when available.
+        resource = observation.resource if observation is not None else action.resource
         if action.kind == FULL_RESTART:
-            event = self._full_restart(at_time, action)
+            event = self._full_restart(at_time, action, resource)
+            for name in self._window_start:
+                self._window_start[name] = event.ends_at
         elif action.kind == MICRO_REBOOT:
             if action.component is None:
                 raise ValueError("micro-reboot actions must name a component")
-            event = self._micro_reboot(at_time, action)
+            event = self._micro_reboot(at_time, action, resource)
+            self._window_start[resource] = event.ends_at
         else:  # pragma: no cover - RejuvenationAction validates kinds
             raise ValueError(f"unknown action kind {action.kind!r}")
         self.events.append(event)
         self._last_action_end = event.ends_at
+        if observation is not None:
+            # Feedback for self-tuning policies: the prediction that caused
+            # this action can now be settled against the realized trend.
+            self.policy.on_action_executed(observation, event)
         return event
 
-    def _full_restart(self, at_time: float, action: RejuvenationAction) -> RejuvenationEvent:
+    def _recycle_extension_resources(self, component: str) -> Tuple[int, int, int]:
+        """Terminate a component's threads and force-close its connections.
+
+        Returns ``(threads, stack_bytes, connections)``.
+        """
+        threads, stack_bytes = self.deployment.runtime.threads.terminate_owned(component)
+        connections = self.deployment.datasource.release_owned(component)
+        return threads, stack_bytes, connections
+
+    def _full_restart(
+        self, at_time: float, action: RejuvenationAction, resource: str
+    ) -> RejuvenationEvent:
         deployment = self.deployment
         server = deployment.server
         heap = deployment.runtime.heap
@@ -236,9 +444,15 @@ class RejuvenationController:
         used_before = heap.used_bytes
         objects_before = heap.live_object_count
         # Drop every component's retained state (a restart forgets static
-        # fields and caches) and, like a real redeploy, the session store.
+        # fields and caches), its leaked threads and held connections, and,
+        # like a real redeploy, the session store.
+        threads_total = 0
+        connections_total = 0
         for component in deployment.interaction_names():
             deployment.servlet(component).instance_root.clear_references()
+            threads, _, connections = self._recycle_extension_resources(component)
+            threads_total += threads
+            connections_total += connections
         if self.clear_sessions:
             server.sessions.invalidate_all()
         # Sweep the freed state.  The collector is invoked directly: the
@@ -250,29 +464,39 @@ class RejuvenationController:
             kind=FULL_RESTART,
             downtime_seconds=action.downtime_seconds,
             reason=action.reason,
+            resource=resource,
             reclaimed_objects=objects_before - heap.live_object_count,
             reclaimed_bytes=used_before - heap.used_bytes,
+            reclaimed_threads=threads_total,
+            reclaimed_connections=connections_total,
         )
 
-    def _micro_reboot(self, at_time: float, action: RejuvenationAction) -> RejuvenationEvent:
+    def _micro_reboot(
+        self, at_time: float, action: RejuvenationAction, resource: str
+    ) -> RejuvenationEvent:
         deployment = self.deployment
         component = action.component
         if action.downtime_seconds > 0:
             deployment.server.begin_outage(
                 at_time, at_time + action.downtime_seconds, component=component
             )
-        # Recycle only the guilty component: drop its retained references and
-        # free its accumulated objects; every other component keeps serving.
+        # Recycle only the guilty component: drop its retained references,
+        # free its accumulated objects, kill its runaway threads, return its
+        # held connections; every other component keeps serving.
         deployment.servlet(component).instance_root.clear_references()
         objects, reclaimed = deployment.runtime.reclaim_owned(component)
+        threads, stack_bytes, connections = self._recycle_extension_resources(component)
         return RejuvenationEvent(
             time=at_time,
             kind=MICRO_REBOOT,
             downtime_seconds=action.downtime_seconds,
             component=component,
             reason=action.reason,
+            resource=resource,
             reclaimed_objects=objects,
-            reclaimed_bytes=reclaimed,
+            reclaimed_bytes=reclaimed + stack_bytes,
+            reclaimed_threads=threads,
+            reclaimed_connections=connections,
         )
 
     # ------------------------------------------------------------------ #
@@ -301,5 +525,7 @@ class RejuvenationController:
             total_downtime_seconds=self.total_downtime_seconds,
             reclaimed_bytes=sum(event.reclaimed_bytes for event in self.events),
             refused_requests=self.deployment.server.refused_during_outage,
+            reclaimed_threads=sum(event.reclaimed_threads for event in self.events),
+            reclaimed_connections=sum(event.reclaimed_connections for event in self.events),
             events=list(self.events),
         )

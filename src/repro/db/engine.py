@@ -210,12 +210,135 @@ class Database:
     # ------------------------------------------------------------------ #
     # SELECT
     # ------------------------------------------------------------------ #
+    #: Class-wide switch for the single-table SELECT fast path (the
+    #: ``request_path`` benchmark flips it off to measure the generic path).
+    select_fastpath_enabled = True
+
     def _execute_select(self, statement: SelectStatement, params: Sequence[Any]) -> QueryResult:
+        if (
+            self.select_fastpath_enabled
+            and not statement.joins
+            and not statement.group_by
+            and not statement.order_by
+            and not any(isinstance(i.expression, Aggregate) for i in statement.items)
+        ):
+            return self._execute_select_single(statement, params)
+        return self._execute_select_generic(statement, params)
+
+    def _execute_select_single(
+        self, statement: SelectStatement, params: Sequence[Any]
+    ) -> QueryResult:
+        """Join-free, aggregate-free SELECT without per-row wrapper dicts.
+
+        The TPC-W request path is dominated by indexed point lookups; the
+        generic executor wraps every scanned row in a ``{qualifier: row}``
+        dict and resolves columns through it, which costs one allocation and
+        one indirection per row.  This path filters and projects straight
+        off the table's row dicts.
+        """
+        scanned = 0
+        index_lookups = 0
+        base_table = self.table(statement.table)
+        base_qualifier = statement.alias or statement.table
+
+        index_conditions: List[Tuple[str, Any]] = []
+        residual_conditions: List[Condition] = []
+        for condition in statement.where:
+            usable = (
+                condition.op == "="
+                and not isinstance(condition.rhs, ColumnRef)
+                and condition.lhs.table in (None, base_qualifier, statement.table)
+                and base_table.has_index(condition.lhs.name)
+            )
+            if usable:
+                index_conditions.append((condition.lhs.name, self._bind(condition.rhs, params)))
+            else:
+                residual_conditions.append(condition)
+
+        if index_conditions:
+            row_id_sets = []
+            for column_name, value in index_conditions:
+                row_id_sets.append(base_table.lookup_ids(column_name, value))
+                index_lookups += 1
+            row_ids = set.intersection(*row_id_sets)
+            rows = [base_table.row_by_id(rid) for rid in row_ids]
+            scanned += len(rows)
+        else:
+            rows = list(base_table.rows())
+            scanned += len(rows)
+
+        def column_value(row: Dict[str, Any], ref: ColumnRef) -> Any:
+            # Mirror the generic resolver: only the effective qualifier (the
+            # alias when one is declared) names the execution row.
+            if ref.table is not None and ref.table != base_qualifier:
+                raise SqlExecutionError(f"unknown table qualifier {ref.table!r}")
+            if ref.name not in row:
+                raise SqlExecutionError(f"unknown column {ref.name!r}")
+            return row[ref.name]
+
+        if residual_conditions:
+            filtered = []
+            for row in rows:
+                for condition in residual_conditions:
+                    left = column_value(row, condition.lhs)
+                    right = (
+                        column_value(row, condition.rhs)
+                        if isinstance(condition.rhs, ColumnRef)
+                        else self._bind(condition.rhs, params)
+                    )
+                    if not self._compare(condition.op, left, right):
+                        break
+                else:
+                    filtered.append(row)
+            rows = filtered
+
+        if statement.limit is not None:
+            rows = rows[: statement.limit]
+
+        if statement.star:
+            result_rows = [dict(row) for row in rows]
+        else:
+            items = [
+                (item.alias or item.expression.name, item.expression)
+                for item in statement.items
+            ]
+            result_rows = [
+                {name: column_value(row, ref) for name, ref in items} for row in rows
+            ]
+
+        cost = self.cost_model.cost(scanned, len(result_rows), index_lookups)
+        self.stats.record("SELECT", scanned, len(result_rows), cost, index_lookups)
+        return QueryResult(
+            rows=result_rows, rowcount=len(result_rows), cost_seconds=cost, rows_scanned=scanned
+        )
+
+    def _execute_select_generic(
+        self, statement: SelectStatement, params: Sequence[Any]
+    ) -> QueryResult:
         scanned = 0
         index_lookups = 0
 
         base_table = self.table(statement.table)
         base_qualifier = statement.alias or statement.table
+
+        # Qualifier -> table, in execution-row insertion order.  Every stored
+        # row carries all of its table's columns (``_validate_row`` fills
+        # absent ones with NULL), so column references can be resolved once
+        # against the schemas instead of per row via dict scans — the former
+        # per-row ``_resolve`` dominated join/order-by row handling.
+        tables_by_qualifier: Dict[str, Table] = {base_qualifier: base_table}
+
+        def resolve_qualifier(ref: ColumnRef) -> str:
+            if ref.table is not None:
+                if ref.table not in tables_by_qualifier:
+                    raise SqlExecutionError(f"unknown table qualifier {ref.table!r}")
+                if not tables_by_qualifier[ref.table].has_column(ref.name):
+                    raise SqlExecutionError(f"unknown column {ref}")
+                return ref.table
+            for qualifier, table in tables_by_qualifier.items():
+                if table.has_column(ref.name):
+                    return qualifier
+            raise SqlExecutionError(f"unknown column {ref.name!r}")
 
         # Split WHERE into conditions usable for base-table index pruning and
         # the rest (applied per joined row).
@@ -281,18 +404,23 @@ class Database:
                 )
 
             use_index = join_table.has_index(new_ref.name)
+            old_qualifier = resolve_qualifier(old_ref)
+            old_name = old_ref.name
+            new_name = new_ref.name
+            tables_by_qualifier[join_qualifier] = join_table
+            rows_by_id = join_table.row_by_id
             for exec_row in exec_rows:
-                old_value = self._resolve(old_ref, exec_row)
+                old_value = exec_row[old_qualifier][old_name]
                 if use_index:
-                    ids = join_table.lookup_ids(new_ref.name, old_value)
+                    ids = join_table.lookup_ids(new_name, old_value)
                     index_lookups += 1
-                    matches = [join_table.row_by_id(rid) for rid in ids]
+                    matches = [rows_by_id(rid) for rid in ids]
                     scanned += len(matches)
                 else:
                     matches = []
                     for row in join_table.rows():
                         scanned += 1
-                        if row.get(new_ref.name) == old_value:
+                        if row.get(new_name) == old_value:
                             matches.append(row)
                 for match in matches:
                     merged = dict(exec_row)
@@ -300,21 +428,29 @@ class Database:
                     new_exec_rows.append(merged)
             exec_rows = new_exec_rows
 
-        # Residual WHERE conditions.
-        filtered: List[Dict[str, Dict[str, Any]]] = []
-        for exec_row in exec_rows:
-            keep = True
+        # Residual WHERE conditions (column references resolved up front).
+        if residual_conditions:
+            plans = []
             for condition in residual_conditions:
-                left = self._resolve(condition.lhs, exec_row)
+                left_at = (resolve_qualifier(condition.lhs), condition.lhs.name)
                 if isinstance(condition.rhs, ColumnRef):
-                    right = self._resolve(condition.rhs, exec_row)
+                    right_at = (resolve_qualifier(condition.rhs), condition.rhs.name)
+                    plans.append((condition.op, left_at, right_at, None))
                 else:
-                    right = self._bind(condition.rhs, params)
-                if not self._compare(condition.op, left, right):
-                    keep = False
-                    break
-            if keep:
-                filtered.append(exec_row)
+                    plans.append(
+                        (condition.op, left_at, None, self._bind(condition.rhs, params))
+                    )
+            compare = self._compare
+            filtered = []
+            for exec_row in exec_rows:
+                for op, (lq, lname), right_at, bound in plans:
+                    right = exec_row[right_at[0]][right_at[1]] if right_at else bound
+                    if not compare(op, exec_row[lq][lname], right):
+                        break
+                else:
+                    filtered.append(exec_row)
+        else:
+            filtered = exec_rows
 
         # Projection / aggregation.
         has_aggregates = any(isinstance(i.expression, Aggregate) for i in statement.items)
@@ -327,8 +463,24 @@ class Database:
                     key=lambda row: (row.get(key_name) is None, row.get(key_name)),
                     reverse=order.descending,
                 )
+        elif statement.star:
+            result_rows = []
+            for exec_row in filtered:
+                merged: Dict[str, Any] = {}
+                for row in exec_row.values():
+                    merged.update(row)
+                result_rows.append(merged)
         else:
-            result_rows = [self._project_row(statement, exec_row) for exec_row in filtered]
+            projection = [
+                (item.alias or item.expression.name, resolve_qualifier(item.expression))
+                + (item.expression.name,)
+                for item in statement.items
+            ]
+            result_rows = [
+                {name: exec_row[qualifier][column] for name, qualifier, column in projection}
+                for exec_row in filtered
+            ]
+        if not has_aggregates and not statement.group_by:
             # Non-aggregate queries may order by columns that are not part of
             # the select list (standard SQL); resolve order keys against the
             # underlying execution rows, falling back to the projected output.

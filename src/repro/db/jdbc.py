@@ -112,9 +112,13 @@ class PreparedStatement:
 class Connection:
     """A pooled database connection."""
 
-    def __init__(self, datasource: "DataSource", connection_id: int) -> None:
+    def __init__(
+        self, datasource: "DataSource", connection_id: int, owner: Optional[str] = None
+    ) -> None:
         self._datasource = datasource
         self.connection_id = connection_id
+        #: Component that borrowed the connection (``None``: untagged).
+        self.owner = owner
         self._closed = False
         self.query_count = 0
         self.accumulated_cost_seconds = 0.0
@@ -189,8 +193,12 @@ class DataSource:
         self.exhaustion_events = 0
 
     # ------------------------------------------------------------------ #
-    def get_connection(self) -> Connection:
-        """Borrow a connection.
+    def get_connection(self, owner: Optional[str] = None) -> Connection:
+        """Borrow a connection, optionally tagged with the borrowing component.
+
+        The tag is what makes connection leaks *attributable*: the pool can
+        report how many connections each component holds, and a component
+        micro-reboot can force-close exactly its share.
 
         Raises
         ------
@@ -203,7 +211,7 @@ class DataSource:
             raise ConnectionPoolExhaustedError(
                 f"connection pool exhausted ({self.pool_size} in use)"
             )
-        connection = Connection(self, self._next_id)
+        connection = Connection(self, self._next_id, owner=owner)
         self._next_id += 1
         self._in_use[connection.connection_id] = connection
         self.total_borrowed += 1
@@ -211,6 +219,27 @@ class DataSource:
 
     def _release(self, connection: Connection) -> None:
         self._in_use.pop(connection.connection_id, None)
+
+    def release_owned(self, owner: str) -> int:
+        """Force-close every in-use connection tagged with ``owner``.
+
+        The connection half of a component micro-reboot (Tomcat's
+        removed-abandoned semantics on redeploy): whatever the recycled
+        component still held goes back to the pool.  Returns how many
+        connections were reclaimed.
+        """
+        victims = [c for c in self._in_use.values() if c.owner == owner]
+        for connection in victims:
+            connection.close()
+        return len(victims)
+
+    def active_by_owner(self) -> Dict[str, int]:
+        """In-use connection counts grouped by borrowing component."""
+        counts: Dict[str, int] = {}
+        for connection in self._in_use.values():
+            key = connection.owner or "<untagged>"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
 
     def record_cost(self, cost_seconds: float) -> None:
         """Accumulate simulated query cost (read by the container/agents)."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.scenarios import (
+    AdaptiveScenarioResult,
     Fig3Result,
     LeakScenarioResult,
     RejuvenationScenarioResult,
@@ -183,6 +184,61 @@ def rejuvenation_report(scenario: RejuvenationScenarioResult) -> str:
             )
     if events:
         lines += ["", "executed actions:", format_table(events)]
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Adaptive rejuvenation & SLA comparison
+# --------------------------------------------------------------------------- #
+def adaptive_report(scenario: AdaptiveScenarioResult) -> str:
+    """Per-(workload, policy) SLA table, predictor error stats and verdicts."""
+    model = scenario.cost_model
+    lines = [
+        "== Adaptive rejuvenation & SLA comparison ==",
+        "expectation: the adaptive policy's SLA cost matches or beats the best "
+        "fixed policy on the memory leak, and rejuvenation eliminates the "
+        "error spikes of the thread/connection no-action runs",
+        f"SLA target: {model.target_availability:.3%} availability "
+        f"(error budget {model.error_budget_seconds(scenario.duration):.1f} s "
+        f"over {scenario.duration:.0f} s); scalar = "
+        f"{model.downtime_weight:g}*downtime_s + {model.exposure_weight:g}*exposure_s "
+        f"+ {model.failed_request_weight:g}*failed + "
+        f"{model.refused_request_weight:g}*refused + "
+        f"{model.burn_weight:g}*max(0, burn-1)",
+        "",
+        "per-(workload, policy) availability and SLA cost:",
+        format_table(scenario.summary_rows()),
+    ]
+    predictor_rows = scenario.predictor_rows()
+    if predictor_rows:
+        lines += [
+            "",
+            "adaptive predictor error statistics (per resource):",
+            format_table(predictor_rows),
+        ]
+    verdicts = []
+    adaptive_cost = scenario.sla_cost("memory", "adaptive")
+    best_fixed = scenario.best_fixed_cost("memory")
+    verdicts.append(
+        {
+            "claim": "memory: adaptive <= best fixed policy",
+            "adaptive": round(adaptive_cost, 1),
+            "best_fixed": round(best_fixed, 1),
+            "holds": adaptive_cost <= best_fixed,
+        }
+    )
+    for workload in ("threads", "connections"):
+        no_action_errors = scenario.result(workload, "no-action").error_count
+        adaptive_errors = scenario.result(workload, "adaptive").error_count
+        verdicts.append(
+            {
+                "claim": f"{workload}: rejuvenation eliminates error spike",
+                "adaptive": adaptive_errors,
+                "best_fixed": no_action_errors,
+                "holds": no_action_errors > 0 and adaptive_errors == 0,
+            }
+        )
+    lines += ["", "verdicts:", format_table(verdicts, ["claim", "adaptive", "best_fixed", "holds"])]
     return "\n".join(lines)
 
 

@@ -18,7 +18,11 @@ from repro.baselines.pinpoint import PinpointAnalyzer
 from repro.baselines.rejuvenation import RejuvenationPolicy
 from repro.container.server import ServerConfig
 from repro.core.framework import FrameworkConfig, MonitoringFramework
-from repro.core.rejuvenation import RejuvenationController, RejuvenationReport
+from repro.core.rejuvenation import (
+    RejuvenationController,
+    RejuvenationReport,
+    build_channels,
+)
 from repro.core.rootcause import RootCauseReport, RootCauseStrategy
 from repro.faults.injector import FaultInjector, FaultSpec
 from repro.sim.engine import SimulationEngine
@@ -66,6 +70,11 @@ class ExperimentConfig:
     #: Seconds between rejuvenation policy checks (defaults to
     #: ``snapshot_interval`` so checks see fresh samples).
     rejuvenation_check_interval: Optional[float] = None
+    #: Resource channels the controller watches (``"heap"``, ``"threads"``,
+    #: ``"connections"``); ``None`` keeps the heap-only default.  Channels
+    #: beyond the heap automatically install the extended monitoring agents
+    #: their series come from.
+    rejuvenation_channels: Optional[List[str]] = None
 
     def effective_phases(self) -> List[WorkloadPhase]:
         """The phase list, defaulting to one constant-EB phase."""
@@ -150,13 +159,20 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         clock=engine.clock,
     )
 
+    # Thread/connection rejuvenation channels read series the extended
+    # monitoring agents produce, so they imply installing those agents.
+    needs_extended = config.monitor_extended_resources or bool(
+        config.rejuvenation_channels
+        and set(config.rejuvenation_channels) - {"heap"}
+    )
+
     framework: Optional[MonitoringFramework] = None
     if config.monitored:
         framework_config = FrameworkConfig(
             sample_cost_seconds=config.sample_cost_seconds,
             monitor_cpu=config.monitor_extended_resources,
-            monitor_threads=config.monitor_extended_resources,
-            monitor_connections=config.monitor_extended_resources,
+            monitor_threads=needs_extended,
+            monitor_connections=needs_extended,
             snapshot_interval=config.snapshot_interval,
         )
         framework = MonitoringFramework(
@@ -191,8 +207,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                 "live rejuvenation requires monitored=True (the controller reads "
                 "the manager's heap series and root-cause report)"
             )
+        channels = (
+            build_channels(config.rejuvenation_channels)
+            if config.rejuvenation_channels is not None
+            else None
+        )
         controller = RejuvenationController(
-            deployment, framework.manager, engine, config.rejuvenation
+            deployment, framework.manager, engine, config.rejuvenation, channels=channels
         )
         check_interval = (
             config.rejuvenation_check_interval

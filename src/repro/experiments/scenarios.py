@@ -32,6 +32,9 @@ from repro.core.rootcause import (
 from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
 from repro.faults.injector import FaultSpec
 from repro.faults.memory_leak import KB, MB
+from repro.slo.adaptive_policy import AdaptiveRejuvenationPolicy
+from repro.slo.cost_model import SlaCostModel, SlaObservation
+from repro.slo.predictors import TheilSenPredictor
 from repro.tpcw.population import PopulationScale
 from repro.tpcw.workload import WorkloadPhase
 
@@ -308,6 +311,28 @@ def fig7_injection_sizes(
     )
 
 
+def run_sla_observation(
+    result: ExperimentResult, duration: float, exposure_seconds: float
+) -> SlaObservation:
+    """Fold one policy run's availability currencies into an :class:`SlaObservation`.
+
+    Shared by every rejuvenation comparison so downtime/refusal accounting
+    can never diverge between reports: downtime and refusals come from the
+    controller's report (zero without one), failures from the workload's
+    error count, exposure from the caller's resource-specific measurement.
+    """
+    rejuvenation = result.rejuvenation
+    return SlaObservation(
+        duration_seconds=duration,
+        downtime_seconds=(
+            rejuvenation.total_downtime_seconds if rejuvenation is not None else 0.0
+        ),
+        exposure_seconds=exposure_seconds,
+        failed_requests=result.error_count,
+        refused_requests=rejuvenation.refused_requests if rejuvenation is not None else 0,
+    )
+
+
 # --------------------------------------------------------------------------- #
 # Live rejuvenation comparison (built on the Fig. 5-style leak)
 # --------------------------------------------------------------------------- #
@@ -350,12 +375,25 @@ class RejuvenationScenarioResult:
             self.results[policy].heap_series, self.heap_capacity, window_end=self.duration
         )
 
+    def sla_observation(self, policy: str) -> SlaObservation:
+        """The raw availability currencies of one policy run."""
+        return run_sla_observation(
+            self.results[policy], self.duration, self.exposure(policy)
+        )
+
+    def sla_cost(self, policy: str, cost_model: Optional[SlaCostModel] = None) -> float:
+        """Scalar SLA cost of one policy run (see :mod:`repro.slo.cost_model`)."""
+        model = cost_model or SlaCostModel()
+        return model.score(self.sla_observation(policy))
+
     def summary_rows(self) -> List[Dict[str, object]]:
-        """One row per policy: availability, downtime and exposure."""
+        """One row per policy: availability, downtime, exposure and SLA cost."""
+        cost_model = SlaCostModel()
         rows: List[Dict[str, object]] = []
         for name, result in self.results.items():
             rejuvenation = result.rejuvenation
             heap_series = result.heap_series
+            observation = self.sla_observation(name)
             rows.append(
                 {
                     "policy": name,
@@ -374,6 +412,8 @@ class RejuvenationScenarioResult:
                     "final_heap_mb": round(
                         float(heap_series.values[-1]) / MB if len(heap_series) else 0.0, 2
                     ),
+                    "budget_burn": round(cost_model.budget_burn(observation), 2),
+                    "sla_cost": round(cost_model.score(observation), 1),
                 }
             )
         return rows
@@ -470,6 +510,253 @@ def fig_rejuvenation(
         heap_capacity=float(heap_bytes),
         duration=duration,
         injected_components={COMPONENT_A: leak_bytes},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Adaptive rejuvenation & SLA comparison (tentpole of ISSUE 3)
+# --------------------------------------------------------------------------- #
+#: Workload keys of the adaptive comparison.
+ADAPTIVE_WORKLOADS = ("memory", "threads", "connections")
+
+#: Injection countdown of the thread / connection leaks (aggressive: the
+#: no-action run must exhaust the resource within the scaled run).
+ADAPTIVE_EXTENSION_PERIOD_N = 10
+#: Stack pinned by each leaked thread.
+ADAPTIVE_STACK_BYTES = 256 * KB
+#: Worker threads the JVM starts with (the container's pool).
+_BASELINE_THREADS = 150
+
+
+@dataclass
+class AdaptiveScenarioResult:
+    """Outcome of the four-policy, three-workload adaptive comparison."""
+
+    #: workload -> policy name -> full experiment result.
+    results: Dict[str, Dict[str, ExperimentResult]]
+    #: workload -> capacity the monitored series exhausts against.
+    capacities: Dict[str, float]
+    #: workload -> the ``"<jvm>"`` metric the channel extrapolates.
+    metrics: Dict[str, str]
+    duration: float
+    cost_model: SlaCostModel
+    #: workload -> the adaptive policy instance that ran it (predictor stats).
+    adaptive_policies: Dict[str, AdaptiveRejuvenationPolicy] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def result(self, workload: str, policy: str) -> ExperimentResult:
+        """The run of ``policy`` on ``workload``."""
+        return self.results[workload][policy]
+
+    def monitored_series(self, workload: str, policy: str):
+        """The monitored exhaustion series of one run."""
+        result = self.result(workload, policy)
+        if workload == "memory":
+            return result.heap_series
+        assert result.framework is not None
+        return result.framework.manager.map.series("<jvm>", self.metrics[workload])
+
+    def exposure(self, workload: str, policy: str) -> float:
+        """Seconds the run spent above 90 % of the resource's capacity."""
+        return exposure_seconds(
+            self.monitored_series(workload, policy),
+            self.capacities[workload],
+            window_end=self.duration,
+        )
+
+    def sla_observation(self, workload: str, policy: str) -> SlaObservation:
+        """The raw availability currencies of one run."""
+        return run_sla_observation(
+            self.result(workload, policy), self.duration, self.exposure(workload, policy)
+        )
+
+    def sla_cost(self, workload: str, policy: str) -> float:
+        """The scalar SLA cost of one run (lower is better)."""
+        return self.cost_model.score(self.sla_observation(workload, policy))
+
+    def best_fixed_cost(self, workload: str) -> float:
+        """The best (lowest) SLA cost among the non-adaptive policies."""
+        return min(
+            self.sla_cost(workload, policy)
+            for policy in self.results[workload]
+            if policy != AdaptiveRejuvenationPolicy.name
+        )
+
+    # ------------------------------------------------------------------ #
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One row per (workload, policy): availability plus the SLA scalar."""
+        rows: List[Dict[str, object]] = []
+        for workload, by_policy in self.results.items():
+            for policy, result in by_policy.items():
+                rejuvenation = result.rejuvenation
+                observation = self.sla_observation(workload, policy)
+                rows.append(
+                    {
+                        "workload": workload,
+                        "policy": policy,
+                        "completed": result.completed_requests,
+                        "errors": result.error_count,
+                        "actions": rejuvenation.actions if rejuvenation is not None else 0,
+                        "downtime_s": round(observation.downtime_seconds, 2),
+                        "exposure_s": round(observation.exposure_seconds, 1),
+                        "refused": observation.refused_requests,
+                        "budget_burn": round(self.cost_model.budget_burn(observation), 2),
+                        "sla_cost": round(self.cost_model.score(observation), 1),
+                    }
+                )
+        return rows
+
+    def predictor_rows(self) -> List[Dict[str, object]]:
+        """Prediction-error statistics of the adaptive runs."""
+        rows: List[Dict[str, object]] = []
+        for workload, policy in self.adaptive_policies.items():
+            for row in policy.predictor_rows():
+                rows.append({"workload": workload, **row})
+        return rows
+
+
+def _adaptive_policy_set(
+    duration: float, duration_scale: float
+) -> List[RejuvenationPolicy]:
+    """Fresh policy instances for one workload of the adaptive comparison."""
+    microreboot_downtime = max(0.25, 2.0 * duration_scale)
+    return [
+        NoActionPolicy(),
+        TimeBasedRejuvenationPolicy(
+            interval=duration / 3.0,
+            restart_downtime=max(2.0, 120.0 * duration_scale),
+        ),
+        ProactiveRejuvenationPolicy(
+            horizon=duration / 4.0,
+            microreboot_downtime=microreboot_downtime,
+            min_samples=4,
+        ),
+        AdaptiveRejuvenationPolicy(
+            predictor_factory=lambda: TheilSenPredictor(min_samples=4),
+            base_horizon=duration / 4.0,
+            min_horizon=duration / 16.0,
+            max_horizon=duration,
+            microreboot_downtime=microreboot_downtime,
+        ),
+    ]
+
+
+def fig_adaptive(
+    duration_scale: float = 1.0,
+    seed: int = 42,
+    scale: Optional[PopulationScale] = None,
+    ebs: int = LEAK_EXPERIMENT_EBS,
+    cost_model: Optional[SlaCostModel] = None,
+) -> AdaptiveScenarioResult:
+    """The adaptive rejuvenation & SLA comparison (ISSUE 3 tentpole).
+
+    Twelve same-seed runs: {no action, time-based restarts, proactive
+    micro-reboots, adaptive micro-reboots} x {memory leak, thread leak,
+    connection leak}, each workload sized so the *no-action* run exhausts
+    its resource roughly two thirds through — the heap hits the OOM wall,
+    the JVM hits its thread capacity ("unable to create new native
+    thread"), the connection pool refuses every borrow.  Every run reduces
+    to one scalar through the :class:`~repro.slo.cost_model.SlaCostModel`,
+    so the claim under test is crisp: the adaptive policy's scalar on the
+    memory workload is no worse than the best fixed policy's, and
+    rejuvenation eliminates the error spikes of the thread/connection
+    no-action runs.
+    """
+    if duration_scale <= 0:
+        raise ValueError(f"duration_scale must be positive, got {duration_scale}")
+    duration = 3600.0 * duration_scale
+    snapshot_interval = max(2.0, 30.0 * duration_scale)
+    visit_rate = _LEAK_VISITS_PER_SECOND * ebs / LEAK_EXPERIMENT_EBS
+    cost_model = cost_model or SlaCostModel()
+
+    # Memory workload: a *fast-burning* leak — the heap wall is reached about
+    # a third of the way through the run (vs. fig_rejuvenation's 3/4), so a
+    # recycling policy must act repeatedly.  This is where horizon tuning
+    # matters: a fixed horizon chosen for slow leaks recycles far too often
+    # on a fast one, while the adaptive policy shrinks its margin as its
+    # predictor earns trust and saves whole recycle cycles.
+    expected_leak = visit_rate / REJUVENATION_PERIOD_N * REJUVENATION_LEAK_BYTES * duration
+    heap_bytes = int((_BASELINE_LIVE_BYTES + 0.35 * expected_leak) / 0.92)
+
+    # Thread workload: the JVM's thread capacity is sized so the leak
+    # (period N=10, one pinned 256 KB stack each) reaches it ~2/3 through.
+    expected_leaked_threads = visit_rate / ADAPTIVE_EXTENSION_PERIOD_N * duration
+    thread_capacity = _BASELINE_THREADS + max(4, int(0.65 * expected_leaked_threads))
+
+    # Connection workload: pool bound sized the same way.
+    pool_size = max(8, int(0.65 * visit_rate / ADAPTIVE_EXTENSION_PERIOD_N * duration))
+
+    workload_specs: Dict[str, Dict[str, object]] = {
+        "memory": dict(
+            fault=FaultSpec(
+                component=COMPONENT_A,
+                kind="memory-leak",
+                params={
+                    "leak_bytes": REJUVENATION_LEAK_BYTES,
+                    "period_n": REJUVENATION_PERIOD_N,
+                },
+            ),
+            server_config=ServerConfig(heap_bytes=heap_bytes),
+            channels=["heap"],
+            capacity=float(heap_bytes),
+            metric="heap_live",
+        ),
+        "threads": dict(
+            fault=FaultSpec(
+                component=COMPONENT_A,
+                kind="thread-leak",
+                params={
+                    "period_n": ADAPTIVE_EXTENSION_PERIOD_N,
+                    "stack_bytes": ADAPTIVE_STACK_BYTES,
+                },
+            ),
+            server_config=ServerConfig(thread_capacity=thread_capacity),
+            channels=["threads"],
+            capacity=float(thread_capacity),
+            metric="threads_total",
+        ),
+        "connections": dict(
+            fault=FaultSpec(
+                component=COMPONENT_A,
+                kind="connection-leak",
+                params={"period_n": ADAPTIVE_EXTENSION_PERIOD_N},
+            ),
+            server_config=ServerConfig(pool_size=pool_size),
+            channels=["connections"],
+            capacity=float(pool_size),
+            metric="connections_active",
+        ),
+    }
+
+    results: Dict[str, Dict[str, ExperimentResult]] = {}
+    adaptive_policies: Dict[str, AdaptiveRejuvenationPolicy] = {}
+    for workload, spec in workload_specs.items():
+        results[workload] = {}
+        for policy in _adaptive_policy_set(duration, duration_scale):
+            config = ExperimentConfig(
+                name=f"fig-adaptive-{workload}-{policy.name}",
+                seed=seed,
+                scale=scale,
+                constant_ebs=ebs,
+                duration=duration,
+                mix_name="shopping",
+                monitored=True,
+                faults=[spec["fault"]],
+                snapshot_interval=snapshot_interval,
+                server_config=spec["server_config"],
+                rejuvenation=policy,
+                rejuvenation_channels=list(spec["channels"]),
+            )
+            results[workload][policy.name] = run_experiment(config)
+            if isinstance(policy, AdaptiveRejuvenationPolicy):
+                adaptive_policies[workload] = policy
+    return AdaptiveScenarioResult(
+        results=results,
+        capacities={w: float(spec["capacity"]) for w, spec in workload_specs.items()},
+        metrics={w: str(spec["metric"]) for w, spec in workload_specs.items()},
+        duration=duration,
+        cost_model=cost_model,
+        adaptive_policies=adaptive_policies,
     )
 
 

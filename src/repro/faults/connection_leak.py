@@ -48,10 +48,15 @@ class ConnectionLeakFault(Fault):
         return self._ensure_trigger(servlet).should_fire()
 
     def _inject(self, servlet, request) -> None:
+        # Connections force-closed by a rejuvenation recycle drop out of the
+        # held set: the micro-reboot destroyed the component state that
+        # referenced them, so the leak starts accumulating from scratch.
+        if self._held and any(c.is_closed for c in self._held):
+            self._held = [c for c in self._held if not c.is_closed]
         if len(self._held) >= self.max_leaked:
             return
         try:
-            connection = servlet.datasource.get_connection()
+            connection = servlet.datasource.get_connection(owner=servlet.component_name)
         except ConnectionPoolExhaustedError:
             self.pool_exhausted_hits += 1
             return

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.faults.base import Fault, RandomCountdownTrigger
+from repro.jvm.threads import ThreadLimitError
 from repro.sim.random import RandomStreams
 
 
@@ -12,8 +13,13 @@ class ThreadLeakFault(Fault):
     """Spawns a never-terminating thread on behalf of the component.
 
     Unterminated threads are one of the aging vectors the paper lists; each
-    leaked thread also pins its stack memory, so both the thread agent and
-    the heap agent see the effect.
+    leaked thread also pins its stack memory (allocated as a GC-root heap
+    object owned by the component), so both the thread agent and the heap
+    agent see the effect.  Once the JVM's thread capacity is reached the
+    spawn fails like the real thing — ``OutOfMemoryError: unable to create
+    new native thread`` — and the request that triggered the injection
+    errors out: that is the aging failure the thread rejuvenation channel
+    exists to prevent.
     """
 
     kind = "thread-leak"
@@ -36,6 +42,8 @@ class ThreadLeakFault(Fault):
         self._streams = streams
         self._trigger: Optional[RandomCountdownTrigger] = None
         self.leaked_threads = 0
+        #: Spawns refused because the JVM hit its thread capacity.
+        self.thread_limit_hits = 0
 
     def _ensure_trigger(self, servlet) -> RandomCountdownTrigger:
         if self._trigger is None:
@@ -52,13 +60,21 @@ class ThreadLeakFault(Fault):
     def _inject(self, servlet, request) -> None:
         if self.leaked_threads >= self.max_threads:
             return
-        servlet.runtime.threads.spawn(
-            name=f"{servlet.component_name}-leaked-{self.leaked_threads}",
-            owner=servlet.component_name,
-            daemon=False,
-            created_at=getattr(request, "arrival_time", 0.0),
-            stack_bytes=self.stack_bytes,
-        )
+        try:
+            servlet.runtime.threads.spawn(
+                name=f"{servlet.component_name}-leaked-{self.leaked_threads}",
+                owner=servlet.component_name,
+                daemon=False,
+                created_at=getattr(request, "arrival_time", 0.0),
+                stack_bytes=self.stack_bytes,
+                pin_stack=True,
+            )
+        except ThreadLimitError:
+            # The JVM cannot create another thread: the failure surfaces as
+            # a request error (the container answers 500), exactly like the
+            # Java error this models.  Leaked threads stay leaked.
+            self.thread_limit_hits += 1
+            raise
         self.leaked_threads += 1
 
     def describe(self) -> str:

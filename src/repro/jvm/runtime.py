@@ -27,16 +27,19 @@ class JvmRuntime:
     gc_occupancy_threshold:
         Heap occupancy fraction above which an allocation triggers a
         collection before retrying.
+    thread_capacity:
+        Maximum live threads (OS/ulimit analogue); ``None`` = unlimited.
     """
 
     def __init__(
         self,
         heap_bytes: int = DEFAULT_HEAP_BYTES,
         gc_occupancy_threshold: float = 0.7,
+        thread_capacity: Optional[int] = None,
     ) -> None:
         self.heap = Heap(capacity_bytes=heap_bytes)
         self.collector = GarbageCollector(self.heap)
-        self.threads = ThreadRegistry()
+        self.threads = ThreadRegistry(capacity=thread_capacity, heap=self.heap)
         self.gc_occupancy_threshold = gc_occupancy_threshold
         self._cpu_seconds_by_owner: Dict[str, float] = {}
         self._total_cpu_seconds = 0.0

@@ -10,7 +10,16 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+
+class ThreadLimitError(RuntimeError):
+    """Raised when the JVM cannot create another thread.
+
+    The analogue of ``java.lang.OutOfMemoryError: unable to create new
+    native thread`` — the OS/ulimit-level failure a thread leak eventually
+    runs into.
+    """
 
 
 class ThreadState(enum.Enum):
@@ -29,7 +38,16 @@ class JvmThread:
 
     _ids = itertools.count(1)
 
-    __slots__ = ("thread_id", "name", "owner", "state", "daemon", "created_at", "stack_bytes")
+    __slots__ = (
+        "thread_id",
+        "name",
+        "owner",
+        "state",
+        "daemon",
+        "created_at",
+        "stack_bytes",
+        "stack_object",
+    )
 
     def __init__(
         self,
@@ -48,6 +66,9 @@ class JvmThread:
         self.daemon = daemon
         self.created_at = float(created_at)
         self.stack_bytes = int(stack_bytes)
+        #: Heap object pinning this thread's stack memory (``None`` unless
+        #: the registry was asked to account the stack on the heap).
+        self.stack_object = None
 
     def start(self) -> None:
         """Move the thread to RUNNABLE (mirrors ``Thread.start``)."""
@@ -80,9 +101,27 @@ class JvmThread:
 
 
 class ThreadRegistry:
-    """Registry of all threads in the simulated JVM (ThreadMXBean analogue)."""
+    """Registry of all threads in the simulated JVM (ThreadMXBean analogue).
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    capacity:
+        Maximum simultaneously live threads (the OS/ulimit bound a thread
+        leak eventually hits); ``None`` means unlimited.  The rejuvenation
+        controller's thread channel predicts exhaustion against this bound.
+    heap:
+        When given, threads spawned with ``pin_stack=True`` allocate their
+        stack as a *pinned* (GC-root) heap object owned by the thread's
+        owner, so leaked threads show up in the memory accounting exactly
+        as the thread-leak fault's docstring promises — the collector can
+        never reclaim a live thread's stack, only termination frees it.
+    """
+
+    def __init__(self, capacity: Optional[int] = None, heap=None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"thread capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity) if capacity is not None else None
+        self._heap = heap
         self._threads: Dict[int, JvmThread] = {}
         self._peak_count = 0
         self._total_started = 0
@@ -94,8 +133,22 @@ class ThreadRegistry:
         daemon: bool = False,
         created_at: float = 0.0,
         stack_bytes: int = 512 * 1024,
+        pin_stack: bool = False,
     ) -> JvmThread:
-        """Create and start a new thread."""
+        """Create and start a new thread.
+
+        Raises
+        ------
+        ThreadLimitError
+            When ``capacity`` live threads already exist.
+        repro.jvm.heap.OutOfMemoryError
+            When ``pin_stack`` is set and the stack allocation does not fit.
+        """
+        if self.capacity is not None and self.live_count() >= self.capacity:
+            raise ThreadLimitError(
+                f"unable to create new thread {name!r}: "
+                f"{self.live_count()} live threads at capacity {self.capacity}"
+            )
         thread = JvmThread(
             name=name,
             owner=owner,
@@ -103,6 +156,14 @@ class ThreadRegistry:
             created_at=created_at,
             stack_bytes=stack_bytes,
         )
+        if pin_stack and self._heap is not None:
+            thread.stack_object = self._heap.allocate(
+                "java.lang.Thread[stack]",
+                shallow_size=stack_bytes,
+                owner=owner,
+                timestamp=created_at,
+                root=True,
+            )
         thread.start()
         self._threads[thread.thread_id] = thread
         self._total_started += 1
@@ -111,16 +172,44 @@ class ThreadRegistry:
             self._peak_count = live
         return thread
 
+    def _release_stack(self, thread: JvmThread) -> int:
+        """Free a dead thread's pinned stack; returns the bytes released."""
+        stack = thread.stack_object
+        if stack is None or self._heap is None:
+            return 0
+        thread.stack_object = None
+        if self._heap.is_live(stack):
+            self._heap.free(stack)
+            return stack.shallow_size
+        return 0
+
     def terminate(self, thread: JvmThread) -> None:
-        """Terminate a registered thread."""
+        """Terminate a registered thread (releasing its pinned stack)."""
         if thread.thread_id not in self._threads:
             raise KeyError(f"thread {thread.thread_id} is not registered")
         thread.terminate()
+        self._release_stack(thread)
+
+    def terminate_owned(self, owner: str) -> Tuple[int, int]:
+        """Terminate and drop every live thread of ``owner``.
+
+        The thread half of a component micro-reboot: the recycled
+        component's runaway threads die with it and their pinned stack
+        memory is released.  Returns ``(threads_terminated, stack_bytes)``.
+        """
+        victims = [t for t in self._threads.values() if t.is_alive and t.owner == owner]
+        freed_bytes = 0
+        for thread in victims:
+            thread.terminate()
+            freed_bytes += self._release_stack(thread)
+            del self._threads[thread.thread_id]
+        return len(victims), freed_bytes
 
     def remove_terminated(self) -> int:
         """Drop terminated threads from the registry; returns how many."""
         dead = [tid for tid, t in self._threads.items() if t.state is ThreadState.TERMINATED]
         for tid in dead:
+            self._release_stack(self._threads[tid])
             del self._threads[tid]
         return len(dead)
 

@@ -23,6 +23,14 @@ Coverage, mirroring the hottest layers of the reproduction stack:
     End-to-end wall-clock of the three-policy live rejuvenation scenario
     (no action / time-based full restarts / proactive micro-reboots), plus
     the availability metrics the comparison is about.
+``request_path``
+    Full container request path (dispatch -> servlet -> SQL -> capacity
+    booking), with the single-table SELECT fast path vs. the generic
+    wrapper-dict row handling (live A/B in one process).
+``adaptive_e2e``
+    End-to-end wall-clock of the adaptive rejuvenation & SLA comparison
+    (four policies x three leak workloads), plus its headline verdict
+    metrics.
 """
 
 from __future__ import annotations
@@ -409,6 +417,95 @@ def bench_rejuvenation_e2e(options: BenchOptions) -> BenchResult:
         }
 
     return _run_e2e("rejuvenation_e2e", runner, options)
+
+
+# --------------------------------------------------------------------------- #
+# Container request path (SQL row handling fast path)
+# --------------------------------------------------------------------------- #
+@microbench("request_path")
+def bench_request_path(options: BenchOptions) -> BenchResult:
+    """Requests/s through the full container path, fast path vs. generic rows.
+
+    Each mode drives its own fresh tiny deployment with the same interaction
+    cycle, so both measurements pay identical dispatch/session/GC costs and
+    the difference isolates the SELECT row-handling change.
+    """
+    from repro.container.servlet import HttpServletRequest
+    from repro.perf.seed_reference import make_seed_row_database_class
+    from repro.tpcw.application import build_deployment
+    from repro.tpcw.population import PopulationScale
+
+    requests = 1_000 if options.tiny else 6_000
+    interactions = ["home", "product_detail", "new_products", "search_results", "best_sellers"]
+
+    def make_runner(database=None):
+        deployment = build_deployment(
+            scale=PopulationScale.tiny(), seed=options.seed, database=database
+        )
+        urls = [deployment.url_for(name) for name in interactions]
+        handle = deployment.server.handle
+        clock_state = {"t": 0.0}
+
+        def run() -> int:
+            t = clock_state["t"]
+            for index in range(requests):
+                outcome = handle(HttpServletRequest(uri=urls[index % len(urls)]), t)
+                if outcome.response.is_error:
+                    raise RuntimeError(f"bench request failed: {outcome.response.status}")
+                t += 0.05
+            clock_state["t"] = t
+            return requests
+
+        return run
+
+    current = float(measure_rate(make_runner())["best_ops_per_second"])  # type: ignore[arg-type]
+    seed_database = make_seed_row_database_class()("tpcw")
+    seed = float(
+        measure_rate(make_runner(database=seed_database))["best_ops_per_second"]  # type: ignore[arg-type]
+    )
+    return BenchResult(
+        name="request_path",
+        metrics={
+            "requests_per_second": current,
+            "seed_requests_per_second": seed,
+            "requests": requests,
+            "interactions": interactions,
+        },
+        speedup_vs_seed=current / seed,
+        target_speedup=None,
+        config={"tiny": options.tiny},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Adaptive rejuvenation & SLA end-to-end
+# --------------------------------------------------------------------------- #
+@microbench("adaptive_e2e")
+def bench_adaptive_e2e(options: BenchOptions) -> BenchResult:
+    """Wall-clock + headline verdicts of the adaptive SLA comparison."""
+    from repro.experiments.scenarios import fig_adaptive
+    from repro.tpcw.population import PopulationScale
+
+    def runner() -> Dict[str, object]:
+        scenario = fig_adaptive(
+            duration_scale=options.duration_scale,
+            seed=options.seed,
+            scale=PopulationScale.tiny(),
+        )
+        return {
+            "memory_adaptive_sla_cost": round(scenario.sla_cost("memory", "adaptive"), 1),
+            "memory_best_fixed_sla_cost": round(scenario.best_fixed_cost("memory"), 1),
+            "threads_no_action_errors": scenario.result("threads", "no-action").error_count,
+            "threads_adaptive_errors": scenario.result("threads", "adaptive").error_count,
+            "connections_no_action_errors": scenario.result(
+                "connections", "no-action"
+            ).error_count,
+            "connections_adaptive_errors": scenario.result(
+                "connections", "adaptive"
+            ).error_count,
+        }
+
+    return _run_e2e("adaptive_e2e", runner, options)
 
 
 @microbench("fig4_e2e")

@@ -113,23 +113,58 @@ def run_benches(
 
 
 def write_json(path: str, results: List[BenchResult], options: BenchOptions) -> None:
-    """Persist a bench run as a ``BENCH_perf.json``-style artifact."""
+    """Persist a bench run as a ``BENCH_perf.json``-style artifact.
+
+    When ``path`` already holds a bench artifact, the new results are
+    *merged into* it: entries for benchmarks re-run in this invocation are
+    replaced in place, entries for benchmarks not run are preserved — so a
+    partial run (``repro bench --only fig3_e2e``) keeps the perf trajectory
+    intact instead of dropping every other benchmark's record.  Because the
+    top-level ``options`` only describe the *latest* invocation, every bench
+    entry carries its own ``options`` stamp recording the configuration it
+    was actually measured under.
+    """
+    run_options = {
+        "seed": options.seed,
+        "duration_scale": options.duration_scale,
+        "tiny": options.tiny,
+    }
+    bench_dicts = [dict(result.to_dict(), options=run_options) for result in results]
+    existing = _read_existing_benches(path)
+    if existing:
+        by_name = {bench.get("name"): bench for bench in bench_dicts}
+        merged: List[Dict[str, object]] = []
+        for bench in existing:
+            merged.append(by_name.pop(bench.get("name"), bench))
+        merged.extend(by_name.values())
+        bench_dicts = merged
     payload = {
         "schema": "repro-bench/v1",
         "version": __version__,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
-        "options": {
-            "seed": options.seed,
-            "duration_scale": options.duration_scale,
-            "tiny": options.tiny,
-        },
-        "benches": [result.to_dict() for result in results],
-        "all_targets_met": all(result.passed is not False for result in results),
+        "options": run_options,
+        "benches": bench_dicts,
+        "all_targets_met": all(bench.get("passed") is not False for bench in bench_dicts),
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")
+
+
+def _read_existing_benches(path: str) -> List[Dict[str, object]]:
+    """Bench entries of an existing artifact (empty when absent/unreadable)."""
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return []
+    benches = payload.get("benches") if isinstance(payload, dict) else None
+    if not isinstance(benches, list):
+        return []
+    return [bench for bench in benches if isinstance(bench, dict) and bench.get("name")]
 
 
 def _load_benches() -> None:

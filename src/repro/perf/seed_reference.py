@@ -298,3 +298,170 @@ def _seed_wrap_around(
         return advice.body(join_point, inner)
 
     return call
+
+
+# --------------------------------------------------------------------------- #
+# Seed SELECT row handling (wrapper dicts + per-row column resolution)
+# --------------------------------------------------------------------------- #
+def make_seed_row_database_class():
+    """A ``Database`` subclass running the seed's SELECT row handling.
+
+    Imported lazily (the perf package must not pull the db layer at import
+    time).  The returned class executes every SELECT the way the seed did:
+    each scanned row wrapped in a ``{qualifier: row}`` dict, columns
+    resolved per row by scanning the wrapper, projection through
+    ``_project_row`` — the allocation pattern the ``request_path``
+    fast path removed.
+    """
+    from repro.db.engine import Database, QueryResult, SqlExecutionError
+    from repro.db.sql import Aggregate, ColumnRef, Condition, SelectStatement
+    from typing import Any, Dict, List, Sequence, Tuple
+
+    class SeedRowHandlingDatabase(Database):
+        select_fastpath_enabled = False
+
+        def _execute_select_generic(self, statement, params):  # noqa: C901
+            scanned = 0
+            index_lookups = 0
+
+            base_table = self.table(statement.table)
+            base_qualifier = statement.alias or statement.table
+
+            def refers_to_base(ref):
+                if ref.table is not None:
+                    return ref.table == base_qualifier or ref.table == statement.table
+                return base_table.has_column(ref.name)
+
+            index_conditions = []
+            residual_conditions = []
+            for condition in statement.where:
+                usable = (
+                    condition.op == "="
+                    and not isinstance(condition.rhs, ColumnRef)
+                    and refers_to_base(condition.lhs)
+                    and base_table.has_index(condition.lhs.name)
+                )
+                if usable:
+                    index_conditions.append(
+                        (condition.lhs.name, self._bind(condition.rhs, params))
+                    )
+                else:
+                    residual_conditions.append(condition)
+
+            if index_conditions:
+                row_id_sets = []
+                for column_name, value in index_conditions:
+                    row_id_sets.append(base_table.lookup_ids(column_name, value))
+                    index_lookups += 1
+                row_ids = set.intersection(*row_id_sets) if row_id_sets else set()
+                base_rows = [base_table.row_by_id(rid) for rid in row_ids]
+                scanned += len(base_rows)
+            else:
+                base_rows = list(base_table.rows())
+                scanned += len(base_rows)
+
+            exec_rows = [{base_qualifier: row} for row in base_rows]
+
+            for join in statement.joins:
+                join_table = self.table(join.table)
+                join_qualifier = join.alias or join.table
+                new_exec_rows = []
+
+                def side_is_new(ref):
+                    if ref.table is not None:
+                        return ref.table == join_qualifier or ref.table == join.table
+                    return join_table.has_column(ref.name)
+
+                if side_is_new(join.left) and not side_is_new(join.right):
+                    new_ref, old_ref = join.left, join.right
+                elif side_is_new(join.right) and not side_is_new(join.left):
+                    new_ref, old_ref = join.right, join.left
+                else:
+                    raise SqlExecutionError(
+                        f"cannot determine join sides for ON {join.left} = {join.right}"
+                    )
+
+                use_index = join_table.has_index(new_ref.name)
+                for exec_row in exec_rows:
+                    old_value = self._resolve(old_ref, exec_row)
+                    if use_index:
+                        ids = join_table.lookup_ids(new_ref.name, old_value)
+                        index_lookups += 1
+                        matches = [join_table.row_by_id(rid) for rid in ids]
+                        scanned += len(matches)
+                    else:
+                        matches = []
+                        for row in join_table.rows():
+                            scanned += 1
+                            if row.get(new_ref.name) == old_value:
+                                matches.append(row)
+                    for match in matches:
+                        merged = dict(exec_row)
+                        merged[join_qualifier] = match
+                        new_exec_rows.append(merged)
+                exec_rows = new_exec_rows
+
+            filtered = []
+            for exec_row in exec_rows:
+                keep = True
+                for condition in residual_conditions:
+                    left = self._resolve(condition.lhs, exec_row)
+                    if isinstance(condition.rhs, ColumnRef):
+                        right = self._resolve(condition.rhs, exec_row)
+                    else:
+                        right = self._bind(condition.rhs, params)
+                    if not self._compare(condition.op, left, right):
+                        keep = False
+                        break
+                if keep:
+                    filtered.append(exec_row)
+
+            has_aggregates = any(
+                isinstance(i.expression, Aggregate) for i in statement.items
+            )
+            if has_aggregates or statement.group_by:
+                result_rows = self._project_aggregates(statement, filtered)
+                for order in reversed(statement.order_by):
+                    key_name = self._order_key_name(order, statement, result_rows)
+                    result_rows.sort(
+                        key=lambda row: (row.get(key_name) is None, row.get(key_name)),
+                        reverse=order.descending,
+                    )
+            else:
+                result_rows = [
+                    self._project_row(statement, exec_row) for exec_row in filtered
+                ]
+                for order in reversed(statement.order_by):
+                    key_name = self._order_key_name(order, statement, result_rows)
+                    paired = list(zip(result_rows, filtered))
+
+                    def sort_key(pair):
+                        projected, exec_row = pair
+                        if key_name in projected:
+                            value = projected[key_name]
+                        elif isinstance(order.expression, ColumnRef):
+                            try:
+                                value = self._resolve(order.expression, exec_row)
+                            except SqlExecutionError:
+                                value = None
+                        else:
+                            value = None
+                        return (value is None, value)
+
+                    paired.sort(key=sort_key, reverse=order.descending)
+                    result_rows = [projected for projected, _ in paired]
+                    filtered = [exec_row for _, exec_row in paired]
+
+            if statement.limit is not None:
+                result_rows = result_rows[: statement.limit]
+
+            cost = self.cost_model.cost(scanned, len(result_rows), index_lookups)
+            self.stats.record("SELECT", scanned, len(result_rows), cost, index_lookups)
+            return QueryResult(
+                rows=result_rows,
+                rowcount=len(result_rows),
+                cost_seconds=cost,
+                rows_scanned=scanned,
+            )
+
+    return SeedRowHandlingDatabase

@@ -1,0 +1,57 @@
+"""SLA / adaptive-rejuvenation subsystem.
+
+The paper's end goal is not merely *detecting* software aging but acting on
+it well: predicting resource exhaustion from the monitored trends and
+recycling the guilty component before the failure happens (the adaptive
+ML-based aging-prediction line of work that followed the paper).  This
+package closes that loop with three cooperating pieces:
+
+``predictors``
+    Online time-to-exhaustion estimators (sliding-window linear, Theil-Sen
+    robust, exponentially weighted).  Every prediction is recorded and later
+    compared against the realized exhaustion/recycle time, so each predictor
+    carries running error statistics — bias, mean absolute error and a
+    calibration ratio — that downstream policies can steer by.
+
+``cost_model``
+    A configurable SLA/availability cost model that folds downtime seconds,
+    danger-zone exposure seconds, failed and refused requests, and
+    error-budget burn against a target availability into **one scalar**, so
+    any two rejuvenation policy runs become directly comparable.
+
+``adaptive_policy``
+    A rejuvenation policy that predicts exhaustion with a pluggable
+    predictor and *tunes its own safety horizon* from the predictor's
+    observed error: optimistic predictions (exhaustion arriving earlier than
+    predicted) widen the horizon, calibrated ones let it relax back toward
+    its base value.  It plugs into the existing
+    :meth:`~repro.baselines.rejuvenation.RejuvenationPolicy.decide`
+    protocol, so the live controller executes it like any fixed policy.
+
+The pieces are resource-agnostic: the live controller
+(:mod:`repro.core.rejuvenation`) feeds them heap, thread-pool or
+DB-connection-pool series through its :class:`ResourceChannel` abstraction,
+and the same adaptive policy recycles whichever resource is trending toward
+exhaustion.
+"""
+
+from repro.slo.cost_model import SlaCostModel, SlaObservation
+from repro.slo.predictors import (
+    EwmaSlopePredictor,
+    ExhaustionPredictor,
+    PredictionErrorStats,
+    SlidingWindowLinearPredictor,
+    TheilSenPredictor,
+)
+from repro.slo.adaptive_policy import AdaptiveRejuvenationPolicy
+
+__all__ = [
+    "AdaptiveRejuvenationPolicy",
+    "EwmaSlopePredictor",
+    "ExhaustionPredictor",
+    "PredictionErrorStats",
+    "SlaCostModel",
+    "SlaObservation",
+    "SlidingWindowLinearPredictor",
+    "TheilSenPredictor",
+]

@@ -1,0 +1,140 @@
+"""SLA / availability cost model: one scalar per policy run.
+
+Rejuvenation policies trade different currencies — a full restart pays
+downtime, doing nothing pays danger-zone exposure and failed requests, a
+micro-reboot pays a sliver of both.  To *rank* policies those currencies
+must be folded into one number.  :class:`SlaCostModel` does exactly that:
+
+.. code-block:: text
+
+    cost = downtime_weight        * downtime_seconds
+         + exposure_weight        * exposure_seconds
+         + failed_request_weight  * failed_requests
+         + refused_request_weight * refused_requests
+         + burn_weight            * max(0, budget_burn - 1)
+
+where ``budget_burn`` is the fraction of the run's error budget consumed:
+
+.. code-block:: text
+
+    unavailable_seconds = downtime_seconds
+                        + failed_requests * failure_downtime_equivalent_seconds
+    error_budget_seconds = (1 - target_availability) * duration_seconds
+    budget_burn = unavailable_seconds / error_budget_seconds
+
+Interpretation: the scalar is *pseudo-seconds of user-visible unavailability*
+— lower is better, 0 is a perfect run.  Downtime counts at full weight;
+exposure (time spent above the danger threshold, where the run is one
+allocation away from failure) at half weight by default; each failed (5xx)
+request costs more than a second because a served error is worse than a
+refusal a patient client retries.  The burn term is a hinge: while the run
+stays inside its error budget it contributes nothing, and every multiple of
+the budget beyond 1.0 adds ``burn_weight`` — so SL-breaching runs are
+cleanly separated from compliant ones no matter how the linear terms
+compare.  All weights are configurable; the defaults are chosen so the
+three terms have comparable magnitude on the repo's one-hour scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class SlaObservation:
+    """What one policy run cost, in raw availability currencies."""
+
+    duration_seconds: float
+    #: Seconds the server (or a component) deliberately refused load.
+    downtime_seconds: float = 0.0
+    #: Seconds the monitored resource spent above the danger threshold.
+    exposure_seconds: float = 0.0
+    #: Requests answered with an error status (5xx).
+    failed_requests: int = 0
+    #: Requests refused by a rejuvenation outage window.
+    refused_requests: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_seconds}")
+        for name in ("downtime_seconds", "exposure_seconds"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative, got {getattr(self, name)}")
+        for name in ("failed_requests", "refused_requests"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative, got {getattr(self, name)}")
+
+
+@dataclass(frozen=True)
+class SlaCostModel:
+    """Weights folding an :class:`SlaObservation` into one scalar."""
+
+    #: Availability objective the error budget is derived from.
+    target_availability: float = 0.999
+    downtime_weight: float = 1.0
+    exposure_weight: float = 0.5
+    failed_request_weight: float = 2.0
+    refused_request_weight: float = 0.25
+    #: Penalty per multiple of the error budget burned beyond 1.0.
+    burn_weight: float = 120.0
+    #: Unavailability seconds each failed request contributes to the burn.
+    failure_downtime_equivalent_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_availability < 1.0:
+            raise ValueError(
+                f"target_availability must be in (0, 1), got {self.target_availability}"
+            )
+        for name in (
+            "downtime_weight",
+            "exposure_weight",
+            "failed_request_weight",
+            "refused_request_weight",
+            "burn_weight",
+            "failure_downtime_equivalent_seconds",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative, got {getattr(self, name)}")
+
+    # ------------------------------------------------------------------ #
+    def error_budget_seconds(self, duration_seconds: float) -> float:
+        """Allowed unavailability over ``duration_seconds``."""
+        return (1.0 - self.target_availability) * duration_seconds
+
+    def unavailable_seconds(self, observation: SlaObservation) -> float:
+        """Downtime plus the downtime-equivalent of the failed requests."""
+        return (
+            observation.downtime_seconds
+            + observation.failed_requests * self.failure_downtime_equivalent_seconds
+        )
+
+    def budget_burn(self, observation: SlaObservation) -> float:
+        """Fraction of the error budget consumed (1.0 = exactly spent)."""
+        budget = self.error_budget_seconds(observation.duration_seconds)
+        if budget <= 0:
+            return 0.0
+        return self.unavailable_seconds(observation) / budget
+
+    def score(self, observation: SlaObservation) -> float:
+        """The scalar SLA cost (lower is better, 0 is a perfect run)."""
+        burn_overshoot = max(0.0, self.budget_burn(observation) - 1.0)
+        return (
+            self.downtime_weight * observation.downtime_seconds
+            + self.exposure_weight * observation.exposure_seconds
+            + self.failed_request_weight * observation.failed_requests
+            + self.refused_request_weight * observation.refused_requests
+            + self.burn_weight * burn_overshoot
+        )
+
+    def breakdown(self, observation: SlaObservation) -> Dict[str, float]:
+        """Per-term contribution (sums to :meth:`score`), plus the burn ratio."""
+        burn = self.budget_burn(observation)
+        return {
+            "downtime_cost": self.downtime_weight * observation.downtime_seconds,
+            "exposure_cost": self.exposure_weight * observation.exposure_seconds,
+            "failed_cost": self.failed_request_weight * observation.failed_requests,
+            "refused_cost": self.refused_request_weight * observation.refused_requests,
+            "burn_cost": self.burn_weight * max(0.0, burn - 1.0),
+            "budget_burn": burn,
+        }

@@ -1,0 +1,287 @@
+"""Online time-to-exhaustion predictors with self-tracked error statistics.
+
+A predictor extrapolates a monitored resource series (post-GC live heap,
+total thread count, active pooled connections) toward its capacity and
+answers *"how many seconds until this resource is exhausted?"*.  Crucially
+for the adaptive policy, every answer is **recorded**: when the resource is
+later recycled (or actually exhausts), :meth:`ExhaustionPredictor.settle`
+compares each outstanding prediction against the realized exhaustion time
+and folds the error into running statistics — signed bias, mean absolute
+error, and a calibration ratio (predicted / realized; > 1 means the
+predictor is optimistic, promising more time than reality delivered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.trend import linear_slope, theil_sen_slope
+from repro.sim.metrics import TimeSeries
+
+#: Outstanding (unsettled) predictions kept per predictor.  Checks run every
+#: few seconds of simulated time while settlements only happen per recycle,
+#: so the buffer is bounded to keep long runs O(1) per prediction.
+MAX_OUTSTANDING = 512
+
+
+@dataclass(frozen=True)
+class PredictionRecord:
+    """One recorded prediction, waiting for its realized counterpart."""
+
+    made_at: float
+    predicted_tte: float
+
+    @property
+    def predicted_exhaustion_time(self) -> float:
+        """Absolute simulated time at which exhaustion was predicted."""
+        return self.made_at + self.predicted_tte
+
+
+@dataclass
+class PredictionErrorStats:
+    """Running error statistics over settled predictions."""
+
+    count: int = 0
+    _sum_error: float = 0.0
+    _sum_abs_error: float = 0.0
+    _sum_ratio: float = 0.0
+
+    def fold(self, predicted_tte: float, realized_tte: float) -> None:
+        """Fold one settled prediction into the statistics."""
+        error = predicted_tte - realized_tte
+        self.count += 1
+        self._sum_error += error
+        self._sum_abs_error += abs(error)
+        # Ratio of predicted to realized horizon; the realized side is
+        # floored so an exhaustion landing (nearly) immediately still yields
+        # a finite, strongly optimistic ratio instead of a division blow-up.
+        self._sum_ratio += predicted_tte / max(realized_tte, 1e-9)
+
+    @property
+    def bias_seconds(self) -> float:
+        """Mean signed error (positive: predictions were optimistic)."""
+        return self._sum_error / self.count if self.count else 0.0
+
+    @property
+    def mae_seconds(self) -> float:
+        """Mean absolute error of the settled predictions."""
+        return self._sum_abs_error / self.count if self.count else 0.0
+
+    @property
+    def calibration(self) -> float:
+        """Mean predicted/realized ratio (1.0 = perfectly calibrated)."""
+        return self._sum_ratio / self.count if self.count else 1.0
+
+    def to_row(self) -> dict:
+        """Report row used by the SLA tables."""
+        return {
+            "predictions": self.count,
+            "bias_s": round(self.bias_seconds, 2),
+            "mae_s": round(self.mae_seconds, 2),
+            "calibration": round(self.calibration, 3),
+        }
+
+
+class ExhaustionPredictor:
+    """Base class: trend-extrapolating time-to-exhaustion estimation.
+
+    Subclasses provide :meth:`slope` — everything else (extrapolation,
+    recording, settlement, error statistics) is shared.
+
+    Parameters
+    ----------
+    min_samples:
+        Minimum observations before a prediction is attempted.
+    window_seconds:
+        Only samples from the trailing window are used for the slope
+        (``None``: the whole observed series).
+    """
+
+    name = "abstract"
+
+    def __init__(self, min_samples: int = 3, window_seconds: Optional[float] = None) -> None:
+        if min_samples < 2:
+            raise ValueError(f"min_samples must be >= 2, got {min_samples}")
+        if window_seconds is not None and window_seconds <= 0:
+            raise ValueError(f"window_seconds must be positive, got {window_seconds}")
+        self.min_samples = int(min_samples)
+        self.window_seconds = window_seconds
+        self.stats = PredictionErrorStats()
+        self._outstanding: List[PredictionRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
+    def slope(self, times: np.ndarray, values: np.ndarray) -> float:
+        """Estimated growth rate (units per second) of the series."""
+        raise NotImplementedError
+
+    def _windowed(self, series: TimeSeries, now: float) -> Tuple[np.ndarray, np.ndarray]:
+        times = series.times
+        values = series.values
+        if self.window_seconds is not None and len(times):
+            mask = times >= now - self.window_seconds
+            times = times[mask]
+            values = values[mask]
+        if times.shape[0] > 2:
+            # Warm-up guard: drop the leading idle plateau (samples recorded
+            # before the resource first moved).  A leak that has not started
+            # yet contributes flat samples that drag the fitted slope below
+            # the true consumption rate, systematically inflating early
+            # time-to-exhaustion estimates.
+            moved = np.flatnonzero(values != values[0])
+            if moved.size and 0 < moved[0] < times.shape[0] - 1:
+                start = moved[0] - 1  # keep the last flat sample as the anchor
+                times = times[start:]
+                values = values[start:]
+        return times, values
+
+    def time_to_exhaustion(
+        self, series: TimeSeries, capacity: float, now: float
+    ) -> Optional[float]:
+        """Predicted seconds (from ``now``) until the trend reaches ``capacity``.
+
+        ``None`` when no usable upward trend exists (too few samples, or a
+        flat/shrinking series).  An already-exhausted resource returns 0.
+        """
+        if capacity <= 0 or len(series) == 0:
+            return None
+        times, values = self._windowed(series, now)
+        if times.shape[0] < self.min_samples:
+            return None
+        if values[-1] >= capacity:
+            return 0.0
+        estimated = self.slope(times, values)
+        if estimated <= 0:
+            return None
+        exhaustion_time = float(times[-1]) + (capacity - float(values[-1])) / estimated
+        return max(0.0, exhaustion_time - now)
+
+    # ------------------------------------------------------------------ #
+    # Prediction bookkeeping
+    # ------------------------------------------------------------------ #
+    def predict(
+        self, series: TimeSeries, capacity: float, now: float, record: bool = True
+    ) -> Optional[float]:
+        """Estimate the time to exhaustion and (by default) record it."""
+        tte = self.time_to_exhaustion(series, capacity, now)
+        if tte is not None and record:
+            self.note(now, tte)
+        return tte
+
+    def note(self, made_at: float, predicted_tte: float) -> None:
+        """Record one prediction for later settlement."""
+        self._outstanding.append(
+            PredictionRecord(made_at=made_at, predicted_tte=predicted_tte)
+        )
+        if len(self._outstanding) > MAX_OUTSTANDING:
+            del self._outstanding[: len(self._outstanding) - MAX_OUTSTANDING]
+
+    def settle(
+        self, realized_exhaustion_time: float, since: Optional[float] = None
+    ) -> Tuple[int, float]:
+        """Compare outstanding predictions against a realized exhaustion time.
+
+        Every prediction made before ``realized_exhaustion_time`` is settled:
+        its realized time-to-exhaustion is ``realized - made_at`` and the
+        signed error ``predicted - realized`` enters the running statistics.
+        Predictions made before ``since`` are *discarded* instead: they
+        extrapolated a regime that a recycle has since reset, so comparing
+        them against the current trajectory would only poison the error
+        statistics.  Returns ``(settled_count, mean predicted/realized
+        ratio)`` for the settled batch (``(0, 1.0)`` when nothing was
+        outstanding), which the adaptive policy uses to retune its horizon
+        per recycle event.
+        """
+        settled = 0
+        ratio_sum = 0.0
+        remaining: List[PredictionRecord] = []
+        for record in self._outstanding:
+            if record.made_at >= realized_exhaustion_time:
+                remaining.append(record)
+                continue
+            if since is not None and record.made_at < since:
+                continue  # stale regime: drop without scoring
+            realized_tte = realized_exhaustion_time - record.made_at
+            self.stats.fold(record.predicted_tte, realized_tte)
+            ratio_sum += record.predicted_tte / max(realized_tte, 1e-9)
+            settled += 1
+        self._outstanding = remaining
+        return settled, (ratio_sum / settled if settled else 1.0)
+
+    @property
+    def outstanding_predictions(self) -> int:
+        """Predictions recorded but not yet settled."""
+        return len(self._outstanding)
+
+    def stats_row(self) -> dict:
+        """Report row: predictor name + running error statistics."""
+        row = {"predictor": self.name, "outstanding": len(self._outstanding)}
+        row.update(self.stats.to_row())
+        return row
+
+
+class SlidingWindowLinearPredictor(ExhaustionPredictor):
+    """Ordinary least-squares slope over the trailing window.
+
+    Cheap and responsive, but sensitive to sawtooth noise (GC spikes,
+    in-flight connection churn) — the trade the robust predictor avoids.
+    """
+
+    name = "sliding-linear"
+
+    def slope(self, times: np.ndarray, values: np.ndarray) -> float:
+        return linear_slope(times, values)
+
+
+class TheilSenPredictor(ExhaustionPredictor):
+    """Theil-Sen (median-of-pairwise-slopes) trend, robust to outliers.
+
+    The right default for series that mix a slow leak with large transient
+    excursions: the median slope ignores the excursions entirely.
+    """
+
+    name = "theil-sen"
+
+    def slope(self, times: np.ndarray, values: np.ndarray) -> float:
+        return theil_sen_slope(times, values)
+
+
+class EwmaSlopePredictor(ExhaustionPredictor):
+    """Exponentially weighted least-squares slope.
+
+    Recent samples dominate (weight ``(1-alpha)^age``), so the estimate
+    tracks rate *changes* — a leak that accelerates mid-run shortens the
+    prediction quickly, where the unweighted fit would average it away.
+    """
+
+    name = "ewma"
+
+    def __init__(
+        self,
+        alpha: float = 0.2,
+        min_samples: int = 3,
+        window_seconds: Optional[float] = None,
+    ) -> None:
+        super().__init__(min_samples=min_samples, window_seconds=window_seconds)
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        self.alpha = float(alpha)
+
+    def slope(self, times: np.ndarray, values: np.ndarray) -> float:
+        n = times.shape[0]
+        if n < 2:
+            return 0.0
+        # Newest sample gets weight 1, each older one decays by (1 - alpha).
+        weights = (1.0 - self.alpha) ** np.arange(n - 1, -1, -1, dtype=float)
+        total = float(weights.sum())
+        t_mean = float((weights * times).sum()) / total
+        v_mean = float((weights * values).sum()) / total
+        t_centered = times - t_mean
+        denominator = float((weights * t_centered * t_centered).sum())
+        if denominator == 0.0:
+            return 0.0
+        return float((weights * t_centered * (values - v_mean)).sum() / denominator)

@@ -79,7 +79,8 @@ def build_deployment(
     config: Optional[ServerConfig] = None,
     clock: Optional[SimClock] = None,
     streams: Optional[RandomStreams] = None,
-    pool_size: int = DEFAULT_POOL_SIZE,
+    pool_size: Optional[int] = None,
+    database: Optional[Database] = None,
 ) -> TpcwDeployment:
     """Build a fully wired TPC-W deployment.
 
@@ -96,19 +97,27 @@ def build_deployment(
         Shared simulation clock / random streams; fresh ones are created when
         omitted (the experiment harness passes the engine's clock).
     pool_size:
-        JDBC connection-pool bound.
+        JDBC connection-pool bound (defaults to ``config.pool_size`` when
+        set, else :data:`DEFAULT_POOL_SIZE`).
+    database:
+        An empty :class:`Database` to deploy onto (a fresh one when omitted;
+        the perf harness injects instrumented subclasses here).
     """
     scale = scale or PopulationScale()
     streams = streams or RandomStreams(seed)
     clock = clock or SimClock()
     config = config or ServerConfig()
+    if pool_size is None:
+        pool_size = config.pool_size if config.pool_size is not None else DEFAULT_POOL_SIZE
 
-    database = Database("tpcw")
+    database = database if database is not None else Database("tpcw")
     create_tpcw_schema(database)
     populate_database(database, scale, streams)
     datasource = DataSource(database, pool_size=pool_size)
 
-    runtime = JvmRuntime(heap_bytes=config.heap_bytes)
+    runtime = JvmRuntime(
+        heap_bytes=config.heap_bytes, thread_capacity=config.thread_capacity
+    )
 
     application = WebApplication("tpcw", context_path=CONTEXT_PATH)
     application.context.set_attribute(RUNTIME_ATTRIBUTE, runtime)

@@ -135,8 +135,13 @@ class TpcwServlet(HttpServlet):
         return float(getattr(self._clock, "now", 0.0)) if self._clock is not None else 0.0
 
     def get_connection(self) -> Connection:
-        """Borrow a pooled JDBC connection."""
-        return self.datasource.get_connection()
+        """Borrow a pooled JDBC connection, tagged with this component.
+
+        The tag lets the pool attribute held connections per component —
+        the signal the rejuvenation controller's connection channel uses to
+        blame (and surgically recycle) a connection-leaking component.
+        """
+        return self.datasource.get_connection(owner=self.component_name)
 
     def random_stream(self, suffix: str):
         """A component-scoped random generator (deterministic per seed)."""

@@ -73,3 +73,13 @@ class TestCliCommands:
         assert "per-policy availability" in out
         assert "proactive-microreboot" in out
         assert "time-based" in out
+        assert "sla_cost" in out
+
+    def test_adaptive_command_small_run(self, capsys):
+        exit_code = main(["adaptive", "--tiny", "--duration-scale", "0.02"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "sla_cost" in out
+        assert "adaptive" in out
+        assert "verdicts:" in out
+        assert "rejuvenation eliminates error spike" in out

@@ -291,3 +291,82 @@ def test_property_sum_and_count_aggregates(values):
     assert row["s"] == sum(values)
     assert row["lo"] == min(values)
     assert row["hi"] == max(values)
+
+
+# --------------------------------------------------------------------------- #
+# Single-table SELECT fast path (PR 3 request-path satellite)
+# --------------------------------------------------------------------------- #
+class TestSelectFastPathEquivalence:
+    """The join-free fast path must be observably identical to the generic
+    executor — rows, rowcount, scan/cost accounting and error behaviour."""
+
+    def build(self) -> Database:
+        database = Database("fastpath")
+        database.create_table(
+            "item",
+            [
+                Column("i_id", ColumnType.INTEGER, primary_key=True),
+                Column("i_title", ColumnType.VARCHAR),
+                Column("i_subject", ColumnType.VARCHAR),
+                Column("i_cost", ColumnType.FLOAT),
+            ],
+        )
+        database.table("item").create_index("i_subject")
+        for item_id in range(1, 13):
+            database.table("item").insert(
+                {
+                    "i_id": item_id,
+                    "i_title": f"Book {item_id:02d}" if item_id != 7 else None,
+                    "i_subject": "ARTS" if item_id % 2 == 0 else "HISTORY",
+                    "i_cost": float(item_id),
+                }
+            )
+        return database
+
+    QUERIES = [
+        ("SELECT i_title FROM item WHERE i_id = ?", [3]),
+        ("SELECT * FROM item WHERE i_subject = ?", ["ARTS"]),
+        ("SELECT i_id, i_cost AS price FROM item WHERE i_cost >= ?", [6.5]),
+        ("SELECT i_id FROM item WHERE i_subject = ? AND i_cost > ?", ["HISTORY", 4.0]),
+        ("SELECT i_id FROM item WHERE i_title LIKE 'Book 0%'", []),
+        ("SELECT i_id FROM item LIMIT 4", []),
+        ("SELECT it.i_id FROM item it WHERE it.i_subject = ?", ["ARTS"]),
+        ("SELECT i_id FROM item WHERE i_title = ?", [None]),
+    ]
+
+    @pytest.mark.parametrize("sql,params", QUERIES)
+    def test_rows_and_accounting_match_generic(self, sql, params):
+        fast_db = self.build()
+        generic_db = self.build()
+        generic_db.select_fastpath_enabled = False
+        fast = fast_db.execute(sql, params)
+        generic = generic_db.execute(sql, params)
+        assert fast.rows == generic.rows
+        assert fast.rowcount == generic.rowcount
+        assert fast.rows_scanned == generic.rows_scanned
+        assert fast.cost_seconds == generic.cost_seconds
+
+    def test_star_rows_are_copies(self):
+        database = self.build()
+        result = database.execute("SELECT * FROM item WHERE i_id = ?", [1])
+        result.rows[0]["i_title"] = "MUTATED"
+        again = database.execute("SELECT * FROM item WHERE i_id = ?", [1])
+        assert again.rows[0]["i_title"] == "Book 01"
+
+    def test_error_behaviour_matches_generic(self):
+        for enabled in (True, False):
+            database = self.build()
+            database.select_fastpath_enabled = enabled
+            with pytest.raises(SqlExecutionError):
+                database.execute("SELECT missing FROM item")
+            with pytest.raises(SqlExecutionError):
+                database.execute("SELECT i_id FROM item WHERE bogus.i_id = ?", [1])
+
+    def test_joins_and_aggregates_take_generic_path(self):
+        database = self.build()
+        # Aggregates and ORDER BY are generic-path features; the fast path
+        # must defer to them transparently.
+        count = database.execute("SELECT COUNT(*) AS n FROM item WHERE i_subject = ?", ["ARTS"])
+        assert count.rows == [{"n": 6}]
+        ordered = database.execute("SELECT i_id FROM item ORDER BY i_cost DESC LIMIT 2")
+        assert [row["i_id"] for row in ordered.rows] == [12, 11]

@@ -47,6 +47,8 @@ class TestRegistry:
             "snapshot_sizing",
             "fig3_e2e",
             "fig4_e2e",
+            "request_path",
+            "adaptive_e2e",
         ]:
             assert expected in names
 
@@ -91,6 +93,46 @@ class TestRegistry:
         assert payload["benches"][0]["name"] == "demo"
         assert payload["benches"][0]["passed"] is True
         assert payload["all_targets_met"] is True
+
+    def test_json_artifact_merges_into_existing(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        first = [
+            BenchResult(name="alpha", metrics={"ops": 1.0}, speedup_vs_seed=2.0),
+            BenchResult(name="beta", metrics={"ops": 2.0}, speedup_vs_seed=3.0),
+        ]
+        write_json(str(path), first, BenchOptions(tiny=True))
+        # A partial re-run updates only its own entry and keeps the rest.
+        rerun = [BenchResult(name="beta", metrics={"ops": 9.0}, speedup_vs_seed=4.0)]
+        write_json(str(path), rerun, BenchOptions(tiny=True))
+        payload = json.loads(path.read_text())
+        by_name = {bench["name"]: bench for bench in payload["benches"]}
+        assert sorted(by_name) == ["alpha", "beta"]
+        assert by_name["alpha"]["speedup_vs_seed"] == 2.0  # preserved
+        assert by_name["beta"]["speedup_vs_seed"] == 4.0  # replaced
+        assert by_name["beta"]["metrics"]["ops"] == 9.0
+        # Order: existing entries stay in place, new names append.
+        assert [bench["name"] for bench in payload["benches"]] == ["alpha", "beta"]
+        extra = [BenchResult(name="gamma", metrics={}, speedup_vs_seed=1.0)]
+        write_json(str(path), extra, BenchOptions(tiny=True))
+        payload = json.loads(path.read_text())
+        assert [bench["name"] for bench in payload["benches"]] == [
+            "alpha",
+            "beta",
+            "gamma",
+        ]
+
+    def test_json_artifact_merge_respects_preserved_failures(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        failing = [
+            BenchResult(name="alpha", speedup_vs_seed=1.0, target_speedup=3.0)
+        ]
+        write_json(str(path), failing, BenchOptions(tiny=True))
+        assert json.loads(path.read_text())["all_targets_met"] is False
+        # A later partial run of a different bench must not hide the failure.
+        other = [BenchResult(name="beta", speedup_vs_seed=5.0, target_speedup=3.0)]
+        write_json(str(path), other, BenchOptions(tiny=True))
+        payload = json.loads(path.read_text())
+        assert payload["all_targets_met"] is False
 
     def test_microbenches_run_tiny(self):
         # The micro (non-e2e) benches must run green at tiny scale; the
