@@ -31,6 +31,7 @@ from repro.experiments.reporting import (
     fig6_report,
     format_table,
     leak_scenario_report,
+    mixed_report,
     rejuvenation_report,
 )
 from repro.experiments.scenarios import (
@@ -40,6 +41,7 @@ from repro.experiments.scenarios import (
     fig6_manager_map,
     fig7_injection_sizes,
     fig_adaptive,
+    fig_mixed,
     fig_rejuvenation,
 )
 from repro.tpcw.population import PopulationScale
@@ -137,6 +139,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(name)
         return 0
 
+    if args.compare:
+        return _cmd_bench_compare(args.compare[0], args.compare[1])
+
     options = BenchOptions.from_environment()
     if args.seed is not None:
         options.seed = args.seed
@@ -176,6 +181,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_bench_compare(old_path: str, new_path: str) -> int:
+    """Print per-bench speedup deltas; exit non-zero on a >10 % regression."""
+    from repro.perf.registry import compare_artifacts
+
+    try:
+        comparisons = compare_artifacts(old_path, new_path)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(f"== bench compare: {old_path} -> {new_path} ==")
+    regressions = 0
+    for row in comparisons:
+        old = f"{row.old_speedup:.2f}x" if row.old_speedup is not None else "-"
+        new = f"{row.new_speedup:.2f}x" if row.new_speedup is not None else "-"
+        delta = f"{row.delta_percent:+.1f}%" if row.delta_percent is not None else "  n/a"
+        tiny = "tiny" if row.options.get("tiny") else "full"
+        note = f"  [{row.note}]" if row.note else ""
+        print(f"{row.name:18s} {tiny:4s}  {old:>8s} -> {new:>8s}  {delta:>8s}{note}")
+        if row.regression:
+            regressions += 1
+    if regressions:
+        print(f"{regressions} regression(s) beyond tolerance", file=sys.stderr)
+        return 1
+    print("no regressions beyond tolerance")
+    return 0
+
+
 def _cmd_rejuvenation(args: argparse.Namespace) -> int:
     scenario = fig_rejuvenation(
         duration_scale=args.duration_scale, seed=args.seed, scale=_population(args), ebs=args.ebs
@@ -189,6 +222,14 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
         duration_scale=args.duration_scale, seed=args.seed, scale=_population(args), ebs=args.ebs
     )
     print(adaptive_report(scenario))
+    return 0
+
+
+def _cmd_mixed(args: argparse.Namespace) -> int:
+    scenario = fig_mixed(
+        duration_scale=args.duration_scale, seed=args.seed, scale=_population(args), ebs=args.ebs
+    )
+    print(mixed_report(scenario))
     return 0
 
 
@@ -245,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig7", _cmd_fig7, "heterogeneous leak sizes"),
         ("rejuvenation", _cmd_rejuvenation, "live rejuvenation: no action vs. restarts vs. micro-reboots"),
         ("adaptive", _cmd_adaptive, "adaptive rejuvenation & SLA comparison over memory/thread/connection leaks"),
+        ("mixed", _cmd_mixed, "mixed faults: concurrent heap + connection leaks in different components"),
     ]:
         sub = subparsers.add_parser(name, help=help_text)
         add_common(sub, include_ebs=(name != "fig3"))
@@ -262,6 +304,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--tiny", action="store_true", help="tiny iteration counts (CI smoke; REPRO_BENCH_TINY=1)"
+    )
+    bench_parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD.json", "NEW.json"),
+        help="compare two bench artifacts per (name, options); exit non-zero "
+        "on a >10%% speedup regression of any previously-passing bench",
     )
     bench_parser.set_defaults(handler=_cmd_bench)
 

@@ -103,11 +103,22 @@ class Database:
         Latency model used to compute simulated per-query cost.
     """
 
+    #: Plan-cache size guard (the servlet repertoire is a few dozen distinct
+    #: statements; overflow means ad-hoc statement churn, so just start over).
+    _PLAN_CACHE_LIMIT = 512
+
     def __init__(self, name: str = "tpcw", cost_model: Optional[CostModel] = None) -> None:
         self.name = name
         self.cost_model = cost_model or CostModel()
         self._tables: Dict[str, Table] = {}
         self.stats = QueryStats()
+        #: Bumped on DDL (create/drop table); compiled plans validate against
+        #: it (plus each referenced table's ``schema_version``).
+        self._schema_epoch = 0
+        #: ``id(statement) -> (statement, CompiledSelect)``.  The statement is
+        #: pinned so a recycled ``id`` can never alias a different statement;
+        #: keyed like the ``parse_sql`` cache, one plan per shared AST.
+        self._plan_cache: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------ #
     # DDL
@@ -118,6 +129,8 @@ class Database:
             raise SqlExecutionError(f"table {name!r} already exists")
         table = Table(name, columns)
         self._tables[name] = table
+        self._schema_epoch += 1
+        self._plan_cache.clear()
         return table
 
     def drop_table(self, name: str) -> None:
@@ -125,6 +138,8 @@ class Database:
         if name not in self._tables:
             raise SqlExecutionError(f"no such table: {name!r}")
         del self._tables[name]
+        self._schema_epoch += 1
+        self._plan_cache.clear()
 
     def table(self, name: str) -> Table:
         """Look up a table by name."""
@@ -210,305 +225,43 @@ class Database:
     # ------------------------------------------------------------------ #
     # SELECT
     # ------------------------------------------------------------------ #
-    #: Class-wide switch for the single-table SELECT fast path (the
-    #: ``request_path`` benchmark flips it off to measure the generic path).
+    #: Legacy knob kept for the preserved seed-reference subclass and older
+    #: tests: PR 3's hand-rolled single-table fast path dispatched on it.
+    #: The compiled planner now covers every SELECT shape through one path
+    #: (with identical rows and accounting — the fast-path equivalence tests
+    #: assert it), so the flag no longer selects anything.
     select_fastpath_enabled = True
 
     def _execute_select(self, statement: SelectStatement, params: Sequence[Any]) -> QueryResult:
-        if (
-            self.select_fastpath_enabled
-            and not statement.joins
-            and not statement.group_by
-            and not statement.order_by
-            and not any(isinstance(i.expression, Aggregate) for i in statement.items)
-        ):
-            return self._execute_select_single(statement, params)
         return self._execute_select_generic(statement, params)
-
-    def _execute_select_single(
-        self, statement: SelectStatement, params: Sequence[Any]
-    ) -> QueryResult:
-        """Join-free, aggregate-free SELECT without per-row wrapper dicts.
-
-        The TPC-W request path is dominated by indexed point lookups; the
-        generic executor wraps every scanned row in a ``{qualifier: row}``
-        dict and resolves columns through it, which costs one allocation and
-        one indirection per row.  This path filters and projects straight
-        off the table's row dicts.
-        """
-        scanned = 0
-        index_lookups = 0
-        base_table = self.table(statement.table)
-        base_qualifier = statement.alias or statement.table
-
-        index_conditions: List[Tuple[str, Any]] = []
-        residual_conditions: List[Condition] = []
-        for condition in statement.where:
-            usable = (
-                condition.op == "="
-                and not isinstance(condition.rhs, ColumnRef)
-                and condition.lhs.table in (None, base_qualifier, statement.table)
-                and base_table.has_index(condition.lhs.name)
-            )
-            if usable:
-                index_conditions.append((condition.lhs.name, self._bind(condition.rhs, params)))
-            else:
-                residual_conditions.append(condition)
-
-        if index_conditions:
-            row_id_sets = []
-            for column_name, value in index_conditions:
-                row_id_sets.append(base_table.lookup_ids(column_name, value))
-                index_lookups += 1
-            row_ids = set.intersection(*row_id_sets)
-            rows = [base_table.row_by_id(rid) for rid in row_ids]
-            scanned += len(rows)
-        else:
-            rows = list(base_table.rows())
-            scanned += len(rows)
-
-        def column_value(row: Dict[str, Any], ref: ColumnRef) -> Any:
-            # Mirror the generic resolver: only the effective qualifier (the
-            # alias when one is declared) names the execution row.
-            if ref.table is not None and ref.table != base_qualifier:
-                raise SqlExecutionError(f"unknown table qualifier {ref.table!r}")
-            if ref.name not in row:
-                raise SqlExecutionError(f"unknown column {ref.name!r}")
-            return row[ref.name]
-
-        if residual_conditions:
-            filtered = []
-            for row in rows:
-                for condition in residual_conditions:
-                    left = column_value(row, condition.lhs)
-                    right = (
-                        column_value(row, condition.rhs)
-                        if isinstance(condition.rhs, ColumnRef)
-                        else self._bind(condition.rhs, params)
-                    )
-                    if not self._compare(condition.op, left, right):
-                        break
-                else:
-                    filtered.append(row)
-            rows = filtered
-
-        if statement.limit is not None:
-            rows = rows[: statement.limit]
-
-        if statement.star:
-            result_rows = [dict(row) for row in rows]
-        else:
-            items = [
-                (item.alias or item.expression.name, item.expression)
-                for item in statement.items
-            ]
-            result_rows = [
-                {name: column_value(row, ref) for name, ref in items} for row in rows
-            ]
-
-        cost = self.cost_model.cost(scanned, len(result_rows), index_lookups)
-        self.stats.record("SELECT", scanned, len(result_rows), cost, index_lookups)
-        return QueryResult(
-            rows=result_rows, rowcount=len(result_rows), cost_seconds=cost, rows_scanned=scanned
-        )
 
     def _execute_select_generic(
         self, statement: SelectStatement, params: Sequence[Any]
     ) -> QueryResult:
-        scanned = 0
-        index_lookups = 0
+        """Execute a SELECT through the compiled-plan cache.
 
-        base_table = self.table(statement.table)
-        base_qualifier = statement.alias or statement.table
-
-        # Qualifier -> table, in execution-row insertion order.  Every stored
-        # row carries all of its table's columns (``_validate_row`` fills
-        # absent ones with NULL), so column references can be resolved once
-        # against the schemas instead of per row via dict scans — the former
-        # per-row ``_resolve`` dominated join/order-by row handling.
-        tables_by_qualifier: Dict[str, Table] = {base_qualifier: base_table}
-
-        def resolve_qualifier(ref: ColumnRef) -> str:
-            if ref.table is not None:
-                if ref.table not in tables_by_qualifier:
-                    raise SqlExecutionError(f"unknown table qualifier {ref.table!r}")
-                if not tables_by_qualifier[ref.table].has_column(ref.name):
-                    raise SqlExecutionError(f"unknown column {ref}")
-                return ref.table
-            for qualifier, table in tables_by_qualifier.items():
-                if table.has_column(ref.name):
-                    return qualifier
-            raise SqlExecutionError(f"unknown column {ref.name!r}")
-
-        # Split WHERE into conditions usable for base-table index pruning and
-        # the rest (applied per joined row).
-        def refers_to_base(ref: ColumnRef) -> bool:
-            if ref.table is not None:
-                return ref.table == base_qualifier or ref.table == statement.table
-            return base_table.has_column(ref.name)
-
-        index_conditions: List[Tuple[str, Any]] = []
-        residual_conditions: List[Condition] = []
-        for condition in statement.where:
-            usable = (
-                condition.op == "="
-                and not isinstance(condition.rhs, ColumnRef)
-                and refers_to_base(condition.lhs)
-                and base_table.has_index(condition.lhs.name)
-            )
-            if usable:
-                index_conditions.append(
-                    (condition.lhs.name, self._bind(condition.rhs, params))
-                )
-            else:
-                residual_conditions.append(condition)
-
-        # Base row set.
-        if index_conditions:
-            row_id_sets = []
-            for column_name, value in index_conditions:
-                row_id_sets.append(base_table.lookup_ids(column_name, value))
-                index_lookups += 1
-            row_ids = set.intersection(*row_id_sets) if row_id_sets else set()
-            base_rows = [base_table.row_by_id(rid) for rid in row_ids]
-            scanned += len(base_rows)
+        Each distinct statement AST is compiled once (:mod:`repro.db.planner`)
+        into a pipeline of specialised operators — declared-index lookups,
+        lazy hash-index joins, tuple intermediate rows and a top-k ORDER
+        BY + LIMIT selector — and re-run directly on subsequent executions.
+        Plans are invalidated by DDL (``_schema_epoch``) and per-table schema
+        changes (``Table.schema_version``); data mutations never invalidate
+        because the hash indexes are maintained incrementally.  Rows, row
+        order and the scanned/lookup accounting are bit-identical to the
+        interpreting executor this replaced (see the planner's equivalence
+        suite).
+        """
+        entry = self._plan_cache.get(id(statement))
+        if entry is not None and entry[0] is statement and entry[1].is_valid(self):
+            plan = entry[1]
         else:
-            base_rows = list(base_table.rows())
-            scanned += len(base_rows)
+            from repro.db.planner import compile_select
 
-        # Execution rows: qualifier -> row dict.
-        exec_rows: List[Dict[str, Dict[str, Any]]] = [
-            {base_qualifier: row} for row in base_rows
-        ]
-
-        # Joins (nested loop with index acceleration when the join key of the
-        # joined table is indexed).
-        for join in statement.joins:
-            join_table = self.table(join.table)
-            join_qualifier = join.alias or join.table
-            new_exec_rows: List[Dict[str, Dict[str, Any]]] = []
-
-            # Figure out which side of the ON condition belongs to the new table.
-            def side_is_new(ref: ColumnRef) -> bool:
-                if ref.table is not None:
-                    return ref.table == join_qualifier or ref.table == join.table
-                return join_table.has_column(ref.name)
-
-            if side_is_new(join.left) and not side_is_new(join.right):
-                new_ref, old_ref = join.left, join.right
-            elif side_is_new(join.right) and not side_is_new(join.left):
-                new_ref, old_ref = join.right, join.left
-            else:
-                raise SqlExecutionError(
-                    f"cannot determine join sides for ON {join.left} = {join.right}"
-                )
-
-            use_index = join_table.has_index(new_ref.name)
-            old_qualifier = resolve_qualifier(old_ref)
-            old_name = old_ref.name
-            new_name = new_ref.name
-            tables_by_qualifier[join_qualifier] = join_table
-            rows_by_id = join_table.row_by_id
-            for exec_row in exec_rows:
-                old_value = exec_row[old_qualifier][old_name]
-                if use_index:
-                    ids = join_table.lookup_ids(new_name, old_value)
-                    index_lookups += 1
-                    matches = [rows_by_id(rid) for rid in ids]
-                    scanned += len(matches)
-                else:
-                    matches = []
-                    for row in join_table.rows():
-                        scanned += 1
-                        if row.get(new_name) == old_value:
-                            matches.append(row)
-                for match in matches:
-                    merged = dict(exec_row)
-                    merged[join_qualifier] = match
-                    new_exec_rows.append(merged)
-            exec_rows = new_exec_rows
-
-        # Residual WHERE conditions (column references resolved up front).
-        if residual_conditions:
-            plans = []
-            for condition in residual_conditions:
-                left_at = (resolve_qualifier(condition.lhs), condition.lhs.name)
-                if isinstance(condition.rhs, ColumnRef):
-                    right_at = (resolve_qualifier(condition.rhs), condition.rhs.name)
-                    plans.append((condition.op, left_at, right_at, None))
-                else:
-                    plans.append(
-                        (condition.op, left_at, None, self._bind(condition.rhs, params))
-                    )
-            compare = self._compare
-            filtered = []
-            for exec_row in exec_rows:
-                for op, (lq, lname), right_at, bound in plans:
-                    right = exec_row[right_at[0]][right_at[1]] if right_at else bound
-                    if not compare(op, exec_row[lq][lname], right):
-                        break
-                else:
-                    filtered.append(exec_row)
-        else:
-            filtered = exec_rows
-
-        # Projection / aggregation.
-        has_aggregates = any(isinstance(i.expression, Aggregate) for i in statement.items)
-        if has_aggregates or statement.group_by:
-            result_rows = self._project_aggregates(statement, filtered)
-            # Aggregate queries can only order by output columns / aliases.
-            for order in reversed(statement.order_by):
-                key_name = self._order_key_name(order, statement, result_rows)
-                result_rows.sort(
-                    key=lambda row: (row.get(key_name) is None, row.get(key_name)),
-                    reverse=order.descending,
-                )
-        elif statement.star:
-            result_rows = []
-            for exec_row in filtered:
-                merged: Dict[str, Any] = {}
-                for row in exec_row.values():
-                    merged.update(row)
-                result_rows.append(merged)
-        else:
-            projection = [
-                (item.alias or item.expression.name, resolve_qualifier(item.expression))
-                + (item.expression.name,)
-                for item in statement.items
-            ]
-            result_rows = [
-                {name: exec_row[qualifier][column] for name, qualifier, column in projection}
-                for exec_row in filtered
-            ]
-        if not has_aggregates and not statement.group_by:
-            # Non-aggregate queries may order by columns that are not part of
-            # the select list (standard SQL); resolve order keys against the
-            # underlying execution rows, falling back to the projected output.
-            for order in reversed(statement.order_by):
-                key_name = self._order_key_name(order, statement, result_rows)
-                paired = list(zip(result_rows, filtered))
-
-                def sort_key(pair):
-                    projected, exec_row = pair
-                    if key_name in projected:
-                        value = projected[key_name]
-                    elif isinstance(order.expression, ColumnRef):
-                        try:
-                            value = self._resolve(order.expression, exec_row)
-                        except SqlExecutionError:
-                            value = None
-                    else:
-                        value = None
-                    return (value is None, value)
-
-                paired.sort(key=sort_key, reverse=order.descending)
-                result_rows = [projected for projected, _ in paired]
-                filtered = [exec_row for _, exec_row in paired]
-
-        # LIMIT.
-        if statement.limit is not None:
-            result_rows = result_rows[: statement.limit]
-
+            plan = compile_select(self, statement)
+            if len(self._plan_cache) >= self._PLAN_CACHE_LIMIT:
+                self._plan_cache.clear()
+            self._plan_cache[id(statement)] = (statement, plan)
+        result_rows, scanned, index_lookups = plan.execute(params)
         cost = self.cost_model.cost(scanned, len(result_rows), index_lookups)
         self.stats.record("SELECT", scanned, len(result_rows), cost, index_lookups)
         return QueryResult(

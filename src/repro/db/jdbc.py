@@ -15,9 +15,10 @@ for the reproduction:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.db.engine import Database, QueryResult
+from repro.db.sql import Statement, parse_sql
 
 
 class SQLError(RuntimeError):
@@ -87,6 +88,10 @@ class PreparedStatement:
         self._connection = connection
         self.sql = sql
         self._params: Dict[int, Any] = {}
+        #: Parsed AST, resolved on first execution and reused afterwards so
+        #: re-executing a prepared statement skips even the parse-cache
+        #: lookup (and hits the engine's per-statement plan cache directly).
+        self._statement: Optional[Statement] = None
 
     def set(self, index: int, value: Any) -> None:
         """Bind the 1-based parameter ``index`` (JDBC convention) to ``value``."""
@@ -100,13 +105,19 @@ class PreparedStatement:
         size = max(self._params) + 1
         return tuple(self._params.get(i) for i in range(size))
 
+    def _parsed(self) -> Statement:
+        statement = self._statement
+        if statement is None:
+            statement = self._statement = parse_sql(self.sql)
+        return statement
+
     def execute_query(self) -> ResultSet:
         """Execute a SELECT and return a :class:`ResultSet`."""
-        return self._connection.execute_query(self.sql, self._ordered_params())
+        return self._connection.execute_query(self._parsed(), self._ordered_params())
 
     def execute_update(self) -> int:
         """Execute an INSERT/UPDATE/DELETE and return the affected row count."""
-        return self._connection.execute_update(self.sql, self._ordered_params())
+        return self._connection.execute_update(self._parsed(), self._ordered_params())
 
 
 class Connection:
@@ -133,8 +144,8 @@ class Connection:
         self._check_open()
         return PreparedStatement(self, sql)
 
-    def execute_query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
-        """Execute a SELECT directly."""
+    def execute_query(self, sql: Union[str, Statement], params: Sequence[Any] = ()) -> ResultSet:
+        """Execute a SELECT directly (SQL text or a pre-parsed statement)."""
         self._check_open()
         result = self._datasource.database.execute(sql, params)
         self.query_count += 1
@@ -142,8 +153,8 @@ class Connection:
         self._datasource.record_cost(result.cost_seconds)
         return ResultSet(result)
 
-    def execute_update(self, sql: str, params: Sequence[Any] = ()) -> int:
-        """Execute an INSERT/UPDATE/DELETE directly."""
+    def execute_update(self, sql: Union[str, Statement], params: Sequence[Any] = ()) -> int:
+        """Execute an INSERT/UPDATE/DELETE directly (SQL text or pre-parsed)."""
         self._check_open()
         result = self._datasource.database.execute(sql, params)
         self.query_count += 1

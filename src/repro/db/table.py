@@ -97,6 +97,14 @@ class Table:
         self._next_row_id = 1
         self._pk_index: Dict[Any, int] = {}
         self._secondary: Dict[str, _SecondaryIndex] = {}
+        #: Planner-built hash indexes.  Unlike :attr:`_secondary` they are an
+        #: invisible physical acceleration: :meth:`has_index` does not report
+        #: them, so the engine's simulated cost model still charges the
+        #: declared-index plan (see ``repro.db.planner``).
+        self._lazy: Dict[str, _SecondaryIndex] = {}
+        #: Bumped whenever the *schema* changes (currently: index creation);
+        #: cached query plans validate against it.
+        self.schema_version = 0
 
     # ------------------------------------------------------------------ #
     # Schema
@@ -121,14 +129,45 @@ class Table:
         self.column(column_name)
         if column_name in self._secondary:
             return
-        index = _SecondaryIndex(column_name)
-        for row_id, row in self._rows.items():
-            index.add(row.get(column_name), row_id)
+        # A previously built lazy index is promoted instead of rebuilt.
+        index = self._lazy.pop(column_name, None)
+        if index is None:
+            index = _SecondaryIndex(column_name)
+            for row_id, row in self._rows.items():
+                index.add(row.get(column_name), row_id)
         self._secondary[column_name] = index
+        self.schema_version += 1
 
     def has_index(self, column_name: str) -> bool:
-        """Whether an equality index exists on the column."""
+        """Whether a *declared* equality index exists on the column.
+
+        Planner-built lazy indexes are deliberately excluded: they are a
+        physical optimisation that must not change the simulated cost model.
+        """
         return column_name in self._secondary or column_name == self.primary_key
+
+    def has_hash_index(self, column_name: str) -> bool:
+        """Whether any hash index (declared or lazy) covers the column."""
+        return column_name in self._lazy or self.has_index(column_name)
+
+    def ensure_hash_index(self, column_name: str) -> _SecondaryIndex:
+        """Get-or-build a lazily maintained hash index over ``column_name``.
+
+        Built once (O(rows)) on first demand by the query planner, then kept
+        up to date by the normal mutation paths like a declared index.  The
+        column must exist; declared indexes are returned as-is.
+        """
+        index = self._secondary.get(column_name)
+        if index is not None:
+            return index
+        index = self._lazy.get(column_name)
+        if index is None:
+            self.column(column_name)
+            index = _SecondaryIndex(column_name)
+            for row_id, row in self._rows.items():
+                index.add(row.get(column_name), row_id)
+            self._lazy[column_name] = index
+        return index
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -170,6 +209,8 @@ class Table:
             self._pk_index[row[self.primary_key]] = row_id
         for column_name, index in self._secondary.items():
             index.add(row.get(column_name), row_id)
+        for column_name, index in self._lazy.items():
+            index.add(row.get(column_name), row_id)
         return row_id
 
     def update_rows(self, row_ids: Iterable[int], changes: Dict[str, Any]) -> int:
@@ -189,10 +230,11 @@ class Table:
             if row is None:
                 continue
             for column_name, value in changes.items():
-                index = self._secondary.get(column_name)
-                if index is not None:
-                    index.remove(row.get(column_name), row_id)
-                    index.add(value, row_id)
+                for indexes in (self._secondary, self._lazy):
+                    index = indexes.get(column_name)
+                    if index is not None:
+                        index.remove(row.get(column_name), row_id)
+                        index.add(value, row_id)
                 row[column_name] = value
             count += 1
         return count
@@ -207,6 +249,8 @@ class Table:
             if self.primary_key is not None:
                 self._pk_index.pop(row.get(self.primary_key), None)
             for column_name, index in self._secondary.items():
+                index.remove(row.get(column_name), row_id)
+            for column_name, index in self._lazy.items():
                 index.remove(row.get(column_name), row_id)
             count += 1
         return count

@@ -14,6 +14,7 @@ from repro.experiments.scenarios import (
     AdaptiveScenarioResult,
     Fig3Result,
     LeakScenarioResult,
+    MixedScenarioResult,
     RejuvenationScenarioResult,
 )
 from repro.sim.metrics import TimeSeries
@@ -239,6 +240,49 @@ def adaptive_report(scenario: AdaptiveScenarioResult) -> str:
             }
         )
     lines += ["", "verdicts:", format_table(verdicts, ["claim", "adaptive", "best_fixed", "holds"])]
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Mixed-fault comparison
+# --------------------------------------------------------------------------- #
+def mixed_report(scenario: MixedScenarioResult) -> str:
+    """Per-policy summary of the two-resource mixed-fault comparison."""
+    injected = ", ".join(
+        f"{component} ({kind})" for component, kind in scenario.injected.items()
+    )
+    lines = [
+        "== Mixed faults: concurrent heap leak and connection leak ==",
+        "expectation: the proactive policy recycles the right component per "
+        "resource — the heap channel blames the memory leaker via root-cause "
+        "analysis, the connection channel blames the connection leaker via "
+        "pool ownership — while no action pays with OOM and pool-refusal errors",
+        f"heap capacity: {scenario.heap_capacity / (1024.0 * 1024.0):.2f} MB, "
+        f"pool bound: {scenario.pool_size} connections, "
+        f"run length: {scenario.duration:.0f} s, injected: {injected}",
+        "",
+        "per-policy outcome and attribution:",
+        format_table(scenario.summary_rows()),
+    ]
+    events = []
+    for name, result in scenario.results.items():
+        if result.rejuvenation is None:
+            continue
+        for event in result.rejuvenation.events:
+            events.append(
+                {
+                    "policy": name,
+                    "time_s": round(event.time, 1),
+                    "resource": event.resource,
+                    "action": event.kind,
+                    "component": event.component or "(whole server)",
+                    "reclaimed_threads": event.reclaimed_threads,
+                    "reclaimed_connections": event.reclaimed_connections,
+                    "reclaimed_kb": round(event.reclaimed_bytes / 1024.0, 1),
+                }
+            )
+    if events:
+        lines += ["", "executed actions:", format_table(events)]
     return "\n".join(lines)
 
 

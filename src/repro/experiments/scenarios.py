@@ -761,6 +761,172 @@ def fig_adaptive(
 
 
 # --------------------------------------------------------------------------- #
+# Mixed-fault comparison (two components, two resources at once)
+# --------------------------------------------------------------------------- #
+@dataclass
+class MixedScenarioResult:
+    """Outcome of the mixed-fault comparison (heap leak + connection leak).
+
+    The point under test is *attribution under concurrent faults*: the heap
+    channel must keep blaming the memory-leaking component via the
+    root-cause analysis while the connection channel independently blames
+    the connection-leaking component via pool-ownership accounting — the
+    two must disagree, and each micro-reboot must recycle its own culprit.
+    """
+
+    #: Policy name -> full experiment result, in comparison order.
+    results: Dict[str, ExperimentResult]
+    heap_capacity: float
+    pool_size: int
+    duration: float
+    #: component -> leaked resource kind.
+    injected: Dict[str, str] = field(default_factory=dict)
+
+    def result(self, policy: str) -> ExperimentResult:
+        """The run executed under ``policy``."""
+        return self.results[policy]
+
+    def recycles(self, policy: str) -> Dict[str, Dict[str, int]]:
+        """``resource -> component -> executed micro-reboot count``."""
+        out: Dict[str, Dict[str, int]] = {}
+        rejuvenation = self.results[policy].rejuvenation
+        if rejuvenation is None:
+            return out
+        for event in rejuvenation.events:
+            component = event.component or "(whole server)"
+            by_component = out.setdefault(event.resource, {})
+            by_component[component] = by_component.get(component, 0) + 1
+        return out
+
+    def exposure(self, policy: str) -> float:
+        """Seconds the run spent above 90 % heap occupancy."""
+        return exposure_seconds(
+            self.results[policy].heap_series, self.heap_capacity, window_end=self.duration
+        )
+
+    def sla_observation(self, policy: str) -> SlaObservation:
+        """The raw availability currencies of one policy run."""
+        return run_sla_observation(
+            self.results[policy], self.duration, self.exposure(policy)
+        )
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One row per policy: errors, actions and per-resource attribution."""
+        cost_model = SlaCostModel()
+        rows: List[Dict[str, object]] = []
+        for name, result in self.results.items():
+            rejuvenation = result.rejuvenation
+            recycles = self.recycles(name)
+            rows.append(
+                {
+                    "policy": name,
+                    "completed": result.completed_requests,
+                    "errors": result.error_count,
+                    "actions": rejuvenation.actions if rejuvenation is not None else 0,
+                    "heap_recycles": ", ".join(
+                        f"{component} x{count}"
+                        for component, count in sorted(recycles.get("heap", {}).items())
+                    )
+                    or "-",
+                    "connection_recycles": ", ".join(
+                        f"{component} x{count}"
+                        for component, count in sorted(
+                            recycles.get("connections", {}).items()
+                        )
+                    )
+                    or "-",
+                    "downtime_s": round(
+                        rejuvenation.total_downtime_seconds if rejuvenation is not None else 0.0,
+                        2,
+                    ),
+                    "exposure_s": round(self.exposure(name), 1),
+                    "sla_cost": round(cost_model.score(self.sla_observation(name)), 1),
+                }
+            )
+        return rows
+
+
+def fig_mixed(
+    duration_scale: float = 1.0,
+    seed: int = 42,
+    scale: Optional[PopulationScale] = None,
+    ebs: int = LEAK_EXPERIMENT_EBS,
+) -> MixedScenarioResult:
+    """Two components leaking *different* resources concurrently.
+
+    Component A leaks heap (the paper's case study, aggressive rate) while
+    component B leaks pooled connections, both sized to exhaust within the
+    run if nothing acts.  Two same-seed runs: *no action* (both exhaustions
+    bite — OOM-driven errors plus pool-refusal errors) and *proactive
+    micro-reboots* watching both resource channels, which must recycle the
+    right component per resource: A for heap (root-cause analysis), B for
+    connections (pool-ownership attribution) — even though A is the louder
+    heap offender.  This seeds ROADMAP's mixed-fault open item.
+    """
+    if duration_scale <= 0:
+        raise ValueError(f"duration_scale must be positive, got {duration_scale}")
+    duration = 3600.0 * duration_scale
+    snapshot_interval = max(2.0, 30.0 * duration_scale)
+    visit_rate = _LEAK_VISITS_PER_SECOND * ebs / LEAK_EXPERIMENT_EBS
+
+    # Heap sized like the adaptive memory workload (fast-burning: the wall is
+    # reached about a third of the way through a no-action run).
+    expected_leak = visit_rate / REJUVENATION_PERIOD_N * REJUVENATION_LEAK_BYTES * duration
+    heap_bytes = int((_BASELINE_LIVE_BYTES + 0.35 * expected_leak) / 0.92)
+    # Pool bound sized so B's leak exhausts it ~2/3 through (component B's
+    # visit rate is comparable to A's under the shopping mix).
+    pool_size = max(8, int(0.65 * visit_rate / ADAPTIVE_EXTENSION_PERIOD_N * duration))
+
+    faults = [
+        FaultSpec(
+            component=COMPONENT_A,
+            kind="memory-leak",
+            params={
+                "leak_bytes": REJUVENATION_LEAK_BYTES,
+                "period_n": REJUVENATION_PERIOD_N,
+            },
+        ),
+        FaultSpec(
+            component=COMPONENT_B,
+            kind="connection-leak",
+            params={"period_n": ADAPTIVE_EXTENSION_PERIOD_N},
+        ),
+    ]
+    policies: List[RejuvenationPolicy] = [
+        NoActionPolicy(),
+        ProactiveRejuvenationPolicy(
+            horizon=duration / 4.0,
+            microreboot_downtime=max(0.25, 2.0 * duration_scale),
+            min_samples=4,
+        ),
+    ]
+    results: Dict[str, ExperimentResult] = {}
+    for policy in policies:
+        config = ExperimentConfig(
+            name=f"fig-mixed-{policy.name}",
+            seed=seed,
+            scale=scale,
+            constant_ebs=ebs,
+            duration=duration,
+            mix_name="shopping",
+            monitored=True,
+            faults=list(faults),
+            snapshot_interval=snapshot_interval,
+            server_config=ServerConfig(heap_bytes=heap_bytes, pool_size=pool_size),
+            rejuvenation=policy,
+            rejuvenation_channels=["heap", "connections"],
+        )
+        results[policy.name] = run_experiment(config)
+    return MixedScenarioResult(
+        results=results,
+        heap_capacity=float(heap_bytes),
+        pool_size=pool_size,
+        duration=duration,
+        injected={COMPONENT_A: "memory-leak", COMPONENT_B: "connection-leak"},
+    )
+
+
+# --------------------------------------------------------------------------- #
 # Ablations
 # --------------------------------------------------------------------------- #
 def scope_overhead_ablation(

@@ -112,17 +112,29 @@ def run_benches(
     return results
 
 
+def _options_key(options: object) -> tuple:
+    """Canonical hashable form of an entry's ``options`` stamp."""
+    if not isinstance(options, dict):
+        return ()
+    return tuple(sorted(options.items()))
+
+
 def write_json(path: str, results: List[BenchResult], options: BenchOptions) -> None:
     """Persist a bench run as a ``BENCH_perf.json``-style artifact.
 
     When ``path`` already holds a bench artifact, the new results are
-    *merged into* it: entries for benchmarks re-run in this invocation are
-    replaced in place, entries for benchmarks not run are preserved — so a
-    partial run (``repro bench --only fig3_e2e``) keeps the perf trajectory
-    intact instead of dropping every other benchmark's record.  Because the
-    top-level ``options`` only describe the *latest* invocation, every bench
-    entry carries its own ``options`` stamp recording the configuration it
-    was actually measured under.
+    *merged into* it, keyed by ``(name, options)``: an entry re-measured
+    under the same configuration is replaced in place; entries for
+    benchmarks (or configurations) not run are preserved — so a partial run
+    (``repro bench --only fig3_e2e``) keeps the perf trajectory intact, and
+    a tiny smoke entry can live next to the full-scale record of the same
+    benchmark.  Keying by name alone silently let an entry measured under
+    *different* options pose as the current run's result, which corrupted
+    speedup comparisons; now the configurations coexist explicitly and a
+    warning on stderr flags every benchmark whose retained entries were
+    measured under options other than this invocation's.  The top-level
+    ``options`` describe only the latest invocation; every entry carries its
+    own ``options`` stamp recording what it was actually measured under.
     """
     run_options = {
         "seed": options.seed,
@@ -132,12 +144,35 @@ def write_json(path: str, results: List[BenchResult], options: BenchOptions) -> 
     bench_dicts = [dict(result.to_dict(), options=run_options) for result in results]
     existing = _read_existing_benches(path)
     if existing:
-        by_name = {bench.get("name"): bench for bench in bench_dicts}
+        by_key = {
+            (bench.get("name"), _options_key(bench.get("options"))): bench
+            for bench in bench_dicts
+        }
         merged: List[Dict[str, object]] = []
         for bench in existing:
-            merged.append(by_name.pop(bench.get("name"), bench))
-        merged.extend(by_name.values())
+            key = (bench.get("name"), _options_key(bench.get("options")))
+            merged.append(by_key.pop(key, bench))
+        merged.extend(by_key.values())
         bench_dicts = merged
+    run_key = _options_key(run_options)
+    stale = sorted(
+        {
+            str(bench.get("name"))
+            for bench in bench_dicts
+            if _options_key(bench.get("options")) != run_key
+        }
+    )
+    if stale:
+        # Informational, not an error: an artifact that deliberately carries
+        # tiny smoke entries next to full-scale records triggers this on
+        # every merge.  The point is that the top-level ``options`` do not
+        # describe those entries.
+        print(
+            f"note: {os.path.basename(path)} mixes configurations — entries for "
+            f"{', '.join(stale)} were measured under options other than this run's "
+            f"{run_options}; speedups are only comparable per (name, options)",
+            file=sys.stderr,
+        )
     payload = {
         "schema": "repro-bench/v1",
         "version": __version__,
@@ -150,6 +185,112 @@ def write_json(path: str, results: List[BenchResult], options: BenchOptions) -> 
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")
+
+
+#: Relative speedup loss treated as a regression by :func:`compare_artifacts`.
+REGRESSION_TOLERANCE = 0.10
+
+
+@dataclass
+class BenchComparison:
+    """One benchmark's old-vs-new speedup delta."""
+
+    name: str
+    options: Dict[str, object]
+    old_speedup: Optional[float]
+    new_speedup: Optional[float]
+    #: ``None`` when either side has no comparable speedup.
+    delta_percent: Optional[float]
+    #: True when a previously-passing entry lost more than the tolerance.
+    regression: bool
+    note: str = ""
+
+
+def compare_artifacts(old_path: str, new_path: str) -> List[BenchComparison]:
+    """Compare two ``BENCH_perf.json`` artifacts per ``(name, options)``.
+
+    Every bench entry of the *new* artifact is matched against the old
+    artifact under the same ``(name, options)`` key — entries measured under
+    different configurations are never compared against each other (that is
+    the silent corruption the merge re-keying exists to prevent; a name-only
+    match is reported as ``options differ`` instead).  A matched pair where
+    the old entry was not failing its target counts as a **regression** when
+    the new speedup falls more than ``REGRESSION_TOLERANCE`` below the old
+    one; ``repro bench --compare`` exits non-zero if any regression is found.
+    """
+    old_benches = _read_existing_benches(old_path)
+    new_benches = _read_existing_benches(new_path)
+    if not old_benches:
+        raise ValueError(f"no bench entries in {old_path!r}")
+    if not new_benches:
+        raise ValueError(f"no bench entries in {new_path!r}")
+    old_by_key = {
+        (bench.get("name"), _options_key(bench.get("options"))): bench
+        for bench in old_benches
+    }
+    old_names = {bench.get("name") for bench in old_benches}
+    comparisons: List[BenchComparison] = []
+    for bench in new_benches:
+        name = str(bench.get("name"))
+        options = bench.get("options") if isinstance(bench.get("options"), dict) else {}
+        key = (bench.get("name"), _options_key(bench.get("options")))
+        new_speedup = bench.get("speedup_vs_seed")
+        new_speedup = float(new_speedup) if isinstance(new_speedup, (int, float)) else None
+        old = old_by_key.get(key)
+        if old is None:
+            note = (
+                "options differ (not comparable)"
+                if bench.get("name") in old_names
+                else "new benchmark"
+            )
+            comparisons.append(
+                BenchComparison(
+                    name=name,
+                    options=dict(options),
+                    old_speedup=None,
+                    new_speedup=new_speedup,
+                    delta_percent=None,
+                    regression=False,
+                    note=note,
+                )
+            )
+            continue
+        old_speedup = old.get("speedup_vs_seed")
+        old_speedup = float(old_speedup) if isinstance(old_speedup, (int, float)) else None
+        delta: Optional[float] = None
+        regression = False
+        note = ""
+        if old_speedup is not None and new_speedup is not None and old_speedup > 0:
+            delta = 100.0 * (new_speedup / old_speedup - 1.0)
+            previously_passing = old.get("passed") is not False
+            # A recorded speedup well above the bench's own target must not
+            # ratchet the gate past that target: a drop that still clears
+            # the entry's target_speedup is not a regression.
+            target = old.get("target_speedup")
+            still_meets_target = (
+                isinstance(target, (int, float)) and new_speedup >= float(target)
+            )
+            if (
+                previously_passing
+                and not still_meets_target
+                and new_speedup < old_speedup * (1.0 - REGRESSION_TOLERANCE)
+            ):
+                regression = True
+                note = f"regression: lost more than {REGRESSION_TOLERANCE:.0%}"
+        else:
+            note = "no comparable speedup"
+        comparisons.append(
+            BenchComparison(
+                name=name,
+                options=dict(options),
+                old_speedup=old_speedup,
+                new_speedup=new_speedup,
+                delta_percent=delta,
+                regression=regression,
+                note=note,
+            )
+        )
+    return comparisons
 
 
 def _read_existing_benches(path: str) -> List[Dict[str, object]]:

@@ -50,6 +50,36 @@ def measure_seconds(
     }
 
 
+def measure_rates_interleaved(
+    fns: Dict[str, Callable[[], int]], repeats: int = 3, warmup: bool = True
+) -> Dict[str, float]:
+    """Best ops/second for several runners, measured **interleaved**.
+
+    Live A/B benchmarks that time one side to completion and then the other
+    are exposed to slow machine drift (thermal/cgroup throttling, a noisy
+    neighbour starting mid-run) landing entirely on one side.  Interleaving
+    the repeats round-robin places both sides in every drift window, so the
+    best-of-N ratio stays honest on noisy single-core runners.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup:
+        for fn in fns.values():
+            fn()
+    best: Dict[str, float] = {name: 0.0 for name in fns}
+    for _ in range(repeats):
+        for name, fn in fns.items():
+            with BenchTimer() as timer:
+                count = fn()
+            if timer.seconds > 0 and count > 0:
+                rate = count / timer.seconds
+                if rate > best[name]:
+                    best[name] = rate
+    if any(rate <= 0 for rate in best.values()):
+        raise RuntimeError("benchmark produced no measurable work")
+    return best
+
+
 def measure_rate(
     fn: Callable[[], int], repeats: int = 3, warmup: bool = True
 ) -> Dict[str, object]:

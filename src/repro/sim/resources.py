@@ -15,6 +15,7 @@ deterministic.
 
 from __future__ import annotations
 
+import heapq
 from typing import List
 
 
@@ -44,7 +45,11 @@ class CapacityResource:
         self.name = name
         self.capacity = int(capacity)
         self.max_queue = max_queue
-        # Next time each server becomes free, kept unsorted (capacity is small).
+        # Next time each server becomes free, as a min-heap: ``acquire`` only
+        # ever needs the earliest-free server, and a thread pool has hundreds
+        # of slots — the seed's unsorted linear scan was O(capacity) on every
+        # request.  Only the multiset of times matters (which physical server
+        # serves a booking is unobservable), so the heap is result-identical.
         self._free_at: List[float] = [0.0] * self.capacity
         self._total_busy_time = 0.0
         self._total_wait_time = 0.0
@@ -68,16 +73,12 @@ class CapacityResource:
         """
         if duration < 0:
             raise ValueError(f"duration must be non-negative, got {duration}")
-        # Pick the server that frees up earliest.
-        best_index = 0
-        best_free = self._free_at[0]
-        for index in range(1, self.capacity):
-            if self._free_at[index] < best_free:
-                best_free = self._free_at[index]
-                best_index = index
+        # The server that frees up earliest is the heap root.
+        free_at = self._free_at
+        best_free = free_at[0]
 
         if self.max_queue is not None:
-            queued = sum(1 for t in self._free_at if t > request_time)
+            queued = sum(1 for t in free_at if t > request_time)
             if best_free > request_time and queued >= self.capacity + self.max_queue:
                 self._rejected += 1
                 raise ResourceBusyError(
@@ -85,9 +86,9 @@ class CapacityResource:
                     f"{self.max_queue} exceeded at t={request_time:.3f}"
                 )
 
-        start = max(request_time, best_free)
+        start = best_free if best_free > request_time else request_time
         finish = start + duration
-        self._free_at[best_index] = finish
+        heapq.heapreplace(free_at, finish)
         self._total_busy_time += duration
         self._total_wait_time += start - request_time
         self._served += 1

@@ -14,6 +14,20 @@ from repro.tpcw.servlets.base import TpcwServlet
 #: Page size of the best-sellers listing (TPC-W shows 50).
 PAGE_SIZE = 50
 
+#: Built once at import: the per-request ``str.format`` call produced a fresh
+#: string per request, defeating the engine's statement/plan caches' identity
+#: fast path.  The double-join + GROUP BY + ORDER BY DESC LIMIT shape is the
+#: planner's aggregate pipeline (tuple rows, no merged wrapper dicts).
+_BEST_SELLERS_SQL = (
+    "SELECT i.i_id, i.i_title, a.a_fname, a.a_lname, SUM(ol.ol_qty) AS sold "
+    "FROM order_line ol "
+    "JOIN item i ON ol.ol_i_id = i.i_id "
+    "JOIN author a ON i.i_a_id = a.a_id "
+    "WHERE i_subject = ? "
+    "GROUP BY i.i_id, i.i_title, a.a_fname, a.a_lname "
+    f"ORDER BY sold DESC LIMIT {PAGE_SIZE}"
+)
+
 
 class BestSellersServlet(TpcwServlet):
     """``TPCW_best_sellers_servlet``"""
@@ -30,16 +44,7 @@ class BestSellersServlet(TpcwServlet):
 
         connection = self.get_connection()
         try:
-            result = connection.execute_query(
-                "SELECT i.i_id, i.i_title, a.a_fname, a.a_lname, SUM(ol.ol_qty) AS sold "
-                "FROM order_line ol "
-                "JOIN item i ON ol.ol_i_id = i.i_id "
-                "JOIN author a ON i.i_a_id = a.a_id "
-                "WHERE i_subject = ? "
-                "GROUP BY i.i_id, i.i_title, a.a_fname, a.a_lname "
-                "ORDER BY sold DESC LIMIT {limit}".format(limit=PAGE_SIZE),
-                [subject],
-            )
+            result = connection.execute_query(_BEST_SELLERS_SQL, [subject])
             best_sellers = []
             while result.next():
                 best_sellers.append(

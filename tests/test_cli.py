@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -83,3 +85,49 @@ class TestCliCommands:
         assert "adaptive" in out
         assert "verdicts:" in out
         assert "rejuvenation eliminates error spike" in out
+
+    def test_mixed_command_small_run(self, capsys):
+        exit_code = main(["mixed", "--tiny", "--duration-scale", "0.02"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Mixed faults" in out
+        assert "heap_recycles" in out
+        assert "proactive-microreboot" in out
+
+
+class TestBenchCompareCli:
+    @staticmethod
+    def _artifact(path, entries):
+        path.write_text(json.dumps({"schema": "repro-bench/v1", "benches": entries}))
+
+    @staticmethod
+    def _entry(name, speedup, passed=None):
+        return {
+            "name": name,
+            "speedup_vs_seed": speedup,
+            "passed": passed,
+            "options": {"seed": 42, "duration_scale": 0.05, "tiny": True},
+        }
+
+    def test_compare_passes_within_tolerance(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        self._artifact(old, [self._entry("a", 3.0, passed=True)])
+        self._artifact(new, [self._entry("a", 2.9, passed=True)])
+        assert main(["bench", "--compare", str(old), str(new)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_fails_on_regression(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        self._artifact(old, [self._entry("a", 3.0, passed=True)])
+        self._artifact(new, [self._entry("a", 2.0, passed=True)])
+        assert main(["bench", "--compare", str(old), str(new)]) == 1
+        captured = capsys.readouterr()
+        assert "regression" in captured.out + captured.err
+
+    def test_compare_rejects_missing_artifact(self, tmp_path, capsys):
+        old = tmp_path / "absent.json"
+        new = tmp_path / "new.json"
+        self._artifact(new, [self._entry("a", 1.0)])
+        assert main(["bench", "--compare", str(old), str(new)]) == 2

@@ -1,0 +1,202 @@
+"""Unit tests for the query planner: plan cache, lazy indexes, operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.engine import Database, SqlExecutionError
+from repro.db.sql import parse_sql
+from repro.db.table import Column, ColumnType
+
+
+def build_database() -> Database:
+    database = Database("planner")
+    database.create_table(
+        "item",
+        [
+            Column("i_id", ColumnType.INTEGER, primary_key=True),
+            Column("i_title", ColumnType.VARCHAR),
+            Column("i_subject", ColumnType.VARCHAR),
+            Column("i_cost", ColumnType.FLOAT),
+            Column("i_a_id", ColumnType.INTEGER),
+        ],
+    )
+    database.create_table(
+        "author",
+        [
+            Column("a_id", ColumnType.INTEGER, primary_key=True),
+            Column("a_lname", ColumnType.VARCHAR),
+        ],
+    )
+    for author_id, last in [(1, "SMITH"), (2, "JONES"), (3, "BRONTE")]:
+        database.table("author").insert({"a_id": author_id, "a_lname": last})
+    for item_id in range(1, 13):
+        database.table("item").insert(
+            {
+                "i_id": item_id,
+                "i_title": f"Book {item_id:02d}",
+                "i_subject": "ARTS" if item_id % 2 == 0 else "HISTORY",
+                "i_cost": float(item_id % 5),
+                "i_a_id": 1 + item_id % 3,
+            }
+        )
+    return database
+
+
+class TestPlanCache:
+    def test_plan_reused_across_executions(self):
+        database = build_database()
+        sql = "SELECT i_id FROM item WHERE i_subject = ? ORDER BY i_cost LIMIT 3"
+        statement = parse_sql(sql)
+        database.execute(statement, ["ARTS"])
+        entry = database._plan_cache[id(statement)]
+        database.execute(statement, ["HISTORY"])
+        assert database._plan_cache[id(statement)] is entry  # same plan object
+
+    def test_ddl_invalidates_plans(self):
+        database = build_database()
+        sql = "SELECT i_id FROM item ORDER BY i_cost LIMIT 2"
+        statement = parse_sql(sql)
+        database.execute(statement)
+        assert database._plan_cache
+        database.create_table("extra", [Column("x", ColumnType.INTEGER, primary_key=True)])
+        assert not database._plan_cache  # epoch bump cleared the cache
+
+    def test_create_index_recompiles_plan(self):
+        database = build_database()
+        sql = "SELECT i_id FROM item WHERE i_cost = ? ORDER BY i_id LIMIT 5"
+        statement = parse_sql(sql)
+        before = database.execute(statement, [2.0])
+        plan_before = database._plan_cache[id(statement)][1]
+        # i_cost was unindexed: the plan charges a full scan.
+        assert before.rows_scanned == 12
+        database.table("item").create_index("i_cost")
+        after = database.execute(statement, [2.0])
+        plan_after = database._plan_cache[id(statement)][1]
+        assert plan_after is not plan_before  # schema_version bump recompiled
+        assert after.rows == before.rows
+        # Declared index now prunes -> accounting changes like the interpreter's.
+        assert after.rows_scanned == len(after.rows)
+
+    def test_statements_executed_directly_still_work(self):
+        database = build_database()
+        result = database.execute(
+            "SELECT a_lname FROM author ORDER BY a_lname DESC LIMIT 2"
+        )
+        assert [row["a_lname"] for row in result.rows] == ["SMITH", "JONES"]
+
+
+class TestLazyHashIndexes:
+    def test_lazy_index_is_invisible_to_cost_model(self):
+        database = build_database()
+        table = database.table("item")
+        sql = "SELECT i_id FROM item WHERE i_subject = ? ORDER BY i_id LIMIT 4"
+        result = database.execute(sql, ["ARTS"])
+        # The planner built a lazy hash index for the equality residual...
+        assert table.has_hash_index("i_subject")
+        # ...but the declared-plan accounting still reports a full scan.
+        assert not table.has_index("i_subject")
+        assert result.rows_scanned == 12
+        assert [row["i_id"] for row in result.rows] == [2, 4, 6, 8]
+
+    def test_lazy_index_is_maintained_by_mutations(self):
+        database = build_database()
+        sql = "SELECT i_id FROM item WHERE i_subject = ? ORDER BY i_id LIMIT 20"
+        assert [r["i_id"] for r in database.execute(sql, ["ARTS"]).rows] == [2, 4, 6, 8, 10, 12]
+        database.execute(
+            "INSERT INTO item (i_id, i_title, i_subject, i_cost, i_a_id) "
+            "VALUES (?, ?, ?, ?, ?)",
+            [99, "New", "ARTS", 1.0, 1],
+        )
+        database.execute("UPDATE item SET i_subject = ? WHERE i_id = ?", ["ARTS", 1])
+        database.execute("DELETE FROM item WHERE i_id = ?", [2])
+        assert [r["i_id"] for r in database.execute(sql, ["ARTS"]).rows] == [
+            1,
+            4,
+            6,
+            8,
+            10,
+            12,
+            99,
+        ]
+
+    def test_declared_index_promotes_lazy_index(self):
+        database = build_database()
+        table = database.table("item")
+        index = table.ensure_hash_index("i_subject")
+        table.create_index("i_subject")
+        assert table.has_index("i_subject")
+        # Promoted, not rebuilt: the same index object now serves lookups.
+        assert table._secondary["i_subject"] is index
+
+    def test_join_on_unindexed_key_uses_lazy_index(self):
+        database = build_database()
+        # i_a_id is unindexed: the interpreter would scan item per author row.
+        result = database.execute(
+            "SELECT a.a_lname, i.i_id FROM author a "
+            "JOIN item i ON i.i_a_id = a.a_id WHERE a_lname = ? ORDER BY i_id LIMIT 3",
+            ["SMITH"],
+        )
+        assert database.table("item").has_hash_index("i_a_id")
+        # Interpreter accounting: author full scan (3 rows) + a full item scan
+        # (12 rows) per author row — the a_lname filter is residual, applied
+        # after the join, so all three author rows probe.
+        assert result.rows_scanned == 3 + 3 * 12
+        assert [row["i_id"] for row in result.rows] == [3, 6, 9]
+
+
+class TestTopK:
+    def test_topk_matches_full_sort_with_ties(self):
+        database = build_database()
+        # i_cost has many ties; LIMIT must keep the full sort's stable order.
+        with_limit = database.execute(
+            "SELECT i_id FROM item ORDER BY i_cost DESC LIMIT 5"
+        )
+        without_limit = database.execute("SELECT i_id FROM item ORDER BY i_cost DESC")
+        assert with_limit.rows == without_limit.rows[:5]
+
+    def test_mixed_direction_order_by_falls_back(self):
+        database = build_database()
+        statement = parse_sql(
+            "SELECT i_id FROM item ORDER BY i_subject ASC, i_cost DESC LIMIT 4"
+        )
+        result = database.execute(statement)
+        plan = database._plan_cache[id(statement)][1]
+        assert not plan.topk_eligible
+        expected = sorted(
+            (
+                (row["i_subject"], -row["i_cost"], row["i_id"])
+                for row in database.execute("SELECT i_subject, i_cost, i_id FROM item").rows
+            ),
+        )
+        assert [row["i_id"] for row in result.rows] == [row_id for _, _, row_id in expected[:4]]
+
+    def test_limit_zero(self):
+        database = build_database()
+        assert database.execute("SELECT i_id FROM item ORDER BY i_id LIMIT 0").rows == []
+
+
+class TestErrorBehaviour:
+    def test_unknown_names_raise(self):
+        database = build_database()
+        with pytest.raises(SqlExecutionError):
+            database.execute("SELECT nope FROM item ORDER BY i_id")
+        with pytest.raises(SqlExecutionError):
+            database.execute("SELECT i_id FROM item WHERE ghost.i_id = 1 ORDER BY i_id")
+        with pytest.raises(SqlExecutionError):
+            database.execute("SELECT i_id FROM missing ORDER BY i_id")
+
+    def test_missing_parameters_raise_per_execution(self):
+        database = build_database()
+        sql = "SELECT i_id FROM item WHERE i_subject = ? ORDER BY i_id"
+        with pytest.raises(SqlExecutionError):
+            database.execute(sql)
+        # A correct execution afterwards still works (plan was not poisoned).
+        assert database.execute(sql, ["ARTS"]).rowcount == 6
+
+    def test_plain_column_outside_group_by_raises(self):
+        database = build_database()
+        with pytest.raises(SqlExecutionError):
+            database.execute(
+                "SELECT i_title, COUNT(*) AS n FROM item GROUP BY i_subject"
+            )

@@ -1,0 +1,61 @@
+"""Tests for the mixed-fault scenario (concurrent heap + connection leaks).
+
+The attribution claim under test: with component A leaking heap and
+component B leaking pooled connections *in the same run*, the proactive
+policy watching both resource channels must recycle A for the heap (via the
+root-cause analysis) and B for the connections (via pool-ownership
+accounting) — the two channels' suspects must disagree — and doing so must
+eliminate the error spike the no-action run pays.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import mixed_report
+from repro.experiments.scenarios import COMPONENT_A, COMPONENT_B, fig_mixed
+from repro.tpcw.population import PopulationScale
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return fig_mixed(duration_scale=0.05, seed=42, scale=PopulationScale.tiny())
+
+
+class TestMixedFaults:
+    def test_no_action_pays_with_errors(self, scenario):
+        no_action = scenario.result("no-action")
+        assert no_action.error_count > 0
+
+    def test_proactive_recycles_the_right_component_per_resource(self, scenario):
+        recycles = scenario.recycles("proactive-microreboot")
+        # Heap channel blames the memory leaker...
+        assert set(recycles.get("heap", {})) == {COMPONENT_A}
+        # ...the connection channel independently blames the connection leaker.
+        assert set(recycles.get("connections", {})) == {COMPONENT_B}
+
+    def test_proactive_eliminates_error_spike(self, scenario):
+        proactive = scenario.result("proactive-microreboot")
+        assert proactive.error_count == 0
+        assert scenario.exposure("proactive-microreboot") == 0.0
+
+    def test_recycling_actually_reclaims_both_resources(self, scenario):
+        rejuvenation = scenario.result("proactive-microreboot").rejuvenation
+        assert rejuvenation is not None
+        assert rejuvenation.reclaimed_bytes > 0
+        assert rejuvenation.reclaimed_connections > 0
+
+    def test_deterministic_per_seed(self, scenario):
+        again = fig_mixed(duration_scale=0.05, seed=42, scale=PopulationScale.tiny())
+        for policy, result in scenario.results.items():
+            other = again.result(policy)
+            assert other.completed_requests == result.completed_requests
+            assert other.error_count == result.error_count
+            assert scenario.recycles(policy) == again.recycles(policy)
+
+    def test_report_renders(self, scenario):
+        text = mixed_report(scenario)
+        assert "Mixed faults" in text
+        assert COMPONENT_A in text
+        assert COMPONENT_B in text
+        assert "executed actions:" in text

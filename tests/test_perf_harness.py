@@ -134,6 +134,35 @@ class TestRegistry:
         payload = json.loads(path.read_text())
         assert payload["all_targets_met"] is False
 
+    def test_json_artifact_rekeys_by_name_and_options(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_perf.json"
+        full = [BenchResult(name="alpha", speedup_vs_seed=2.0, target_speedup=None)]
+        write_json(str(path), full, BenchOptions(tiny=False))
+        # Re-running the same bench under *different* options must not
+        # replace the full-scale record: both entries coexist, keyed by
+        # (name, options), and the mixture is flagged on stderr.
+        tiny = [BenchResult(name="alpha", speedup_vs_seed=1.5, target_speedup=None)]
+        write_json(str(path), tiny, BenchOptions(tiny=True))
+        err = capsys.readouterr().err
+        assert "mixes configurations" in err and "alpha" in err
+        payload = json.loads(path.read_text())
+        entries = [b for b in payload["benches"] if b["name"] == "alpha"]
+        assert len(entries) == 2
+        by_tiny = {bench["options"]["tiny"]: bench for bench in entries}
+        assert by_tiny[False]["speedup_vs_seed"] == 2.0
+        assert by_tiny[True]["speedup_vs_seed"] == 1.5
+        # Same (name, options) still replaces in place.
+        write_json(
+            str(path),
+            [BenchResult(name="alpha", speedup_vs_seed=1.7, target_speedup=None)],
+            BenchOptions(tiny=True),
+        )
+        payload = json.loads(path.read_text())
+        entries = [b for b in payload["benches"] if b["name"] == "alpha"]
+        assert len(entries) == 2
+        by_tiny = {bench["options"]["tiny"]: bench for bench in entries}
+        assert by_tiny[True]["speedup_vs_seed"] == 1.7
+
     def test_microbenches_run_tiny(self):
         # The micro (non-e2e) benches must run green at tiny scale; the
         # speedup assertions proper live in the acceptance run, not in CI
@@ -146,6 +175,84 @@ class TestRegistry:
         assert by_name["event_loop"].speedup_vs_seed > 1.0
         assert by_name["woven_dispatch"].speedup_vs_seed > 1.0
         assert by_name["snapshot_sizing"].speedup_vs_seed > 1.0
+
+
+class TestCompareArtifacts:
+    @staticmethod
+    def _write(path, entries):
+        payload = {"schema": "repro-bench/v1", "benches": entries}
+        path.write_text(json.dumps(payload))
+
+    @staticmethod
+    def _entry(name, speedup, passed=None, tiny=True):
+        return {
+            "name": name,
+            "speedup_vs_seed": speedup,
+            "passed": passed,
+            "options": {"seed": 42, "duration_scale": 0.05, "tiny": tiny},
+        }
+
+    def test_regression_detection_and_tolerance(self, tmp_path):
+        from repro.perf.registry import compare_artifacts
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        self._write(old, [self._entry("a", 3.0, passed=True), self._entry("b", 2.0)])
+        self._write(new, [self._entry("a", 2.5, passed=True), self._entry("b", 1.85)])
+        rows = {row.name: row for row in compare_artifacts(str(old), str(new))}
+        assert rows["a"].regression  # -16.7 % > 10 % tolerance
+        assert not rows["b"].regression  # -7.5 % within tolerance
+        assert rows["b"].delta_percent == pytest.approx(-7.5)
+
+    def test_drop_that_still_meets_target_is_not_a_regression(self, tmp_path):
+        from repro.perf.registry import compare_artifacts
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        # Recorded 6.0x against a 3.0x target: falling to 3.2x is a big drop
+        # but still comfortably passing — the gate must not ratchet past the
+        # bench's own target.
+        entry = self._entry("a", 6.0, passed=True)
+        entry["target_speedup"] = 3.0
+        self._write(old, [entry])
+        self._write(new, [self._entry("a", 3.2, passed=True)])
+        (row,) = compare_artifacts(str(old), str(new))
+        assert not row.regression
+        # Below the target AND below tolerance -> regression.
+        self._write(new, [self._entry("a", 2.5, passed=True)])
+        (row,) = compare_artifacts(str(old), str(new))
+        assert row.regression
+
+    def test_previously_failing_bench_is_not_gated(self, tmp_path):
+        from repro.perf.registry import compare_artifacts
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        self._write(old, [self._entry("a", 2.0, passed=False)])
+        self._write(new, [self._entry("a", 0.5, passed=False)])
+        (row,) = compare_artifacts(str(old), str(new))
+        assert not row.regression
+
+    def test_option_mismatch_is_not_comparable(self, tmp_path):
+        from repro.perf.registry import compare_artifacts
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        self._write(old, [self._entry("a", 3.0, passed=True, tiny=False)])
+        self._write(new, [self._entry("a", 1.0, passed=True, tiny=True)])
+        (row,) = compare_artifacts(str(old), str(new))
+        assert not row.regression
+        assert "options differ" in row.note
+
+    def test_empty_artifacts_rejected(self, tmp_path):
+        from repro.perf.registry import compare_artifacts
+
+        old = tmp_path / "old.json"
+        old.write_text("{}")
+        new = tmp_path / "new.json"
+        self._write(new, [self._entry("a", 1.0)])
+        with pytest.raises(ValueError):
+            compare_artifacts(str(old), str(new))
 
 
 class TestComponentSizeCache:

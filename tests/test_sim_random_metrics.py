@@ -104,6 +104,61 @@ class TestTimeSeries:
     def test_last_returns_none_when_empty(self):
         assert TimeSeries().last() is None
 
+    def test_growth_across_doubling_boundaries(self):
+        series = TimeSeries("grow")
+        for index in range(1000):  # crosses several capacity doublings
+            series.record(float(index), float(index * 2))
+        assert len(series) == 1000
+        assert list(series.times[:3]) == [0.0, 1.0, 2.0]
+        assert series.values[-1] == 1998.0
+        assert series.last() == (999.0, 1998.0)
+
+    def test_record_many_large_batch_and_views(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        series.record_many([float(t) for t in range(1, 501)], [0.5] * 500)
+        assert len(series) == 501
+        view_before = series.values
+        series.record(1000.0, 9.0)
+        # The earlier view is a stable snapshot of its prefix...
+        assert len(view_before) == 501
+        assert view_before[-1] == 0.5
+        # ...and the fresh view includes the append.
+        assert series.values[-1] == 9.0
+
+    def test_views_are_zero_copy_of_backing_store(self):
+        series = TimeSeries()
+        series.record_many([0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        assert series.times.base is series._times_buf
+
+    def test_record_many_rejects_unsorted_batch(self):
+        series = TimeSeries()
+        with pytest.raises(ValueError):
+            series.record_many([1.0, 0.5], [1.0, 1.0])
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record_many([4.0, 6.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            series.record_many([6.0], [1.0, 2.0])
+
+    def test_to_rows_and_value_at_return_python_floats(self):
+        series = TimeSeries()
+        series.record_many([0.0, 10.0], [1.5, 2.5])
+        rows = series.to_rows()
+        assert rows == [(0.0, 1.5), (10.0, 2.5)]
+        assert all(type(value) is float for pair in rows for value in pair)
+        assert type(series.value_at(3.0)) is float
+        assert type(series.last()[0]) is float
+
+    def test_window_result_owns_its_storage(self):
+        series = TimeSeries()
+        for t in range(10):
+            series.record(float(t), float(t))
+        windowed = series.window(2.0, 5.0)
+        windowed.record(100.0, -1.0)  # appending must not touch the parent
+        assert list(series.values[:10]) == [float(t) for t in range(10)]
+        assert windowed.last() == (100.0, -1.0)
+
 
 class TestCountersGaugesRates:
     def test_counter_increments(self):
