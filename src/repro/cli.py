@@ -11,6 +11,7 @@ Front-end targets::
     python -m repro.cli fig7                       # heterogeneous leak sizes
     python -m repro.cli rejuvenation               # live restarts vs. micro-reboots
     python -m repro.cli adaptive                   # adaptive policies + SLA cost model
+    python -m repro.cli learning                   # cross-run calibration learning
     python -m repro.cli environment                # Table I, paper vs. reproduction
 
 All experiments run in virtual time; ``--duration-scale`` scales the paper's
@@ -31,6 +32,7 @@ from repro.experiments.reporting import (
     fig6_report,
     format_table,
     leak_scenario_report,
+    learning_report,
     mixed_report,
     rejuvenation_report,
 )
@@ -41,6 +43,7 @@ from repro.experiments.scenarios import (
     fig6_manager_map,
     fig7_injection_sizes,
     fig_adaptive,
+    fig_learning,
     fig_mixed,
     fig_rejuvenation,
 )
@@ -227,9 +230,26 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
 
 def _cmd_mixed(args: argparse.Namespace) -> int:
     scenario = fig_mixed(
-        duration_scale=args.duration_scale, seed=args.seed, scale=_population(args), ebs=args.ebs
+        duration_scale=args.duration_scale,
+        seed=args.seed,
+        scale=_population(args),
+        ebs=args.ebs,
+        dual_leak=args.dual,
     )
     print(mixed_report(scenario))
+    return 0
+
+
+def _cmd_learning(args: argparse.Namespace) -> int:
+    scenario = fig_learning(
+        duration_scale=args.duration_scale,
+        seed=args.seed,
+        scale=_population(args),
+        ebs=args.ebs,
+        runs=args.runs,
+        store_path=args.store,
+    )
+    print(learning_report(scenario))
     return 0
 
 
@@ -287,9 +307,26 @@ def build_parser() -> argparse.ArgumentParser:
         ("rejuvenation", _cmd_rejuvenation, "live rejuvenation: no action vs. restarts vs. micro-reboots"),
         ("adaptive", _cmd_adaptive, "adaptive rejuvenation & SLA comparison over memory/thread/connection leaks"),
         ("mixed", _cmd_mixed, "mixed faults: concurrent heap + connection leaks in different components"),
+        ("learning", _cmd_learning, "cross-run calibration learning: cold vs. warm-started adaptive"),
     ]:
         sub = subparsers.add_parser(name, help=help_text)
         add_common(sub, include_ebs=(name != "fig3"))
+        if name == "mixed":
+            sub.add_argument(
+                "--dual",
+                action="store_true",
+                help="dual-leak variant: the same component leaks heap AND connections",
+            )
+        if name == "learning":
+            sub.add_argument(
+                "--runs", type=int, default=4, help="repeated runs per mode (cold/warm)"
+            )
+            sub.add_argument(
+                "--store",
+                metavar="PATH",
+                default=None,
+                help="calibration store JSON path (default: a fresh temporary file)",
+            )
         sub.set_defaults(handler=handler)
 
     bench_parser = subparsers.add_parser(

@@ -130,7 +130,14 @@ class ManagerAgent(MBean, NotificationBroadcaster):
             self._flush_samples()
 
     def _flush_samples(self) -> None:
-        """Fold every buffered sample into the map and run alert checks."""
+        """Fold every buffered sample into the map and run alert checks.
+
+        The alert check is folded into the flush: one consumption scan per
+        touched series decides the alert *and* refreshes the folded-growth
+        estimate the buffered intake's early-flush heuristic reads (the
+        pre-fold version scanned each series twice — once for the alert,
+        once for the estimate).
+        """
         pending = self._pending_samples
         if not pending:
             return
@@ -143,11 +150,13 @@ class ManagerAgent(MBean, NotificationBroadcaster):
                 self._known_components.append(component)
         self._map.add_samples(pending)
         for component in touched:
-            self._check_alert(component)
-            if component not in self._alerted:
-                self._folded_consumption[component] = self._map.consumption(
-                    component, DEFAULT_METRIC
-                )
+            if component in self._alerted:
+                continue
+            growth = self._map.consumption(component, DEFAULT_METRIC)
+            if growth >= self.alert_growth_bytes:
+                self._emit_alert(component, growth)
+            else:
+                self._folded_consumption[component] = growth
 
     @operation
     def register_component(self, component: str) -> None:
@@ -219,22 +228,32 @@ class ManagerAgent(MBean, NotificationBroadcaster):
         return sizes
 
     def _check_alert(self, component: str) -> None:
+        """Scan one component's consumption and emit the alert if crossed.
+
+        Used by the polling :meth:`snapshot` path; the buffered intake folds
+        the same check into :meth:`_flush_samples` so a flush pays at most
+        one consumption scan per touched series.
+        """
         if component in self._alerted:
             return
         growth = self._map.consumption(component, DEFAULT_METRIC)
         if growth >= self.alert_growth_bytes:
-            self._alerted.add(component)
-            self.send_notification(
-                AGING_SUSPECT_NOTIFICATION,
-                source=str(MANAGER_OBJECT_NAME),
-                message=(
-                    f"component {component!r} accumulated {growth:.0f} bytes of "
-                    f"{DEFAULT_METRIC} (threshold {self.alert_growth_bytes:.0f})"
-                ),
-                timestamp=self._now(),
-                component=component,
-                growth_bytes=growth,
-            )
+            self._emit_alert(component, growth)
+
+    def _emit_alert(self, component: str, growth: float) -> None:
+        """Mark ``component`` as an aging suspect and notify listeners."""
+        self._alerted.add(component)
+        self.send_notification(
+            AGING_SUSPECT_NOTIFICATION,
+            source=str(MANAGER_OBJECT_NAME),
+            message=(
+                f"component {component!r} accumulated {growth:.0f} bytes of "
+                f"{DEFAULT_METRIC} (threshold {self.alert_growth_bytes:.0f})"
+            ),
+            timestamp=self._now(),
+            component=component,
+            growth_bytes=growth,
+        )
 
     # ------------------------------------------------------------------ #
     # Map / analysis

@@ -14,10 +14,12 @@ from repro.experiments.scenarios import (
     AdaptiveScenarioResult,
     Fig3Result,
     LeakScenarioResult,
+    LearningScenarioResult,
     MixedScenarioResult,
     RejuvenationScenarioResult,
 )
 from repro.sim.metrics import TimeSeries
+from repro.slo.analytic import TTE_TOLERANCE_FACTOR
 
 
 def format_table(rows: Sequence[Dict[str, object]], columns: Optional[List[str]] = None) -> str:
@@ -217,6 +219,15 @@ def adaptive_report(scenario: AdaptiveScenarioResult) -> str:
             "adaptive predictor error statistics (per resource):",
             format_table(predictor_rows),
         ]
+    analytic_rows = scenario.analytic_rows()
+    if analytic_rows:
+        lines += [
+            "",
+            "analytic M/M/c cross-check of the no-action runs (predicted from "
+            "the workload configuration alone; tte_ok = within a factor of "
+            f"{TTE_TOLERANCE_FACTOR:g} of the realized exhaustion time):",
+            format_table(analytic_rows),
+        ]
     verdicts = []
     adaptive_cost = scenario.sla_cost("memory", "adaptive")
     best_fixed = scenario.best_fixed_cost("memory")
@@ -244,6 +255,33 @@ def adaptive_report(scenario: AdaptiveScenarioResult) -> str:
 
 
 # --------------------------------------------------------------------------- #
+# Cross-run calibration learning
+# --------------------------------------------------------------------------- #
+def learning_report(scenario: LearningScenarioResult) -> str:
+    """Per-(mode, run) table and the cumulative cold-vs-warm verdicts."""
+    lines = [
+        "== Cross-run calibration learning: cold vs. warm-started adaptive ==",
+        "expectation: persisting the adaptive policy's converged calibration "
+        "per workload signature lets run N+1 open at run N's horizon, "
+        "skipping the conservative early recycles cold re-learning pays — "
+        "cumulative SLA cost falls run over run",
+        f"workload: fast memory leak (heap capacity "
+        f"{scenario.heap_capacity / (1024.0 * 1024.0):.2f} MB), "
+        f"{scenario.runs} runs per mode, seeds {scenario.seed}..."
+        f"{scenario.seed + scenario.runs - 1}, run length {scenario.duration:.0f} s",
+        f"calibration store: {scenario.store_path}",
+        f"workload signature: {scenario.signature}",
+        "",
+        "per-(mode, run) outcome:",
+        format_table(scenario.summary_rows()),
+        "",
+        "verdicts:",
+        format_table(scenario.verdict_rows(), ["claim", "warm", "cold", "holds"]),
+    ]
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
 # Mixed-fault comparison
 # --------------------------------------------------------------------------- #
 def mixed_report(scenario: MixedScenarioResult) -> str:
@@ -253,10 +291,11 @@ def mixed_report(scenario: MixedScenarioResult) -> str:
     )
     lines = [
         "== Mixed faults: concurrent heap leak and connection leak ==",
-        "expectation: the proactive policy recycles the right component per "
-        "resource — the heap channel blames the memory leaker via root-cause "
-        "analysis, the connection channel blames the connection leaker via "
-        "pool ownership — while no action pays with OOM and pool-refusal errors",
+        "expectation: the recycling policies (proactive and adaptive) recycle "
+        "the right component per resource — the heap channel blames the memory "
+        "leaker via root-cause analysis, the connection channel blames the "
+        "connection leaker via pool ownership (the same component, when it "
+        "leaks both) — while no action pays with OOM and pool-refusal errors",
         f"heap capacity: {scenario.heap_capacity / (1024.0 * 1024.0):.2f} MB, "
         f"pool bound: {scenario.pool_size} connections, "
         f"run length: {scenario.duration:.0f} s, injected: {injected}",

@@ -27,6 +27,8 @@ from repro.core.rootcause import RootCauseReport, RootCauseStrategy
 from repro.faults.injector import FaultInjector, FaultSpec
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import TimeSeries
+from repro.slo.adaptive_policy import AdaptiveRejuvenationPolicy
+from repro.slo.calibration import CalibrationStore, workload_signature
 from repro.tpcw.application import TpcwDeployment, build_deployment
 from repro.tpcw.mixes import mix_by_name
 from repro.tpcw.population import PopulationScale
@@ -75,6 +77,21 @@ class ExperimentConfig:
     #: beyond the heap automatically install the extended monitoring agents
     #: their series come from.
     rejuvenation_channels: Optional[List[str]] = None
+    #: Cross-run calibration store (see :mod:`repro.slo.calibration`).  When
+    #: set and ``rejuvenation`` is an adaptive policy, the policy is
+    #: warm-started from the store's record for this run's workload
+    #: signature before the run, and its converged horizons + per-run error
+    #: statistics are folded back (and saved) after the run.  Ignored for
+    #: non-adaptive policies — fixed policies have nothing to calibrate.
+    calibration_store: Optional[CalibrationStore] = None
+    #: Explicit workload-signature override; ``None`` derives it from this
+    #: config's *workload knobs alone* via
+    #: :func:`repro.slo.calibration.workload_signature` — deliberately
+    #: excluding ``name``, which is usually stamped per run ("…-run0",
+    #: "…-run1") and would silently turn every lookup into a cold miss.
+    #: Pass an explicit signature to namespace otherwise-identical
+    #: workloads apart.
+    calibration_signature: Optional[str] = None
 
     def effective_phases(self) -> List[WorkloadPhase]:
         """The phase list, defaulting to one constant-EB phase."""
@@ -201,12 +218,27 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             t += interval
 
     controller: Optional[RejuvenationController] = None
+    calibration_signature: Optional[str] = None
     if config.rejuvenation is not None:
         if framework is None:
             raise ValueError(
                 "live rejuvenation requires monitored=True (the controller reads "
                 "the manager's heap series and root-cause report)"
             )
+        if config.calibration_store is not None and isinstance(
+            config.rejuvenation, AdaptiveRejuvenationPolicy
+        ):
+            calibration_signature = (
+                config.calibration_signature
+                if config.calibration_signature is not None
+                # Derived signatures describe the workload alone: the config
+                # name is typically stamped per run and must not shatter the
+                # calibration across a run sequence (see the field comment).
+                else workload_signature(config, scenario="(workload)")
+            )
+            record = config.calibration_store.lookup(calibration_signature)
+            if record is not None:
+                config.rejuvenation.apply_warm_start(record)
         channels = (
             build_channels(config.rejuvenation_channels)
             if config.rejuvenation_channels is not None
@@ -240,6 +272,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 
     generator.schedule_phases(config.effective_phases())
     generator.run(config.duration)
+
+    if calibration_signature is not None:
+        # The run is over: persist the adaptive policy's converged horizons
+        # and this run's prediction-error statistics, so the next run of the
+        # same workload signature opens warm.
+        config.calibration_store.record_run(calibration_signature, config.rejuvenation)
+        config.calibration_store.save()
 
     # ------------------------------------------------------------------ #
     # Collect results

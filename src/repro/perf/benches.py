@@ -40,6 +40,10 @@ Coverage, mirroring the hottest layers of the reproduction stack:
     End-to-end wall-clock of the adaptive rejuvenation & SLA comparison
     (four policies x three leak workloads), plus its headline verdict
     metrics.
+``learning_e2e``
+    End-to-end wall-clock of the cross-run calibration learning comparison
+    (cold vs. warm-started adaptive over repeated runs), plus its headline
+    verdict metrics (cumulative SLA cost and total recycles per mode).
 """
 
 from __future__ import annotations
@@ -695,6 +699,41 @@ def bench_adaptive_e2e(options: BenchOptions) -> BenchResult:
         }
 
     return _run_e2e("adaptive_e2e", runner, options)
+
+
+@microbench("learning_e2e")
+def bench_learning_e2e(options: BenchOptions) -> BenchResult:
+    """Wall-clock + headline verdicts of the cross-run learning comparison."""
+    import os
+    import tempfile
+
+    from repro.experiments.scenarios import fig_learning
+    from repro.tpcw.population import PopulationScale
+
+    # Each timed repeat gets its own store file (the warm mode must open
+    # against an empty store), all inside one directory the bench cleans up
+    # — the CLI's leave-the-store-on-disk default is for inspecting the
+    # printed path, which a bench run never shows.
+    with tempfile.TemporaryDirectory(prefix="repro-learning-bench-") as scratch:
+        repeat = [0]
+
+        def runner() -> Dict[str, object]:
+            repeat[0] += 1
+            scenario = fig_learning(
+                duration_scale=options.duration_scale,
+                seed=options.seed,
+                scale=PopulationScale.tiny(),
+                store_path=os.path.join(scratch, f"calibration-{repeat[0]}.json"),
+            )
+            return {
+                "runs_per_mode": scenario.runs,
+                "cold_cumulative_sla_cost": round(scenario.cumulative_sla_cost("cold"), 1),
+                "warm_cumulative_sla_cost": round(scenario.cumulative_sla_cost("warm"), 1),
+                "cold_total_recycles": scenario.total_recycles("cold"),
+                "warm_total_recycles": scenario.total_recycles("warm"),
+            }
+
+        return _run_e2e("learning_e2e", runner, options)
 
 
 @microbench("fig4_e2e")

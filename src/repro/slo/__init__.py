@@ -28,6 +28,21 @@ package closes that loop with three cooperating pieces:
     :meth:`~repro.baselines.rejuvenation.RejuvenationPolicy.decide`
     protocol, so the live controller executes it like any fixed policy.
 
+``calibration``
+    Cross-run learning: a JSON-file-backed :class:`CalibrationStore` keyed
+    by seed-independent *workload signatures* that persists each
+    predictor's error statistics and the adaptive policy's converged
+    per-resource horizons after every run, and warm-starts the next run of
+    the same workload at the calibrated horizon instead of the
+    conservative default.
+
+``analytic``
+    A queueing-theoretic cross-check of the empirical numbers: an M/M/c
+    service model (Erlang-C) plus a fluid-limit leak-exhaustion model that
+    predicts the no-action time-to-exhaustion and unavailability from the
+    workload configuration alone, reported side-by-side with the realized
+    values.
+
 The pieces are resource-agnostic: the live controller
 (:mod:`repro.core.rejuvenation`) feeds them heap, thread-pool or
 DB-connection-pool series through its :class:`ResourceChannel` abstraction,
@@ -44,14 +59,42 @@ from repro.slo.predictors import (
     TheilSenPredictor,
 )
 from repro.slo.adaptive_policy import AdaptiveRejuvenationPolicy
+from repro.slo.analytic import (
+    LeakWorkloadModel,
+    MmcMetrics,
+    erlang_b,
+    erlang_c,
+    mmc_metrics,
+    realized_exhaustion_time,
+    within_tolerance,
+)
+from repro.slo.calibration import (
+    CalibrationRecord,
+    CalibrationStore,
+    CalibrationStoreWarning,
+    ResourceCalibration,
+    workload_signature,
+)
 
 __all__ = [
     "AdaptiveRejuvenationPolicy",
+    "CalibrationRecord",
+    "CalibrationStore",
+    "CalibrationStoreWarning",
     "EwmaSlopePredictor",
     "ExhaustionPredictor",
+    "LeakWorkloadModel",
+    "MmcMetrics",
     "PredictionErrorStats",
+    "ResourceCalibration",
     "SlaCostModel",
     "SlaObservation",
     "SlidingWindowLinearPredictor",
     "TheilSenPredictor",
+    "erlang_b",
+    "erlang_c",
+    "mmc_metrics",
+    "realized_exhaustion_time",
+    "within_tolerance",
+    "workload_signature",
 ]

@@ -24,7 +24,7 @@ predictions say nothing about the connection pool's predictability).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.baselines.rejuvenation import (
     MICRO_REBOOT,
@@ -35,7 +35,11 @@ from repro.baselines.rejuvenation import (
     exposure_seconds,
 )
 from repro.sim.metrics import TimeSeries
-from repro.slo.predictors import ExhaustionPredictor, TheilSenPredictor
+from repro.slo.predictors import (
+    ExhaustionPredictor,
+    PredictionErrorStats,
+    TheilSenPredictor,
+)
 
 
 class AdaptiveRejuvenationPolicy(RejuvenationPolicy):
@@ -62,6 +66,13 @@ class AdaptiveRejuvenationPolicy(RejuvenationPolicy):
         optimism, not one unlucky burst.
     microreboot_downtime:
         Outage seconds charged per executed micro-reboot.
+    warm_start:
+        A :class:`~repro.slo.calibration.CalibrationRecord` (or a plain
+        ``resource -> ResourceCalibration`` mapping) from a previous run of
+        the *same workload signature*: the policy opens at the stored
+        converged horizons (clamped to the ``min``/``max`` bounds) instead
+        of ``base_horizon``, and keeps the stored error statistics around as
+        :meth:`prior_stats` for reporting.  ``None`` is a cold start.
     """
 
     name = "adaptive"
@@ -76,6 +87,7 @@ class AdaptiveRejuvenationPolicy(RejuvenationPolicy):
         gain: float = 0.5,
         calibration_tolerance: float = 0.5,
         microreboot_downtime: float = 2.0,
+        warm_start=None,
     ) -> None:
         if base_horizon <= 0:
             raise ValueError(f"base_horizon must be positive, got {base_horizon}")
@@ -109,7 +121,77 @@ class AdaptiveRejuvenationPolicy(RejuvenationPolicy):
         self.record_horizon_multiple = 4.0
         self._predictors: Dict[str, ExhaustionPredictor] = {}
         self._horizons: Dict[str, float] = {}
+        self._prior_stats: Dict[str, PredictionErrorStats] = {}
+        self._opening_horizons: Dict[str, float] = {}
+        #: Per-resource snapshot of the predictor stats at the last
+        #: cross-run recording (see :meth:`take_unrecorded_stats`).
+        self._recorded_stats: Dict[str, PredictionErrorStats] = {}
         self.adaptations = 0
+        #: Whether a previous run's calibration seeded the horizons.
+        self.warm_started = False
+        if warm_start is not None:
+            self.apply_warm_start(warm_start)
+
+    # ------------------------------------------------------------------ #
+    # Cross-run warm start
+    # ------------------------------------------------------------------ #
+    def apply_warm_start(self, record) -> int:
+        """Open at a previous run's converged per-resource calibration.
+
+        ``record`` is a :class:`~repro.slo.calibration.CalibrationRecord`
+        (or any ``resource -> ResourceCalibration`` mapping).  Each stored
+        horizon becomes the resource's starting horizon, clamped to this
+        policy's ``[min_horizon, max_horizon]`` bounds; the stored error
+        statistics are kept as :meth:`prior_stats` — they earned the
+        horizon, but the running predictors keep per-run statistics so the
+        calibration store never double-counts a run.  Returns how many
+        resources were seeded.
+        """
+        resources = getattr(record, "resources", record)
+        applied = 0
+        for resource, calibration in resources.items():
+            horizon = min(
+                self.max_horizon, max(self.min_horizon, float(calibration.horizon_s))
+            )
+            self._horizons[resource] = horizon
+            self._opening_horizons[resource] = horizon
+            if calibration.stats.count:
+                self._prior_stats[resource] = calibration.stats.copy()
+            applied += 1
+        if applied:
+            self.warm_started = True
+        return applied
+
+    def prior_stats(self, resource: str) -> Optional[PredictionErrorStats]:
+        """Warm-start error statistics for ``resource`` (``None`` when cold)."""
+        return self._prior_stats.get(resource)
+
+    def opening_horizon(self, resource: str) -> float:
+        """The horizon this policy *started* at for ``resource``.
+
+        ``base_horizon`` unless a warm start seeded it; unlike
+        :meth:`horizon` it is not moved by subsequent adaptation, so reports
+        can show where a run opened vs. where it converged.
+        """
+        return self._opening_horizons.get(resource, self.base_horizon)
+
+    def calibrated_resources(self) -> List[str]:
+        """Resources with a predictor or an adapted horizon (sorted)."""
+        return sorted(set(self._predictors) | set(self._horizons))
+
+    def take_unrecorded_stats(self, resource: str) -> PredictionErrorStats:
+        """Predictor statistics folded since the last call for ``resource``.
+
+        The calibration store records through this accessor so the same
+        policy instance can be run (and recorded) repeatedly without a
+        run's predictions ever being counted twice: each call returns only
+        the delta since the previous call and advances the snapshot.
+        """
+        current = self.predictor(resource).stats
+        marker = self._recorded_stats.get(resource)
+        delta = current.difference(marker) if marker is not None else current.copy()
+        self._recorded_stats[resource] = current.copy()
+        return delta
 
     # ------------------------------------------------------------------ #
     # Per-resource state
@@ -132,6 +214,8 @@ class AdaptiveRejuvenationPolicy(RejuvenationPolicy):
         for resource in sorted(self._predictors):
             row = {"resource": resource, "horizon_s": round(self.horizon(resource), 1)}
             row.update(self._predictors[resource].stats_row())
+            prior = self._prior_stats.get(resource)
+            row["prior_predictions"] = prior.count if prior is not None else 0
             rows.append(row)
         return rows
 

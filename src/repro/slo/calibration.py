@@ -1,0 +1,297 @@
+"""Cross-run calibration store: predictor trust that survives the run.
+
+The adaptive policy earns its keep by *learning* — every settled prediction
+tunes its safety horizon — but until now that learning evaporated with the
+process: run N+1 re-opened at the conservative ``base_horizon`` and re-paid
+the early recycles run N had already learned to skip.  This module closes
+the loop across runs:
+
+``workload_signature``
+    A deterministic, **seed-independent** key describing *what* was run:
+    scenario label, workload mix and EB schedule, run length, the injected
+    leak kinds/rates, and the server sizing (heap / thread capacity / pool
+    bound).  Two runs of the same experiment with different seeds share a
+    signature; changing the leak rate, the sizing or the duration produces a
+    different one — calibration learned against one exhaustion dynamics
+    must never warm-start a different dynamics.
+
+``CalibrationStore``
+    A JSON-file-backed map ``signature -> CalibrationRecord`` persisting,
+    per resource channel, the predictor's cumulative
+    :class:`~repro.slo.predictors.PredictionErrorStats` and the policy's
+    converged safety horizon after every run.  Loading is defensive: a
+    missing file is a silent cold start, while a truncated or garbage file
+    falls back to a cold start with a :class:`CalibrationStoreWarning`
+    instead of crashing the experiment.  Saves are atomic (write to a
+    sibling temp file, then ``os.replace``).
+
+The experiment runner wires the two together (see
+:class:`~repro.experiments.runner.ExperimentConfig` ``calibration_store``):
+before the run, the adaptive policy is warm-started from the stored record
+(:meth:`~repro.slo.adaptive_policy.AdaptiveRejuvenationPolicy.apply_warm_start`);
+after the run, the policy's converged horizons and per-run error statistics
+are folded back and the store is saved — so run N+1 opens at run N's
+calibrated horizon.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.slo.predictors import PredictionErrorStats
+
+#: Format version of the persisted JSON document.
+STORE_VERSION = 1
+
+
+class CalibrationStoreWarning(UserWarning):
+    """An unreadable calibration store was ignored (cold start)."""
+
+
+# --------------------------------------------------------------------------- #
+# Workload signatures
+# --------------------------------------------------------------------------- #
+def _fault_key(spec) -> str:
+    params = ",".join(f"{name}={spec.params[name]}" for name in sorted(spec.params))
+    return f"{spec.component}:{spec.kind}:{params}"
+
+
+def workload_signature(config, scenario: Optional[str] = None) -> str:
+    """A seed-independent key describing one experiment's workload dynamics.
+
+    ``config`` is an :class:`~repro.experiments.runner.ExperimentConfig`
+    (duck-typed to avoid an import cycle).  The signature folds in exactly
+    the knobs that shape the exhaustion dynamics the predictors calibrate
+    against — scenario label, mix, EB schedule, duration, think time, the
+    fault plan (component, kind, rates — order-insensitive), the server
+    sizing and the watched channels — and deliberately *excludes* the seed:
+    same workload, different draws, same calibration.
+    """
+    phases = config.effective_phases()
+    schedule = ",".join(f"{phase.start_time:g}@{phase.eb_count}" for phase in phases)
+    server = config.server_config
+    sizing = (
+        f"heap={server.heap_bytes},threads={server.thread_capacity},"
+        f"pool={server.pool_size},workers={server.max_threads},"
+        f"cores={server.app_cpu_cores}/{server.db_cpu_cores}"
+        if server is not None
+        else "default"
+    )
+    faults = ";".join(sorted(_fault_key(spec) for spec in config.faults)) or "none"
+    channels = (
+        ",".join(config.rejuvenation_channels)
+        if config.rejuvenation_channels is not None
+        else "heap"
+    )
+    parts = [
+        f"scenario={scenario if scenario is not None else config.name}",
+        f"mix={config.mix_name}",
+        f"ebs={schedule}",
+        f"duration={config.duration:g}",
+        f"think={config.think_time_mean:g}",
+        f"faults={faults}",
+        f"sizing={sizing}",
+        f"channels={channels}",
+    ]
+    return "|".join(parts)
+
+
+# --------------------------------------------------------------------------- #
+# Records
+# --------------------------------------------------------------------------- #
+@dataclass
+class ResourceCalibration:
+    """Persisted calibration of one resource channel."""
+
+    #: The policy's converged safety horizon after the latest run (seconds).
+    horizon_s: float
+    #: Cumulative prediction-error statistics across all recorded runs.
+    stats: PredictionErrorStats = field(default_factory=PredictionErrorStats)
+
+    def to_state(self) -> dict:
+        return {"horizon_s": self.horizon_s, "stats": self.stats.to_state()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ResourceCalibration":
+        if not isinstance(state, dict):
+            raise TypeError(f"resource state must be a dict, got {type(state).__name__}")
+        horizon = state["horizon_s"]
+        if not isinstance(horizon, (int, float)) or isinstance(horizon, bool) or horizon <= 0:
+            raise ValueError(f"horizon_s must be a positive number, got {horizon!r}")
+        return cls(
+            horizon_s=float(horizon),
+            stats=PredictionErrorStats.from_state(state["stats"]),
+        )
+
+
+@dataclass
+class CalibrationRecord:
+    """Everything remembered about one workload signature."""
+
+    signature: str
+    #: Runs folded into this record so far.
+    runs: int = 0
+    #: resource channel name -> persisted calibration.
+    resources: Dict[str, ResourceCalibration] = field(default_factory=dict)
+
+    def horizon(self, resource: str) -> Optional[float]:
+        """The stored converged horizon for ``resource`` (``None`` when unseen)."""
+        calibration = self.resources.get(resource)
+        return calibration.horizon_s if calibration is not None else None
+
+    def to_state(self) -> dict:
+        return {
+            "runs": self.runs,
+            "resources": {
+                name: self.resources[name].to_state() for name in sorted(self.resources)
+            },
+        }
+
+    @classmethod
+    def from_state(cls, signature: str, state: dict) -> "CalibrationRecord":
+        if not isinstance(state, dict):
+            raise TypeError(f"record state must be a dict, got {type(state).__name__}")
+        runs = state["runs"]
+        if not isinstance(runs, int) or isinstance(runs, bool) or runs < 0:
+            raise ValueError(f"runs must be a non-negative int, got {runs!r}")
+        resources_state = state["resources"]
+        if not isinstance(resources_state, dict):
+            raise TypeError("resources must be a dict")
+        resources = {
+            str(name): ResourceCalibration.from_state(value)
+            for name, value in resources_state.items()
+        }
+        return cls(signature=signature, runs=runs, resources=resources)
+
+
+# --------------------------------------------------------------------------- #
+# The store
+# --------------------------------------------------------------------------- #
+class CalibrationStore:
+    """JSON-file-backed cross-run calibration records.
+
+    Parameters
+    ----------
+    path:
+        The JSON file the records persist in.  The file (and its parent
+        directory) is created on the first :meth:`save`.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._records: Dict[str, CalibrationRecord] = {}
+        #: Whether the last :meth:`load` found a usable store on disk.
+        self.loaded_from_disk = False
+        self.load()
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def load(self) -> bool:
+        """(Re)read the records from disk.
+
+        Returns whether a usable store was found.  A missing file is a
+        silent cold start; an unreadable or malformed one is a cold start
+        with a :class:`CalibrationStoreWarning` — a corrupt store must
+        never take the experiment down, it only costs the warm start.
+        """
+        self._records = {}
+        self.loaded_from_disk = False
+        if not os.path.exists(self.path):
+            return False
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            if not isinstance(document, dict):
+                raise TypeError(f"expected a JSON object, got {type(document).__name__}")
+            version = document["version"]
+            if version != STORE_VERSION:
+                raise ValueError(f"unsupported store version {version!r}")
+            workloads = document["workloads"]
+            if not isinstance(workloads, dict):
+                raise TypeError("workloads must be a JSON object")
+            records = {
+                str(signature): CalibrationRecord.from_state(str(signature), state)
+                for signature, state in workloads.items()
+            }
+        except (OSError, ValueError, TypeError, KeyError) as error:
+            warnings.warn(
+                f"calibration store {self.path!r} is unreadable ({error}); "
+                f"starting cold",
+                CalibrationStoreWarning,
+                stacklevel=2,
+            )
+            return False
+        self._records = records
+        self.loaded_from_disk = True
+        return True
+
+    def save(self) -> None:
+        """Atomically write the records to :attr:`path`."""
+        document = {
+            "version": STORE_VERSION,
+            "workloads": {
+                signature: self._records[signature].to_state()
+                for signature in sorted(self._records)
+            },
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            prefix=os.path.basename(self.path) + ".", dir=directory
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(temp_path, self.path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Reading / updating
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def signatures(self) -> List[str]:
+        """Stored workload signatures (sorted)."""
+        return sorted(self._records)
+
+    def lookup(self, signature: str) -> Optional[CalibrationRecord]:
+        """The record for ``signature`` — ``None`` means cold start."""
+        return self._records.get(signature)
+
+    def record_run(self, signature: str, policy) -> CalibrationRecord:
+        """Fold one finished adaptive policy run into ``signature``'s record.
+
+        ``policy`` is an
+        :class:`~repro.slo.adaptive_policy.AdaptiveRejuvenationPolicy`; the
+        record keeps its *latest* converged per-resource horizon and
+        accumulates the error statistics folded *since the policy was last
+        recorded* (:meth:`~repro.slo.adaptive_policy
+        .AdaptiveRejuvenationPolicy.take_unrecorded_stats`) — warm-started
+        prior statistics live here, and re-recording a reused policy
+        instance never counts a prediction twice.
+        """
+        record = self._records.get(signature)
+        if record is None:
+            record = self._records[signature] = CalibrationRecord(signature=signature)
+        record.runs += 1
+        for resource in policy.calibrated_resources():
+            calibration = record.resources.get(resource)
+            if calibration is None:
+                calibration = record.resources[resource] = ResourceCalibration(
+                    horizon_s=policy.horizon(resource)
+                )
+            else:
+                calibration.horizon_s = policy.horizon(resource)
+            calibration.stats.merge(policy.take_unrecorded_stats(resource))
+        return record

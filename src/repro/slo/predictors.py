@@ -60,6 +60,67 @@ class PredictionErrorStats:
         # a finite, strongly optimistic ratio instead of a division blow-up.
         self._sum_ratio += predicted_tte / max(realized_tte, 1e-9)
 
+    def merge(self, other: "PredictionErrorStats") -> None:
+        """Fold another statistics object into this one (sums add)."""
+        self.count += other.count
+        self._sum_error += other._sum_error
+        self._sum_abs_error += other._sum_abs_error
+        self._sum_ratio += other._sum_ratio
+
+    def copy(self) -> "PredictionErrorStats":
+        """An independent copy of the running sums."""
+        return PredictionErrorStats(
+            count=self.count,
+            _sum_error=self._sum_error,
+            _sum_abs_error=self._sum_abs_error,
+            _sum_ratio=self._sum_ratio,
+        )
+
+    def difference(self, baseline: "PredictionErrorStats") -> "PredictionErrorStats":
+        """The statistics folded since ``baseline`` was snapshotted from this
+        accumulator (``self - baseline``; both must share a history)."""
+        if baseline.count > self.count:
+            raise ValueError(
+                f"baseline has more folds ({baseline.count}) than the "
+                f"accumulator ({self.count}) — not a snapshot of it"
+            )
+        return PredictionErrorStats(
+            count=self.count - baseline.count,
+            _sum_error=self._sum_error - baseline._sum_error,
+            _sum_abs_error=self._sum_abs_error - baseline._sum_abs_error,
+            _sum_ratio=self._sum_ratio - baseline._sum_ratio,
+        )
+
+    def to_state(self) -> dict:
+        """JSON-serialisable state, exact enough for bit-identical round-trips."""
+        return {
+            "count": self.count,
+            "sum_error": self._sum_error,
+            "sum_abs_error": self._sum_abs_error,
+            "sum_ratio": self._sum_ratio,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PredictionErrorStats":
+        """Rebuild statistics from :meth:`to_state` output (validated)."""
+        if not isinstance(state, dict):
+            raise TypeError(f"stats state must be a dict, got {type(state).__name__}")
+        count = state["count"]
+        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+            raise ValueError(f"stats count must be a non-negative int, got {count!r}")
+        sums = {}
+        for key in ("sum_error", "sum_abs_error", "sum_ratio"):
+            value = state[key]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"stats {key} must be a number, got {value!r}")
+            sums[key] = float(value)
+        return cls(
+            count=count,
+            _sum_error=sums["sum_error"],
+            _sum_abs_error=sums["sum_abs_error"],
+            _sum_ratio=sums["sum_ratio"],
+        )
+
     @property
     def bias_seconds(self) -> float:
         """Mean signed error (positive: predictions were optimistic)."""

@@ -329,3 +329,61 @@ class TestFigAdaptive:
 
         repeat = fig_adaptive(duration_scale=DS, seed=42, scale=TINY)
         assert repeat.summary_rows() == adaptive_scenario.summary_rows()
+
+
+class TestAnalyticCrossCheck:
+    """The M/M/c + leak-model cross-check of the no-action runs (ISSUE 5)."""
+
+    def test_rows_cover_every_workload(self, adaptive_scenario):
+        rows = {row["workload"]: row for row in adaptive_scenario.analytic_rows()}
+        assert set(rows) == {"memory", "threads", "connections"}
+
+    def test_analytic_tte_within_stated_tolerance_of_realized(self, adaptive_scenario):
+        # The acceptance tolerance (a factor of TTE_TOLERANCE_FACTOR, stated
+        # in repro.slo.analytic) must hold for every workload at the pinned
+        # seed/scale: the fluid-limit prediction from the configuration
+        # alone lands in the band around the realized exhaustion time.
+        for row in adaptive_scenario.analytic_rows():
+            assert row["realized_tte_s"] is not None, row["workload"]
+            assert row["analytic_tte_s"] is not None, row["workload"]
+            assert row["tte_ok"] is True, row
+
+    def test_predicted_failures_track_realized(self, adaptive_scenario):
+        # Order-of-magnitude agreement on the failure side too: the model
+        # knows which requests an exhausted resource fails.
+        for row in adaptive_scenario.analytic_rows():
+            assert row["realized_failed"] > 0, row["workload"]
+            assert (
+                0.5 * row["realized_failed"]
+                <= row["analytic_failed"]
+                <= 2.0 * row["realized_failed"]
+            ), row
+
+    def test_queueing_regime_is_uncongested(self, adaptive_scenario):
+        # The M/M/c side of the check: at the configured arrival/service
+        # rates the server is deep in the stable regime, so the model
+        # attributes the no-action errors to exhaustion, not queueing.
+        for row in adaptive_scenario.analytic_rows():
+            assert row["mmc_utilization"] < 0.5
+            assert row["mmc_wait_probability"] < 0.01
+
+    def test_realized_exhaustion_matches_monitored_series(self, adaptive_scenario):
+        from repro.slo.analytic import realized_exhaustion_time
+
+        model = adaptive_scenario.analytic_models["threads"]
+        series = adaptive_scenario.monitored_series("threads", "no-action")
+        assert adaptive_scenario.realized_exhaustion("threads") == (
+            realized_exhaustion_time(
+                series,
+                adaptive_scenario.capacities["threads"],
+                model.exhaustion_fraction,
+            )
+        )
+
+    def test_report_includes_cross_check_table(self, adaptive_scenario):
+        from repro.experiments.reporting import adaptive_report
+
+        text = adaptive_report(adaptive_scenario)
+        assert "analytic M/M/c cross-check" in text
+        assert "analytic_tte_s" in text
+        assert "tte_ok" in text

@@ -1,0 +1,225 @@
+"""Unit tests for the analytic M/M/c + leak-exhaustion model (ISSUE 5).
+
+Erlang formulas against known closed-form values, metric identities,
+fluid-limit leak arithmetic, the realized-exhaustion reader, the tolerance
+band — and an empirical cross-test pinning the ``N/2 + 1`` mean injection
+period against the actual :class:`RandomCountdownTrigger` draws.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.faults.base import RandomCountdownTrigger
+from repro.sim.metrics import TimeSeries
+from repro.sim.random import RandomStreams
+from repro.slo.analytic import (
+    TTE_TOLERANCE_FACTOR,
+    LeakWorkloadModel,
+    erlang_b,
+    erlang_c,
+    mmc_metrics,
+    realized_exhaustion_time,
+    within_tolerance,
+)
+
+
+def make_series(points) -> TimeSeries:
+    series = TimeSeries("test")
+    for t, v in points:
+        series.record(float(t), float(v))
+    return series
+
+
+# --------------------------------------------------------------------------- #
+# Erlang formulas
+# --------------------------------------------------------------------------- #
+class TestErlang:
+    def test_erlang_b_single_server(self):
+        # Known closed form: B(1, a) = a / (1 + a).
+        assert erlang_b(1, 1.0) == pytest.approx(0.5)
+        assert erlang_b(1, 3.0) == pytest.approx(0.75)
+
+    def test_erlang_b_two_servers_known_value(self):
+        # B(2, 1) = (1/2) / (1 + 1 + 1/2) = 0.2.
+        assert erlang_b(2, 1.0) == pytest.approx(0.2)
+
+    def test_erlang_c_single_server_equals_utilization(self):
+        # M/M/1: P(wait) = ρ.
+        for rho in (0.1, 0.5, 0.9):
+            assert erlang_c(1, rho) == pytest.approx(rho)
+
+    def test_erlang_c_two_servers_known_value(self):
+        # M/M/2 at a = 1 (ρ = 0.5): the textbook 1/3.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_erlang_c_bounds_and_edges(self):
+        assert erlang_c(4, 0.0) == 0.0
+        assert erlang_c(4, 4.0) == 1.0  # unstable
+        assert erlang_c(4, 17.0) == 1.0
+        for load in (0.5, 1.5, 3.0, 3.9):
+            assert 0.0 <= erlang_c(4, load) <= 1.0
+
+    def test_erlang_c_monotone_in_offered_load(self):
+        values = [erlang_c(8, load) for load in (0.5, 2.0, 4.0, 6.0, 7.5)]
+        assert values == sorted(values)
+
+    def test_erlang_c_decreases_with_more_servers(self):
+        assert erlang_c(4, 2.0) > erlang_c(8, 2.0) > erlang_c(16, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erlang_b(0, 1.0)
+        with pytest.raises(ValueError):
+            erlang_c(2, -0.1)
+
+
+class TestMmcMetrics:
+    def test_basic_identities(self):
+        metrics = mmc_metrics(arrival_rate=8.0, service_rate=2.0, servers=10)
+        assert metrics.offered_load == pytest.approx(4.0)
+        assert metrics.utilization == pytest.approx(0.4)
+        assert metrics.stable
+        assert metrics.wait_probability == pytest.approx(erlang_c(10, 4.0))
+        # Little's law consistency: Lq = P(wait) * ρ / (1 - ρ), Wq = Lq / λ.
+        rho = metrics.utilization
+        assert metrics.mean_queue_length == pytest.approx(
+            metrics.wait_probability * rho / (1.0 - rho)
+        )
+        assert metrics.mean_wait_seconds == pytest.approx(
+            metrics.mean_queue_length / 8.0
+        )
+
+    def test_unstable_system(self):
+        metrics = mmc_metrics(arrival_rate=30.0, service_rate=2.0, servers=10)
+        assert not metrics.stable
+        assert metrics.wait_probability == 1.0
+        assert math.isinf(metrics.mean_queue_length)
+        assert math.isinf(metrics.mean_wait_seconds)
+
+    def test_idle_system(self):
+        metrics = mmc_metrics(arrival_rate=0.0, service_rate=2.0, servers=4)
+        assert metrics.wait_probability == 0.0
+        assert metrics.mean_wait_seconds == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mmc_metrics(-1.0, 2.0, 4)
+        with pytest.raises(ValueError):
+            mmc_metrics(1.0, 0.0, 4)
+        with pytest.raises(ValueError):
+            mmc_metrics(1.0, 2.0, 0)
+
+
+# --------------------------------------------------------------------------- #
+# Leak workload model
+# --------------------------------------------------------------------------- #
+def thread_model(**overrides) -> LeakWorkloadModel:
+    params = dict(
+        resource="threads",
+        capacity=190.0,
+        baseline=150.0,
+        units_per_injection=1.0,
+        period_n=10,
+        trigger_visits_per_second=3.4,
+        failing_request_rate=0.5,
+    )
+    params.update(overrides)
+    return LeakWorkloadModel(**params)
+
+
+class TestLeakWorkloadModel:
+    def test_mean_visits_per_injection_is_half_n_plus_one(self):
+        assert thread_model(period_n=10).mean_visits_per_injection == 6.0
+        assert thread_model(period_n=0).mean_visits_per_injection == 1.0
+
+    def test_mean_period_matches_the_real_countdown_trigger(self):
+        # Empirical pin: the fluid model's N/2 + 1 must match the actual
+        # RandomCountdownTrigger (draw n ~ U[0, N], fire on the (n+1)-th
+        # visit) to within a few percent over many seeded draws.
+        streams = RandomStreams(7)
+        trigger = RandomCountdownTrigger(10, streams, stream_name="pin")
+        visits = 60_000
+        fires = sum(1 for _ in range(visits) if trigger.should_fire())
+        empirical_period = visits / fires
+        assert empirical_period == pytest.approx(6.0, rel=0.03)
+
+    def test_growth_and_time_to_exhaustion(self):
+        model = thread_model()
+        # 3.4 visits/s / 6 visits-per-injection = 0.5667 threads/s.
+        assert model.growth_per_second == pytest.approx(3.4 / 6.0)
+        assert model.time_to_exhaustion() == pytest.approx(40.0 / (3.4 / 6.0))
+
+    def test_exhaustion_fraction_moves_the_threshold(self):
+        full = thread_model(capacity=200.0, baseline=0.0)
+        partial = thread_model(capacity=200.0, baseline=0.0, exhaustion_fraction=0.5)
+        assert partial.time_to_exhaustion() == pytest.approx(
+            full.time_to_exhaustion() / 2.0
+        )
+
+    def test_no_growth_means_no_exhaustion(self):
+        assert thread_model(trigger_visits_per_second=0.0).time_to_exhaustion() is None
+
+    def test_already_exhausted_is_zero(self):
+        assert thread_model(baseline=500.0).time_to_exhaustion() == 0.0
+
+    def test_predicted_failures_only_after_exhaustion(self):
+        model = thread_model(failing_request_rate=2.0)
+        tte = model.time_to_exhaustion()
+        assert model.predicted_failed_requests(tte * 0.5) == 0.0
+        assert model.predicted_failed_requests(tte + 30.0) == pytest.approx(60.0)
+        assert model.predicted_unavailable_seconds(tte + 30.0, 1.5) == pytest.approx(90.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            thread_model(capacity=0.0)
+        with pytest.raises(ValueError):
+            thread_model(units_per_injection=0.0)
+        with pytest.raises(ValueError):
+            thread_model(exhaustion_fraction=1.5)
+        with pytest.raises(ValueError):
+            thread_model().predicted_failed_requests(0.0)
+
+
+# --------------------------------------------------------------------------- #
+# Realized side + tolerance band
+# --------------------------------------------------------------------------- #
+class TestRealizedAndTolerance:
+    def test_first_crossing_is_reported(self):
+        series = make_series([(0, 10), (10, 50), (20, 95), (30, 101), (40, 130)])
+        assert realized_exhaustion_time(series, 100.0) == 30.0
+        assert realized_exhaustion_time(series, 100.0, fraction=0.95) == 20.0
+        assert realized_exhaustion_time(series, 100.0, fraction=0.5) == 10.0
+
+    def test_never_crossing_is_none(self):
+        series = make_series([(0, 10), (10, 20)])
+        assert realized_exhaustion_time(series, 100.0) is None
+        assert realized_exhaustion_time(TimeSeries("empty"), 100.0) is None
+
+    def test_validation(self):
+        series = make_series([(0, 10)])
+        with pytest.raises(ValueError):
+            realized_exhaustion_time(series, 0.0)
+        with pytest.raises(ValueError):
+            realized_exhaustion_time(series, 10.0, fraction=0.0)
+
+    def test_within_tolerance_band(self):
+        assert within_tolerance(50.0, 60.0) is True
+        assert within_tolerance(31.0, 60.0) is True  # just inside 2x
+        assert within_tolerance(29.0, 60.0) is False
+        assert within_tolerance(130.0, 60.0) is False
+        assert within_tolerance(None, 60.0) is None
+        assert within_tolerance(50.0, None) is None
+        assert within_tolerance(0.0, 0.0) is True
+        assert within_tolerance(0.0, 5.0) is False
+        with pytest.raises(ValueError):
+            within_tolerance(1.0, 1.0, factor=0.5)
+
+    def test_band_is_symmetric(self):
+        factor = TTE_TOLERANCE_FACTOR
+        assert within_tolerance(10.0, 10.0 * factor * 0.999)
+        assert within_tolerance(10.0 * factor * 0.999, 10.0)
+        assert not within_tolerance(10.0, 10.0 * factor * 1.01)
+        assert not within_tolerance(10.0 * factor * 1.01, 10.0)

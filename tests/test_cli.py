@@ -94,6 +94,32 @@ class TestCliCommands:
         assert "heap_recycles" in out
         assert "proactive-microreboot" in out
 
+    def test_mixed_dual_command_small_run(self, capsys):
+        exit_code = main(["mixed", "--tiny", "--duration-scale", "0.02", "--dual"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "memory-leak+connection-leak" in out
+
+    def test_learning_command_small_run(self, capsys, tmp_path):
+        store = tmp_path / "calibration.json"
+        exit_code = main(
+            [
+                "learning",
+                "--tiny",
+                "--duration-scale",
+                "0.02",
+                "--runs",
+                "2",
+                "--store",
+                str(store),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Cross-run calibration learning" in out
+        assert "cumulative SLA cost: warm < cold" in out
+        assert store.exists()
+
 
 class TestBenchCompareCli:
     @staticmethod

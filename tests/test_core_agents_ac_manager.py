@@ -249,3 +249,49 @@ class TestManagerAgent:
         with pytest.raises(TypeError):
             manager.record_sample({"not": "a sample"})
         manager.record_sample(ComponentSample("home", 0.0, values={"object_size": 1.0}))
+
+    def test_flush_scans_each_touched_series_once(self, runtime, monkeypatch):
+        # ISSUE 5 satellite: the alert check is folded into the flush, so a
+        # flush pays at most one consumption scan per touched series (the
+        # pre-fold intake scanned twice: alert check + folded-growth update).
+        from repro.core.resource_map import ComponentStats
+
+        _, manager, _, _, _ = _build_monitored_component(runtime)
+        for index in range(6):
+            manager.record_sample(
+                ComponentSample(
+                    f"c{index % 2}",
+                    float(index),
+                    deltas={"object_size": 64.0},
+                    values={"object_size": 64.0 * (index + 1)},
+                )
+            )
+        calls = []
+        original = ComponentStats.consumption
+
+        def counting(self, metric="object_size"):
+            calls.append(self.name)
+            return original(self, metric)
+
+        monkeypatch.setattr(ComponentStats, "consumption", counting)
+        manager._flush_samples()
+        assert sorted(calls) == ["c0", "c1"]
+
+    def test_folded_alert_still_fires_exactly_once_per_component(self, runtime):
+        _, manager, _, _, _ = _build_monitored_component(runtime)
+        manager.alert_growth_bytes = 1000.0
+        alerts = []
+        manager.add_notification_listener(lambda n, h: alerts.append(n))
+        for index in range(4):
+            manager.record_sample(
+                ComponentSample("leaky", float(index), deltas={"object_size": 400.0})
+            )
+        manager._flush_samples()
+        assert [n.attributes["component"] for n in alerts] == ["leaky"]
+        assert alerts[0].attributes["growth_bytes"] >= 1000.0
+        # Further growth after the alert never re-fires it.
+        manager.record_sample(
+            ComponentSample("leaky", 10.0, deltas={"object_size": 4000.0})
+        )
+        manager._flush_samples()
+        assert len(alerts) == 1

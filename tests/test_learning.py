@@ -1,0 +1,110 @@
+"""Tier-1 acceptance tests for ``fig_learning`` (ISSUE 5 tentpole).
+
+The headline claim, pinned at ``duration_scale=0.05`` / tiny / seed 42:
+warm-started adaptive (calibration persisted per workload signature across
+runs) needs strictly fewer recycles and strictly lower cumulative SLA cost
+than cold adaptive, which re-learns its safety horizon every run — and the
+whole comparison is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import learning_report
+from repro.experiments.scenarios import LEARNING_MODES, fig_learning
+from repro.slo.calibration import CalibrationStore
+from repro.tpcw.population import PopulationScale
+
+TINY = PopulationScale.tiny()
+DS = 0.05
+
+
+@pytest.fixture(scope="module")
+def scenario(tmp_path_factory):
+    store = tmp_path_factory.mktemp("learning") / "calibration.json"
+    return fig_learning(duration_scale=DS, seed=42, scale=TINY, store_path=str(store))
+
+
+class TestFigLearning:
+    def test_warm_needs_fewer_recycles_than_cold(self, scenario):
+        # The headline claim, pinned strictly: across the run sequence the
+        # warm-started policy skips recycles the cold one re-pays.
+        assert scenario.total_recycles("warm") < scenario.total_recycles("cold")
+
+    def test_warm_cumulative_sla_cost_is_lower(self, scenario):
+        assert scenario.cumulative_sla_cost("warm") < scenario.cumulative_sla_cost("cold")
+
+    def test_first_run_is_identical_cold_and_warm(self, scenario):
+        # Run 0 opens against an empty store: warm must behave exactly cold.
+        assert not scenario.policies["warm"][0].warm_started
+        assert scenario.recycles("warm", 0) == scenario.recycles("cold", 0)
+        assert scenario.sla_cost("warm", 0) == pytest.approx(scenario.sla_cost("cold", 0))
+        assert (
+            scenario.results["warm"][0].completed_requests
+            == scenario.results["cold"][0].completed_requests
+        )
+
+    def test_later_warm_runs_open_below_base_horizon(self, scenario):
+        for run in range(1, scenario.runs):
+            policy = scenario.policies["warm"][run]
+            assert policy.warm_started
+            assert scenario.opening_horizon("warm", run) < policy.base_horizon
+        for run in range(scenario.runs):
+            cold = scenario.policies["cold"][run]
+            assert not cold.warm_started
+            assert scenario.opening_horizon("cold", run) == cold.base_horizon
+
+    def test_no_run_trades_recycles_for_outages(self, scenario):
+        # Learning must not "win" by letting the heap hit the wall: every
+        # warm run still finishes error-free.
+        for run in range(scenario.runs):
+            assert scenario.results["warm"][run].error_count == 0
+
+    def test_store_accumulates_all_warm_runs(self, scenario):
+        store = CalibrationStore(scenario.store_path)
+        assert store.loaded_from_disk
+        record = store.lookup(scenario.signature)
+        assert record is not None
+        assert record.runs == scenario.runs
+        assert "heap" in record.resources
+        assert record.resources["heap"].stats.count > 0
+
+    def test_signature_is_seed_independent(self, scenario):
+        assert "seed" not in scenario.signature
+        assert "fig-learning-memory" in scenario.signature
+
+    def test_verdict_rows_hold(self, scenario):
+        verdicts = {row["claim"]: row["holds"] for row in scenario.verdict_rows()}
+        assert all(verdicts.values())
+
+    def test_summary_rows_cover_both_modes(self, scenario):
+        rows = scenario.summary_rows()
+        assert len(rows) == 2 * scenario.runs
+        assert {row["mode"] for row in rows} == set(LEARNING_MODES)
+        by_mode_run = {(row["mode"], row["run"]): row for row in rows}
+        assert by_mode_run[("warm", 1)]["warm_started"] is True
+        assert by_mode_run[("cold", 1)]["warm_started"] is False
+
+    def test_deterministic_per_seed(self, scenario, tmp_path):
+        again = fig_learning(
+            duration_scale=DS,
+            seed=42,
+            scale=TINY,
+            store_path=str(tmp_path / "calibration.json"),
+        )
+        assert again.summary_rows() == scenario.summary_rows()
+        assert again.signature == scenario.signature
+
+    def test_report_renders(self, scenario):
+        text = learning_report(scenario)
+        assert "Cross-run calibration learning" in text
+        assert "workload signature" in text
+        assert "verdicts:" in text
+        assert "True" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fig_learning(duration_scale=0.0)
+        with pytest.raises(ValueError):
+            fig_learning(duration_scale=DS, runs=1)

@@ -49,6 +49,7 @@ class TestRegistry:
             "fig4_e2e",
             "request_path",
             "adaptive_e2e",
+            "learning_e2e",
         ]:
             assert expected in names
 

@@ -1,0 +1,251 @@
+"""Property-style randomized suite for ``repro.slo.predictors`` (ISSUE 5).
+
+Mirrors the randomized-corpus pattern of ``test_db_planner_equivalence``:
+every stochastic input is drawn from seeded :class:`repro.sim.random`
+streams (never the global RNG), a corpus of random workload shapes is
+generated at module level, and the assertions are *invariants* rather than
+pinned values:
+
+* calibration → 1.0 as noise → 0 (and the calibration error shrinks
+  monotonically with the noise level, averaged over seeds);
+* MAE is monotone non-decreasing in the noise level;
+* ``outstanding_predictions`` drains to 0 after a settle that covers every
+  recorded prediction, and settle conserves records
+  (settled + discarded + remaining == noted);
+* stale-regime records (made before ``since``) are discarded, never folded
+  into the error statistics;
+* the outstanding buffer is bounded by ``MAX_OUTSTANDING`` and keeps the
+  newest records;
+* predictions on arbitrary random walks are ``None`` or non-negative, and
+  identical seeds yield identical predictions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.metrics import TimeSeries
+from repro.sim.random import RandomStreams
+from repro.slo.predictors import (
+    MAX_OUTSTANDING,
+    EwmaSlopePredictor,
+    SlidingWindowLinearPredictor,
+    TheilSenPredictor,
+)
+
+PREDICTOR_CLASSES = [
+    SlidingWindowLinearPredictor,
+    TheilSenPredictor,
+    EwmaSlopePredictor,
+]
+
+#: Seeds of the randomized corpus (one independent stream family each).
+SEEDS = list(range(8))
+#: Ascending noise levels (standard deviation of the additive noise, in the
+#: same units as the series values).
+NOISE_LEVELS = [0.0, 0.5, 2.0, 8.0]
+
+
+def noisy_linear_series(
+    streams: RandomStreams,
+    stream: str,
+    slope: float,
+    noise: float,
+    n: int = 40,
+    dt: float = 1.0,
+    intercept: float = 5.0,
+) -> TimeSeries:
+    """``intercept + slope * t`` plus seeded Gaussian noise."""
+    series = TimeSeries("random")
+    generator = streams.stream(stream)
+    for index in range(n):
+        t = index * dt
+        value = intercept + slope * t
+        if noise > 0:
+            value += float(generator.normal(0.0, noise))
+        series.record(t, value)
+    return series
+
+
+def settled_stats(predictor_class, seed: int, noise: float):
+    """Drive one predict/settle cycle on a known trend; return the stats.
+
+    The true exhaustion time comes from the noiseless line, so every error
+    folded into the statistics is *caused by the injected noise alone*.
+    """
+    streams = RandomStreams(seed)
+    slope = streams.uniform("slope", 0.5, 4.0)
+    intercept = 5.0
+    true_exhaustion = 100.0
+    capacity = intercept + slope * true_exhaustion
+    predictor = predictor_class(min_samples=4)
+    for now in (40.0, 48.0, 56.0, 64.0):
+        series = noisy_linear_series(
+            streams, f"noise.{noise}.{now}", slope, noise, n=int(now) + 1, intercept=intercept
+        )
+        predictor.predict(series, capacity, now)
+    settled, ratio = predictor.settle(true_exhaustion)
+    return predictor.stats, settled, ratio
+
+
+# --------------------------------------------------------------------------- #
+# Calibration / MAE vs. noise
+# --------------------------------------------------------------------------- #
+class TestNoiseInvariants:
+    @pytest.mark.parametrize("predictor_class", PREDICTOR_CLASSES)
+    def test_noise_free_trend_is_perfectly_calibrated(self, predictor_class):
+        for seed in SEEDS:
+            stats, settled, ratio = settled_stats(predictor_class, seed, noise=0.0)
+            assert settled == 4
+            assert stats.calibration == pytest.approx(1.0, abs=1e-9)
+            assert ratio == pytest.approx(1.0, abs=1e-9)
+            assert stats.mae_seconds == pytest.approx(0.0, abs=1e-6)
+            assert stats.bias_seconds == pytest.approx(0.0, abs=1e-6)
+
+    @pytest.mark.parametrize("predictor_class", PREDICTOR_CLASSES)
+    def test_calibration_error_shrinks_as_noise_vanishes(self, predictor_class):
+        def mean_calibration_error(noise: float) -> float:
+            errors = [
+                abs(settled_stats(predictor_class, seed, noise)[0].calibration - 1.0)
+                for seed in SEEDS
+            ]
+            return sum(errors) / len(errors)
+
+        errors = [mean_calibration_error(noise) for noise in NOISE_LEVELS]
+        # Monotone non-increasing toward zero noise, exactly zero at zero.
+        for lower, higher in zip(errors, errors[1:]):
+            assert lower <= higher + 1e-9
+        assert errors[0] == pytest.approx(0.0, abs=1e-9)
+        assert errors[-1] > errors[0]
+
+    @pytest.mark.parametrize("predictor_class", PREDICTOR_CLASSES)
+    def test_mae_monotone_non_decreasing_in_noise(self, predictor_class):
+        def mean_mae(noise: float) -> float:
+            maes = [
+                settled_stats(predictor_class, seed, noise)[0].mae_seconds
+                for seed in SEEDS
+            ]
+            return sum(maes) / len(maes)
+
+        maes = [mean_mae(noise) for noise in NOISE_LEVELS]
+        for lower, higher in zip(maes, maes[1:]):
+            assert lower <= higher + 1e-9
+        assert maes[-1] > maes[0]
+
+    @pytest.mark.parametrize("predictor_class", PREDICTOR_CLASSES)
+    def test_bias_bounded_by_mae(self, predictor_class):
+        for seed in SEEDS:
+            for noise in NOISE_LEVELS:
+                stats, _, _ = settled_stats(predictor_class, seed, noise)
+                assert abs(stats.bias_seconds) <= stats.mae_seconds + 1e-12
+                assert stats.calibration > 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Settle bookkeeping
+# --------------------------------------------------------------------------- #
+class TestSettleBookkeeping:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_outstanding_drains_to_zero_after_covering_settle(self, seed):
+        streams = RandomStreams(seed)
+        predictor = TheilSenPredictor()
+        count = streams.uniform_int("count", 1, 50)
+        latest = 0.0
+        for index in range(count):
+            made_at = streams.uniform(f"made.{index}", 0.0, 500.0)
+            predictor.note(made_at, streams.uniform(f"tte.{index}", 1.0, 300.0))
+            latest = max(latest, made_at)
+        settled, _ = predictor.settle(latest + 1.0)
+        assert settled == count
+        assert predictor.outstanding_predictions == 0
+        assert predictor.stats.count == count
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_settle_conserves_records(self, seed):
+        streams = RandomStreams(seed)
+        predictor = TheilSenPredictor()
+        count = streams.uniform_int("count", 5, 60)
+        made_ats = [streams.uniform(f"made.{i}", 0.0, 100.0) for i in range(count)]
+        for made_at in made_ats:
+            predictor.note(made_at, 10.0)
+        since = streams.uniform("since", 20.0, 50.0)
+        realized = streams.uniform("realized", 55.0, 90.0)
+        expected_settled = sum(1 for t in made_ats if since <= t < realized)
+        expected_discarded = sum(1 for t in made_ats if t < since)
+        expected_remaining = sum(1 for t in made_ats if t >= realized)
+        settled, _ = predictor.settle(realized, since=since)
+        assert settled == expected_settled
+        assert predictor.outstanding_predictions == expected_remaining
+        assert settled + expected_discarded + expected_remaining == count
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_stale_regime_records_never_fold(self, seed):
+        streams = RandomStreams(seed)
+        predictor = TheilSenPredictor()
+        stale_count = streams.uniform_int("stale", 1, 20)
+        fresh_count = streams.uniform_int("fresh", 1, 20)
+        since = 100.0
+        realized = 200.0
+        for index in range(stale_count):
+            predictor.note(streams.uniform(f"s.{index}", 0.0, 99.0), 50.0)
+        fresh_ttes = []
+        for index in range(fresh_count):
+            made_at = streams.uniform(f"f.{index}", 100.0, 199.0)
+            predictor.note(made_at, 50.0)
+            fresh_ttes.append((made_at, 50.0))
+        settled, ratio = predictor.settle(realized, since=since)
+        # Only the fresh regime is scored; the stale one is dropped outright.
+        assert settled == fresh_count
+        assert predictor.stats.count == fresh_count
+        assert predictor.outstanding_predictions == 0
+        expected_ratio = sum(
+            tte / (realized - made_at) for made_at, tte in fresh_ttes
+        ) / len(fresh_ttes)
+        assert ratio == pytest.approx(expected_ratio)
+        # A later settle cannot resurrect the discarded stale records.
+        settled_again, _ = predictor.settle(realized + 100.0)
+        assert settled_again == 0
+        assert predictor.stats.count == fresh_count
+
+    def test_outstanding_buffer_is_bounded_and_keeps_newest(self):
+        predictor = TheilSenPredictor()
+        total = MAX_OUTSTANDING + 137
+        for index in range(total):
+            predictor.note(float(index), 10.0)
+        assert predictor.outstanding_predictions == MAX_OUTSTANDING
+        # Settling everything scores exactly the retained (newest) records.
+        settled, _ = predictor.settle(float(total) + 1.0)
+        assert settled == MAX_OUTSTANDING
+        realized = [float(total) + 1.0 - made for made in range(total - MAX_OUTSTANDING, total)]
+        assert predictor.stats.count == MAX_OUTSTANDING
+        assert min(realized) > 0  # sanity: all retained records were settleable
+
+
+# --------------------------------------------------------------------------- #
+# Random-walk robustness + determinism
+# --------------------------------------------------------------------------- #
+class TestRandomWalks:
+    @pytest.mark.parametrize("predictor_class", PREDICTOR_CLASSES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_predictions_are_none_or_non_negative(self, predictor_class, seed):
+        streams = RandomStreams(seed)
+        generator = streams.stream("walk")
+        series = TimeSeries("walk")
+        value = 50.0
+        for index in range(60):
+            value += float(generator.normal(0.0, 3.0))
+            series.record(float(index), value)
+        predictor = predictor_class()
+        tte = predictor.time_to_exhaustion(series, capacity=200.0, now=59.0)
+        assert tte is None or tte >= 0.0
+
+    @pytest.mark.parametrize("predictor_class", PREDICTOR_CLASSES)
+    def test_same_seed_same_predictions(self, predictor_class):
+        def run(seed: int):
+            streams = RandomStreams(seed)
+            series = noisy_linear_series(streams, "det", slope=2.0, noise=1.5)
+            predictor = predictor_class()
+            return predictor.predict(series, capacity=500.0, now=39.0)
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
