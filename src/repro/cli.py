@@ -35,6 +35,8 @@ from repro.experiments.reporting import (
     learning_report,
     mixed_report,
     rejuvenation_report,
+    retry_storm_report,
+    zoo_report,
 )
 from repro.experiments.scenarios import (
     fig3_overhead,
@@ -46,6 +48,8 @@ from repro.experiments.scenarios import (
     fig_learning,
     fig_mixed,
     fig_rejuvenation,
+    fig_retry_storm,
+    fig_zoo,
 )
 from repro.tpcw.population import PopulationScale
 
@@ -253,6 +257,70 @@ def _cmd_learning(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    scenario = fig_zoo(
+        duration_scale=args.duration_scale, seed=args.seed, scale=_population(args), ebs=args.ebs
+    )
+    print(zoo_report(scenario))
+    return 0
+
+
+def _cmd_storm(args: argparse.Namespace) -> int:
+    scenario = fig_retry_storm(
+        duration_scale=args.duration_scale, seed=args.seed, scale=_population(args), ebs=args.ebs
+    )
+    print(retry_storm_report(scenario))
+    return 0 if scenario.cost_delta() > 0 else 1
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    from repro.experiments.ablation import (
+        AblationManifest,
+        default_manifest,
+        run_ablation,
+        smoke_manifest,
+        write_reports,
+    )
+    from repro.experiments.reporting import format_table as _table
+
+    if args.manifest is not None:
+        try:
+            manifest = AblationManifest.from_file(args.manifest)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    elif args.preset == "smoke":
+        manifest = smoke_manifest()
+    else:
+        manifest = default_manifest()
+    if args.tiny:
+        manifest.tiny = True
+    duration_scale = args.duration_scale
+
+    print(
+        f"== repro ablate: {manifest.name} "
+        f"({manifest.cell_count()} cells, duration_scale="
+        f"{duration_scale if duration_scale is not None else manifest.duration_scale:g}) =="
+    )
+    result = run_ablation(
+        manifest,
+        duration_scale=duration_scale,
+        progress=lambda label: print(f"-- running {label} ..."),
+    )
+    print()
+    print("mechanism importance (SLA cost removed vs. baseline):")
+    print(_table(result.mechanism_importance()))
+    print()
+    print("policy regret (mean excess SLA cost over per-cell best):")
+    print(_table(result.policy_regret()))
+    print()
+    print("fault severity (mean SLA cost):")
+    print(_table(result.fault_severity()))
+    for path in write_reports(result, args.out):
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_fig7(args: argparse.Namespace) -> int:
     scenario = fig7_injection_sizes(
         duration_scale=args.duration_scale, seed=args.seed, scale=_population(args), ebs=args.ebs
@@ -308,6 +376,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("adaptive", _cmd_adaptive, "adaptive rejuvenation & SLA comparison over memory/thread/connection leaks"),
         ("mixed", _cmd_mixed, "mixed faults: concurrent heap + connection leaks in different components"),
         ("learning", _cmd_learning, "cross-run calibration learning: cold vs. warm-started adaptive"),
+        ("zoo", _cmd_zoo, "fault zoo: five degradation modes + cascade-aware attribution verdicts"),
+        ("storm", _cmd_storm, "retry storm: naive immediate retries vs. backoff + circuit breaker"),
     ]:
         sub = subparsers.add_parser(name, help=help_text)
         add_common(sub, include_ebs=(name != "fig3"))
@@ -350,6 +420,37 @@ def build_parser() -> argparse.ArgumentParser:
         "on a >10%% speedup regression of any previously-passing bench",
     )
     bench_parser.set_defaults(handler=_cmd_bench)
+
+    ablate_parser = subparsers.add_parser(
+        "ablate",
+        help="run the policy × fault × mechanism × seed ablation matrix and "
+        "write ranked importance/regret reports",
+    )
+    ablate_parser.add_argument(
+        "--manifest", metavar="PATH", default=None, help="manifest JSON path"
+    )
+    ablate_parser.add_argument(
+        "--preset",
+        choices=["default", "smoke"],
+        default="default",
+        help="built-in manifest to run when --manifest is not given",
+    )
+    ablate_parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default="benchmarks/results",
+        help="directory the ablation_<name>.{json,csv,md} artifacts go to",
+    )
+    ablate_parser.add_argument(
+        "--duration-scale",
+        type=float,
+        default=None,
+        help="override the manifest's duration scale",
+    )
+    ablate_parser.add_argument(
+        "--tiny", action="store_true", help="force the small test database population"
+    )
+    ablate_parser.set_defaults(handler=_cmd_ablate)
 
     return parser
 

@@ -62,6 +62,10 @@ class RequestDispatcher:
         self.dispatched_count = 0
         self.not_found_count = 0
         self.error_count = 0
+        #: Optional :class:`~repro.container.resilience.LoadShedder`; when
+        #: installed, the server consults it before dispatching and refuses
+        #: low-priority page classes under worker-pool pressure.
+        self.load_shedder = None
 
     def resolve(self, uri: str) -> Optional[ServletRegistration]:
         """The registration serving ``uri`` (or ``None``)."""

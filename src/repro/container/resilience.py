@@ -1,0 +1,343 @@
+"""Resilience mechanisms: retry backoff, circuit breaker, load shedding.
+
+Three graceful-degradation mechanisms the robustness scenarios score
+against each other with the SLA cost model:
+
+* :class:`BackoffSchedule` — deterministic jittered exponential backoff for
+  client retries.  ``delay(k)`` is monotone non-decreasing in the attempt
+  number up to the cap (enforced by requiring ``jitter <= multiplier - 1``)
+  and deterministic per seed (the jitter draws come from a named
+  :class:`~repro.sim.random.RandomStreams` stream).
+* :class:`CircuitBreaker` — the classic closed → open → half-open machine
+  on the simulation clock.  ``failure_threshold`` consecutive failures trip
+  it; after ``recovery_seconds`` it admits *exactly one* half-open probe,
+  whose outcome closes or re-trips it.
+* :class:`LoadShedder` — priority-based admission control: when worker-pool
+  occupancy crosses a threshold, requests to page classes below a priority
+  floor are refused with a ``Retry-After``.  Shed refusals are accounted
+  like rejuvenation-outage refusals — paid refused load, never completions
+  or errors — so shedding can never launder failures into throughput.
+
+:class:`ResilienceConfig` bundles the client- and server-side knobs into
+one declarative object the experiment runner wires through the workload
+generator and the application server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.sim.random import RandomStreams
+
+
+class BackoffSchedule:
+    """Jittered exponential backoff, deterministic per seed.
+
+    ``delay(k) = min(cap, base * multiplier**k * (1 + jitter * u_k))`` with
+    ``u_k ~ U[0, 1)`` from a named stream; once the undecorated delay
+    reaches the cap, the cap is returned exactly (no jitter above it).
+    Monotonicity up to the cap holds because ``jitter <= multiplier - 1``
+    implies ``raw_k * (1 + jitter) <= raw_{k+1}``.
+    """
+
+    def __init__(
+        self,
+        base_seconds: float = 0.5,
+        multiplier: float = 2.0,
+        cap_seconds: float = 30.0,
+        jitter: float = 0.25,
+        streams: Optional[RandomStreams] = None,
+        stream_name: str = "resilience.backoff",
+    ) -> None:
+        if base_seconds <= 0:
+            raise ValueError(f"base_seconds must be positive, got {base_seconds}")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1.0, got {multiplier}")
+        if cap_seconds < base_seconds:
+            raise ValueError(
+                f"cap_seconds ({cap_seconds}) must be >= base_seconds ({base_seconds})"
+            )
+        if jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter}")
+        if jitter > multiplier - 1.0:
+            raise ValueError(
+                f"jitter ({jitter}) must be <= multiplier - 1 ({multiplier - 1.0}) "
+                "to keep delays monotone in the attempt number"
+            )
+        self.base_seconds = float(base_seconds)
+        self.multiplier = float(multiplier)
+        self.cap_seconds = float(cap_seconds)
+        self.jitter = float(jitter)
+        self._streams = streams
+        self._stream_name = stream_name
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        raw = self.base_seconds * (self.multiplier ** attempt)
+        if raw >= self.cap_seconds:
+            return self.cap_seconds
+        if self._streams is None or self.jitter <= 0:
+            return raw
+        u = self._streams.uniform(self._stream_name, 0.0, 1.0)
+        return min(raw * (1.0 + self.jitter * u), self.cap_seconds)
+
+
+class CircuitBreaker:
+    """Per-component circuit breaker on the simulation clock."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_seconds: float = 30.0,
+        name: str = "",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if recovery_seconds <= 0:
+            raise ValueError(f"recovery_seconds must be positive, got {recovery_seconds}")
+        self.failure_threshold = int(failure_threshold)
+        self.recovery_seconds = float(recovery_seconds)
+        self.name = name
+        self.state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.opened_count = 0
+        self.refused_count = 0
+
+    # ------------------------------------------------------------------ #
+    def allow(self, now: float) -> bool:
+        """Whether a request may proceed at virtual time ``now``.
+
+        In the open state, requests are refused until ``recovery_seconds``
+        have elapsed; the first request after that transitions to half-open
+        and becomes the single probe — further requests are refused until
+        the probe's outcome is recorded.
+        """
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if now - self._opened_at >= self.recovery_seconds:
+                self.state = self.HALF_OPEN
+                self._probe_in_flight = True
+                return True
+            self.refused_count += 1
+            return False
+        # Half-open: exactly one probe at a time.
+        if not self._probe_in_flight:
+            self._probe_in_flight = True
+            return True
+        self.refused_count += 1
+        return False
+
+    def record_success(self, now: float) -> None:
+        """A request (or the half-open probe) succeeded: close the breaker."""
+        self.state = self.CLOSED
+        self._consecutive_failures = 0
+        self._probe_in_flight = False
+
+    def record_failure(self, now: float) -> None:
+        """A request failed; trips the breaker at the threshold (or re-trips
+        immediately when the half-open probe fails)."""
+        if self.state == self.HALF_OPEN:
+            self._trip(now)
+            return
+        self._consecutive_failures += 1
+        if self.state == self.CLOSED and self._consecutive_failures >= self.failure_threshold:
+            self._trip(now)
+
+    def _trip(self, now: float) -> None:
+        self.state = self.OPEN
+        self._opened_at = float(now)
+        self._probe_in_flight = False
+        self._consecutive_failures = 0
+        self.opened_count += 1
+
+
+class LoadShedder:
+    """Priority-based admission control for an overloaded worker pool.
+
+    ``priorities`` maps page-class (interaction) names to integers — higher
+    is more important.  When pool occupancy reaches
+    ``occupancy_threshold``, requests whose priority is *below*
+    ``shed_below_priority`` are refused with ``retry_after_seconds``.
+    Unlisted pages default to the floor itself, i.e. they are never shed.
+    """
+
+    def __init__(
+        self,
+        occupancy_threshold: float = 0.85,
+        priorities: Optional[Mapping[str, int]] = None,
+        shed_below_priority: int = 1,
+        retry_after_seconds: float = 5.0,
+    ) -> None:
+        if not 0.0 < occupancy_threshold <= 1.0:
+            raise ValueError(
+                f"occupancy_threshold must be in (0, 1], got {occupancy_threshold}"
+            )
+        if retry_after_seconds <= 0:
+            raise ValueError(
+                f"retry_after_seconds must be positive, got {retry_after_seconds}"
+            )
+        self.occupancy_threshold = float(occupancy_threshold)
+        self.priorities: Dict[str, int] = dict(priorities or {})
+        self.shed_below_priority = int(shed_below_priority)
+        self.retry_after_seconds = float(retry_after_seconds)
+        self.shed_count = 0
+        self.shed_by_component: Dict[str, int] = {}
+
+    def priority_of(self, servlet_name: str) -> int:
+        """The page class's priority (unlisted pages are never shed)."""
+        return self.priorities.get(servlet_name, self.shed_below_priority)
+
+    def should_shed(self, servlet_name: str, occupancy: float) -> bool:
+        """Whether to refuse this request given current pool occupancy."""
+        if occupancy < self.occupancy_threshold:
+            return False
+        return self.priority_of(servlet_name) < self.shed_below_priority
+
+    def record_shed(self, servlet_name: str) -> None:
+        """Count one refusal (called by the server when it sheds)."""
+        self.shed_count += 1
+        self.shed_by_component[servlet_name] = self.shed_by_component.get(servlet_name, 0) + 1
+
+
+@dataclass
+class ResilienceConfig:
+    """Declarative bundle of the client- and server-side resilience knobs.
+
+    ``max_attempts`` counts *total* tries per page visit (1 = no retries).
+    ``retry_backoff=False`` is the naive client: it retries immediately
+    (after ``immediate_retry_delay_seconds`` of client turnaround), which
+    is exactly the retry-storm anti-pattern the backoff variant is scored
+    against.  ``breaker_failure_threshold=None`` disables the circuit
+    breaker; ``shed_occupancy_threshold=None`` disables load shedding.
+    """
+
+    timeout_seconds: Optional[float] = None
+    max_attempts: int = 1
+    retry_backoff: bool = True
+    backoff_base_seconds: float = 0.5
+    backoff_multiplier: float = 2.0
+    backoff_cap_seconds: float = 30.0
+    backoff_jitter: float = 0.25
+    immediate_retry_delay_seconds: float = 0.05
+    breaker_failure_threshold: Optional[int] = None
+    breaker_recovery_seconds: float = 30.0
+    shed_occupancy_threshold: Optional[float] = None
+    shed_below_priority: int = 1
+    shed_retry_after_seconds: float = 5.0
+    priorities: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError(f"timeout_seconds must be positive, got {self.timeout_seconds}")
+        if self.immediate_retry_delay_seconds < 0:
+            raise ValueError(
+                f"immediate_retry_delay_seconds must be non-negative, "
+                f"got {self.immediate_retry_delay_seconds}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Factories for the mechanism bundles the scenarios compare
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def naive_retries(
+        cls, timeout_seconds: float = 8.0, max_attempts: int = 3
+    ) -> "ResilienceConfig":
+        """Timeout + immediate retries, no backoff, no breaker, no shedding."""
+        return cls(
+            timeout_seconds=timeout_seconds,
+            max_attempts=max_attempts,
+            retry_backoff=False,
+        )
+
+    @classmethod
+    def backoff_retries(
+        cls, timeout_seconds: float = 8.0, max_attempts: int = 3
+    ) -> "ResilienceConfig":
+        """Timeout + jittered exponential backoff, no breaker, no shedding."""
+        return cls(timeout_seconds=timeout_seconds, max_attempts=max_attempts)
+
+    @classmethod
+    def backoff_with_breaker(
+        cls,
+        timeout_seconds: float = 8.0,
+        max_attempts: int = 3,
+        breaker_failure_threshold: int = 5,
+        breaker_recovery_seconds: float = 30.0,
+    ) -> "ResilienceConfig":
+        """Timeout + backoff retries + per-component circuit breaker."""
+        return cls(
+            timeout_seconds=timeout_seconds,
+            max_attempts=max_attempts,
+            breaker_failure_threshold=breaker_failure_threshold,
+            breaker_recovery_seconds=breaker_recovery_seconds,
+        )
+
+    @classmethod
+    def full(
+        cls,
+        timeout_seconds: float = 8.0,
+        max_attempts: int = 3,
+        breaker_failure_threshold: int = 5,
+        breaker_recovery_seconds: float = 30.0,
+        shed_occupancy_threshold: float = 0.85,
+        priorities: Optional[Mapping[str, int]] = None,
+    ) -> "ResilienceConfig":
+        """The whole stack: backoff + breaker + priority load shedding."""
+        return cls(
+            timeout_seconds=timeout_seconds,
+            max_attempts=max_attempts,
+            breaker_failure_threshold=breaker_failure_threshold,
+            breaker_recovery_seconds=breaker_recovery_seconds,
+            shed_occupancy_threshold=shed_occupancy_threshold,
+            priorities=dict(priorities or {}),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Builders
+    # ------------------------------------------------------------------ #
+    def build_backoff(self, streams: Optional[RandomStreams]) -> Optional[BackoffSchedule]:
+        """The retry schedule (``None`` for the naive immediate-retry client)."""
+        if not self.retry_backoff:
+            return None
+        return BackoffSchedule(
+            base_seconds=self.backoff_base_seconds,
+            multiplier=self.backoff_multiplier,
+            cap_seconds=self.backoff_cap_seconds,
+            jitter=self.backoff_jitter,
+            streams=streams,
+        )
+
+    def build_breaker(self, name: str) -> Optional[CircuitBreaker]:
+        """One per-component breaker (``None`` when breakers are disabled)."""
+        if self.breaker_failure_threshold is None:
+            return None
+        return CircuitBreaker(
+            failure_threshold=self.breaker_failure_threshold,
+            recovery_seconds=self.breaker_recovery_seconds,
+            name=name,
+        )
+
+    def build_shedder(
+        self, priorities: Optional[Mapping[str, int]] = None
+    ) -> Optional[LoadShedder]:
+        """The dispatcher's load shedder (``None`` when shedding is disabled)."""
+        if self.shed_occupancy_threshold is None:
+            return None
+        return LoadShedder(
+            occupancy_threshold=self.shed_occupancy_threshold,
+            priorities=priorities if priorities is not None else self.priorities,
+            shed_below_priority=self.shed_below_priority,
+            retry_after_seconds=self.shed_retry_after_seconds,
+        )

@@ -75,10 +75,16 @@ class RequestOutcome:
     db_seconds: float = 0.0
     gc_pause_seconds: float = 0.0
     monitoring_overhead_seconds: float = 0.0
+    #: Extra latency charged by injected faults (convoys, stampedes, cascade
+    #: coupling) — part of the service demand, attributed per component.
+    fault_latency_seconds: float = 0.0
     rejected: bool = False
     #: The request was refused because the server (or its target component)
     #: was down for rejuvenation, not because capacity ran out.
     refused_by_outage: bool = False
+    #: The request was refused by the dispatcher's load shedder (a low
+    #: priority page class during a pool-occupancy spike).
+    refused_by_shedding: bool = False
     #: Earliest time the outage that refused this request ends (callers that
     #: model patient clients can retry then); 0.0 when not refused.
     retry_after: float = 0.0
@@ -87,6 +93,11 @@ class RequestOutcome:
     def ok(self) -> bool:
         """Whether the request completed without an error status."""
         return not self.rejected and not self.response.is_error
+
+    @property
+    def refused(self) -> bool:
+        """Refused load (outage or shedding) — never a completion or error."""
+        return self.refused_by_outage or self.refused_by_shedding
 
 
 class ApplicationServer:
@@ -144,6 +155,12 @@ class ApplicationServer:
         #: (micro-reboot).  Installed by the rejuvenation controller.
         self._outages: List[tuple] = []
         self._refused_by_outage = 0
+        self._refused_by_shedding = 0
+        #: Record per-component response-time series (``latency.<component>``
+        #: in the metric registry).  Off by default: the hot path should not
+        #: pay for series the classic scenarios never read; the latency-mode
+        #: fault scenarios switch it on for trend-based attribution.
+        self.record_component_latency = False
 
     # ------------------------------------------------------------------ #
     # Rejuvenation outages
@@ -177,6 +194,25 @@ class ApplicationServer:
     def refused_during_outage(self) -> int:
         """Requests refused because a rejuvenation outage was in effect."""
         return self._refused_by_outage
+
+    @property
+    def refused_by_shedding(self) -> int:
+        """Requests refused by the dispatcher's load shedder."""
+        return self._refused_by_shedding
+
+    # ------------------------------------------------------------------ #
+    # Load shedding
+    # ------------------------------------------------------------------ #
+    def install_load_shedder(self, shedder) -> None:
+        """Install a :class:`~repro.container.resilience.LoadShedder` on the
+        dispatcher (``None`` uninstalls)."""
+        self.dispatcher.load_shedder = shedder
+
+    def pool_occupancy(self, at_time: float) -> float:
+        """Fraction of worker threads busy at ``at_time`` (0.0 — 1.0+queue)."""
+        if self.config.max_threads <= 0:
+            return 0.0
+        return self.thread_pool.resource.busy_servers(at_time) / float(self.config.max_threads)
 
     # ------------------------------------------------------------------ #
     def add_external_cost_provider(self, provider: Callable[[], float]) -> None:
@@ -231,6 +267,32 @@ class ApplicationServer:
                 retry_after=outage[1],
             )
 
+        # Graceful degradation: under pool pressure the dispatcher's load
+        # shedder refuses low-priority page classes up front — before the
+        # servlet executes — answering 503 with a Retry-After, accounted as
+        # refused load (like outage refusals), never as a completion/error.
+        shedder = self.dispatcher.load_shedder
+        if shedder is not None and shedder.should_shed(
+            servlet_name, self.pool_occupancy(arrival_time)
+        ):
+            shedder.record_shed(servlet_name)
+            response.set_status(HttpServletResponse.SC_SERVICE_UNAVAILABLE)
+            self._rejected += 1
+            self._refused_by_shedding += 1
+            self.metrics.counter("requests.rejected").increment()
+            self.metrics.counter("requests.shed").increment()
+            return RequestOutcome(
+                request=request,
+                response=response,
+                arrival_time=arrival_time,
+                completion_time=arrival_time,
+                response_time=0.0,
+                servlet_name=servlet_name,
+                rejected=True,
+                refused_by_shedding=True,
+                retry_after=arrival_time + shedder.retry_after_seconds,
+            )
+
         # Execute the servlet code (real Python execution, simulated resources).
         db_cost_before = self.datasource.total_cost_seconds
         self.dispatcher.dispatch(request, response, timestamp=arrival_time)
@@ -240,13 +302,15 @@ class ApplicationServer:
         cpu_seconds = self._cpu_demand_for(servlet, request) if servlet is not None else 0.002
         monitoring_overhead = self._drain_external_cost()
         gc_pause = self.runtime.consume_pending_gc_pause()
+        drain_fault_latency = getattr(servlet, "drain_fault_latency", None)
+        fault_latency = drain_fault_latency() if drain_fault_latency is not None else 0.0
 
         if servlet is not None:
             self.runtime.record_cpu_time(servlet_name, cpu_seconds)
         if monitoring_overhead > 0:
             self.runtime.record_cpu_time("monitoring-framework", monitoring_overhead)
 
-        app_demand = cpu_seconds + monitoring_overhead + gc_pause
+        app_demand = cpu_seconds + monitoring_overhead + gc_pause + fault_latency
 
         # Book the worker thread for the whole processing span, then the CPUs.
         try:
@@ -275,6 +339,8 @@ class ApplicationServer:
         # Indexed by arrival time: arrivals are monotone in event order, while
         # completions may finish out of order across concurrent requests.
         self.metrics.series("response_time").record(arrival_time, response_time)
+        if self.record_component_latency and servlet_name:
+            self.metrics.series(f"latency.{servlet_name}").record(arrival_time, response_time)
 
         return RequestOutcome(
             request=request,
@@ -287,6 +353,7 @@ class ApplicationServer:
             db_seconds=db_seconds,
             gc_pause_seconds=gc_pause,
             monitoring_overhead_seconds=monitoring_overhead,
+            fault_latency_seconds=fault_latency,
         )
 
     # ------------------------------------------------------------------ #
@@ -299,6 +366,16 @@ class ApplicationServer:
     def rejected_requests(self) -> int:
         """Requests rejected because the accept queue overflowed."""
         return self._rejected
+
+    def component_latency_series(self) -> dict:
+        """Per-component response-time series (requires
+        :attr:`record_component_latency`); keys are component names."""
+        prefix = "latency."
+        return {
+            name[len(prefix):]: self.metrics.series(name)
+            for name in self.metrics.series_names()
+            if name.startswith(prefix)
+        }
 
     def utilization_report(self, elapsed_seconds: float) -> dict:
         """Utilisation of the main capacity resources over the elapsed time."""

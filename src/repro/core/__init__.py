@@ -44,6 +44,8 @@ from repro.core.rejuvenation import (
 )
 from repro.core.resource_map import ComponentSample, ComponentStats, ResourceComponentMap
 from repro.core.rootcause import (
+    CascadeAwareStrategy,
+    LatencyTrendStrategy,
     PaperMapStrategy,
     RootCauseReport,
     RootCauseStrategy,
@@ -69,6 +71,8 @@ __all__ = [
     "RootCauseStrategy",
     "PaperMapStrategy",
     "TrendStrategy",
+    "LatencyTrendStrategy",
+    "CascadeAwareStrategy",
     "WeightedCompositeStrategy",
     "Suspicion",
     "RootCauseReport",

@@ -13,7 +13,9 @@ ablation benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.analysis.statistics import normalize_scores
 from repro.analysis.trend import mann_kendall, theil_sen_slope
@@ -190,6 +192,179 @@ class TrendStrategy(RootCauseStrategy):
                 "significant": 1.0 if trend.significant else 0.0,
             }
         return _build_report(self.name, metric, scores, details, usage)
+
+
+#: A provider of per-component latency series: either a ready mapping
+#: ``{component: TimeSeries}`` or a zero-argument callable returning one
+#: (e.g. ``server.component_latency_series``).
+LatencySeriesProvider = Union[Mapping[str, object], Callable[[], Mapping[str, object]]]
+
+
+def _bucket_series(
+    times: np.ndarray, values: np.ndarray, max_points: int
+) -> tuple:
+    """Downsample a (times, values) series to per-bucket means.
+
+    Mann-Kendall and Theil-Sen are O(n²) in the number of points, so a
+    per-request latency series (thousands of samples) must be reduced to a
+    small, fixed number of time buckets before trend analysis.
+    """
+    if len(times) <= max_points:
+        return times, values
+    edges = np.linspace(times[0], times[-1], max_points + 1)
+    # Right-inclusive last bucket; indices in [0, max_points - 1].
+    indices = np.clip(np.searchsorted(edges, times, side="right") - 1, 0, max_points - 1)
+    bucket_times = []
+    bucket_values = []
+    for bucket in range(max_points):
+        mask = indices == bucket
+        if not mask.any():
+            continue
+        bucket_times.append(float(times[mask].mean()))
+        bucket_values.append(float(values[mask].mean()))
+    return np.asarray(bucket_times), np.asarray(bucket_values)
+
+
+class LatencyTrendStrategy(RootCauseStrategy):
+    """Latency-mode fault detection: trending response times, not resources.
+
+    The map strategies only see *resource* consumption (heap, threads,
+    connections), so latency-mode faults — lock convoys, slow downstream
+    calls, cache stampedes — are invisible to them.  This strategy scores a
+    component by the significant upward trend of its response-time series
+    (Mann-Kendall significance gate, Theil-Sen slope extrapolated over the
+    window), exactly parallel to :class:`TrendStrategy` on resources.
+
+    The per-request series is bucketed to at most ``max_points`` time
+    buckets (per-bucket means) before analysis: the trend statistics are
+    O(n²) and the raw series has one point per completed request.
+    """
+
+    name = "latency-trend"
+
+    def __init__(
+        self,
+        latency_series: LatencySeriesProvider,
+        alpha: float = 0.05,
+        min_points: int = 5,
+        max_points: int = 60,
+    ) -> None:
+        if not 0 < alpha < 1:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if min_points < 3:
+            raise ValueError(f"min_points must be >= 3, got {min_points}")
+        if max_points < min_points:
+            raise ValueError(
+                f"max_points ({max_points}) must be >= min_points ({min_points})"
+            )
+        self._latency_series = latency_series
+        self.alpha = alpha
+        self.min_points = min_points
+        self.max_points = max_points
+
+    def _resolve_series(self) -> Mapping[str, object]:
+        provider = self._latency_series
+        return provider() if callable(provider) else provider
+
+    def analyze(
+        self, resource_map: ResourceComponentMap, metric: str = DEFAULT_METRIC
+    ) -> RootCauseReport:
+        series_by_component = self._resolve_series()
+        components = set(resource_map.application_components()) | set(series_by_component)
+        scores: Dict[str, float] = {}
+        details: Dict[str, Dict[str, float]] = {}
+        usage: Dict[str, float] = {}
+        for component in sorted(components):
+            usage[component] = (
+                resource_map.usage_frequency(component)
+                if component in resource_map.application_components()
+                else 0.0
+            )
+            series = series_by_component.get(component)
+            length = len(series) if series is not None else 0
+            if series is None or length < self.min_points:
+                scores[component] = 0.0
+                details[component] = {"points": float(length), "slope": 0.0, "p_value": 1.0}
+                continue
+            times, values = _bucket_series(
+                np.asarray(series.times, dtype=float),
+                np.asarray(series.values, dtype=float),
+                self.max_points,
+            )
+            if len(times) < self.min_points:
+                scores[component] = 0.0
+                details[component] = {"points": float(len(times)), "slope": 0.0, "p_value": 1.0}
+                continue
+            window = max(float(times[-1] - times[0]), 1.0)
+            trend = mann_kendall(values, alpha=self.alpha)
+            slope = theil_sen_slope(times, values)
+            score = slope * window if trend.trending_up and slope > 0 else 0.0
+            scores[component] = score
+            details[component] = {
+                "points": float(len(times)),
+                "raw_points": float(length),
+                "slope": slope,
+                "p_value": trend.p_value,
+                "significant": 1.0 if trend.significant else 0.0,
+            }
+        return _build_report(self.name, "response_time", scores, details, usage)
+
+
+class CascadeAwareStrategy(RootCauseStrategy):
+    """Attribution under correlated cascades: blame the grower, not the slow.
+
+    In the cascade fault, component A leaks (resource growth **and**,
+    indirectly, latency growth at B); component B only gets slower.  A pure
+    latency strategy blames B; a pure resource strategy sees A but ignores
+    latency-mode faults entirely.  This strategy weights *resource*
+    responsibility above *latency* responsibility, so a component with a
+    genuine resource trend (the true root cause) outranks a component that
+    is merely collateral damage — while pure latency faults (no resource
+    trend anywhere) still rank by latency alone.
+    """
+
+    name = "cascade-aware"
+
+    def __init__(
+        self,
+        latency_series: LatencySeriesProvider,
+        resource_weight: float = 2.0,
+        latency_weight: float = 1.0,
+        alpha: float = 0.05,
+    ) -> None:
+        if resource_weight < 0 or latency_weight < 0:
+            raise ValueError("weights must be non-negative")
+        if resource_weight + latency_weight <= 0:
+            raise ValueError("at least one weight must be positive")
+        self.resource_weight = float(resource_weight)
+        self.latency_weight = float(latency_weight)
+        self._resource_strategy = TrendStrategy(alpha=alpha)
+        self._latency_strategy = LatencyTrendStrategy(latency_series, alpha=alpha)
+
+    def analyze(
+        self, resource_map: ResourceComponentMap, metric: str = DEFAULT_METRIC
+    ) -> RootCauseReport:
+        resource_report = self._resource_strategy.analyze(resource_map, metric)
+        latency_report = self._latency_strategy.analyze(resource_map, metric)
+        combined: Dict[str, float] = {}
+        details: Dict[str, Dict[str, float]] = {}
+        usage = {
+            name: resource_map.usage_frequency(name)
+            for name in resource_map.application_components()
+        }
+        for report, weight, label in (
+            (resource_report, self.resource_weight, "resource"),
+            (latency_report, self.latency_weight, "latency"),
+        ):
+            for suspicion in report.suspicions:
+                combined[suspicion.component] = (
+                    combined.get(suspicion.component, 0.0)
+                    + weight * suspicion.responsibility
+                )
+                details.setdefault(suspicion.component, {})[
+                    f"{label}_responsibility"
+                ] = suspicion.responsibility
+        return _build_report(self.name, metric, combined, details, usage)
 
 
 class WeightedCompositeStrategy(RootCauseStrategy):

@@ -202,6 +202,12 @@ class DataSource:
         self.total_borrowed = 0
         self.total_cost_seconds = 0.0
         self.exhaustion_events = 0
+        #: Multiplier applied to every recorded query cost (1.0 = healthy).
+        #: Slow-downstream faults age this upward (bloated indexes, stale
+        #: statistics); every component's jdbc calls get slower together.
+        self.latency_multiplier = 1.0
+        #: Flat extra seconds added to every recorded query cost.
+        self.extra_latency_seconds = 0.0
 
     # ------------------------------------------------------------------ #
     def get_connection(self, owner: Optional[str] = None) -> Connection:
@@ -252,9 +258,28 @@ class DataSource:
             counts[key] = counts.get(key, 0) + 1
         return counts
 
+    def inflate_latency(
+        self,
+        multiplier_increment: float = 0.0,
+        extra_seconds_increment: float = 0.0,
+        max_multiplier: Optional[float] = None,
+    ) -> float:
+        """Age the downstream database: permanently inflate query latency.
+
+        Returns the multiplier now in effect.  ``max_multiplier`` caps the
+        aging so scenarios stay bounded.
+        """
+        if multiplier_increment < 0 or extra_seconds_increment < 0:
+            raise ValueError("latency inflation increments must be non-negative")
+        self.latency_multiplier += float(multiplier_increment)
+        if max_multiplier is not None:
+            self.latency_multiplier = min(self.latency_multiplier, float(max_multiplier))
+        self.extra_latency_seconds += float(extra_seconds_increment)
+        return self.latency_multiplier
+
     def record_cost(self, cost_seconds: float) -> None:
         """Accumulate simulated query cost (read by the container/agents)."""
-        self.total_cost_seconds += cost_seconds
+        self.total_cost_seconds += cost_seconds * self.latency_multiplier + self.extra_latency_seconds
 
     @property
     def active_connections(self) -> int:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.runner import ExperimentResult
 from repro.experiments.scenarios import (
     AdaptiveScenarioResult,
     Fig3Result,
@@ -17,6 +18,8 @@ from repro.experiments.scenarios import (
     LearningScenarioResult,
     MixedScenarioResult,
     RejuvenationScenarioResult,
+    RetryStormResult,
+    ZooResult,
 )
 from repro.sim.metrics import TimeSeries
 from repro.slo.analytic import TTE_TOLERANCE_FACTOR
@@ -322,6 +325,92 @@ def mixed_report(scenario: MixedScenarioResult) -> str:
             )
     if events:
         lines += ["", "executed actions:", format_table(events)]
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Robustness: accounting sanity, retry storm, fault zoo
+# --------------------------------------------------------------------------- #
+def accounting_sanity_check(result: ExperimentResult) -> Dict[str, int]:
+    """Re-assert the request ledger of a finished run before reporting it.
+
+    ``completions + errors + refusals + in_flight`` must equal ``issued``
+    and nothing may still be in flight — every issued attempt has to land
+    in exactly one bucket, or some refusal/retry was silently dropped.
+    Raises ``RuntimeError`` on violation; returns the ledger otherwise.
+    """
+    ledger = result.accounting
+    if not ledger:
+        # Result predates the ledger (or was built by hand): reconstruct the
+        # invariant from the coarse counters.
+        ledger = {
+            "issued": result.completed_requests + result.refused_requests,
+            "completions": result.completed_requests - result.error_count,
+            "errors": result.error_count,
+            "refusals": result.refused_requests,
+            "in_flight": 0,
+        }
+    total = (
+        ledger["completions"]
+        + ledger["errors"]
+        + ledger["refusals"]
+        + ledger["in_flight"]
+    )
+    if total != ledger["issued"] or ledger["in_flight"] != 0:
+        raise RuntimeError(f"request accounting violated: {ledger}")
+    return ledger
+
+
+def retry_storm_report(scenario: RetryStormResult) -> str:
+    """Naive-vs-resilient ledger, retry behaviour and the SLA-cost verdict."""
+    for result in scenario.results.values():
+        accounting_sanity_check(result)
+    delta = scenario.cost_delta()
+    lines = [
+        "== Retry storm: naive immediate retries vs. backoff + circuit breaker ==",
+        "expectation: against a degrading dependency, immediate retries amplify "
+        "their own damage (timeouts breed retries breed load); jittered backoff "
+        "plus a per-component breaker converts expensive failed pages into "
+        "cheap fast refusals — a strictly lower SLA cost",
+        f"client timeout: {scenario.timeout_seconds:g} s, "
+        f"run length: {scenario.duration:.0f} s",
+        "",
+        "per-mode ledger and SLA cost:",
+        format_table(scenario.summary_rows()),
+        "",
+        format_table(
+            [
+                {
+                    "claim": "resilient SLA cost < naive SLA cost",
+                    "naive": round(scenario.sla_cost("naive"), 1),
+                    "resilient": round(scenario.sla_cost("resilient"), 1),
+                    "delta": round(delta, 1),
+                    "holds": delta > 0,
+                }
+            ]
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def zoo_report(scenario: ZooResult) -> str:
+    """Per-fault outcome and the attribution verdicts of the fault zoo."""
+    for result in scenario.results.values():
+        accounting_sanity_check(result)
+    lines = [
+        "== Fault zoo: five degradation modes, one attribution question ==",
+        "expectation: the cascade-aware strategy blames the faulted component "
+        f"({scenario.injected_component}) for every fault — including the "
+        "latency-mode faults the resource map cannot see, and the correlated "
+        f"cascade whose victim ({scenario.cascade_victim}) merely slows down",
+        f"run length per fault: {scenario.duration:.0f} s",
+        "",
+        "per-fault outcome:",
+        format_table(scenario.summary_rows()),
+        "",
+        "attribution verdicts:",
+        format_table(scenario.verdict_rows(), ["claim", "blamed", "victim_rank", "holds"]),
+    ]
     return "\n".join(lines)
 
 

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 from repro.baselines.blackbox import BlackBoxMonitor
 from repro.baselines.pinpoint import PinpointAnalyzer
 from repro.baselines.rejuvenation import RejuvenationPolicy
+from repro.container.resilience import ResilienceConfig
 from repro.container.server import ServerConfig
 from repro.core.framework import FrameworkConfig, MonitoringFramework
 from repro.core.rejuvenation import (
@@ -30,7 +31,7 @@ from repro.sim.metrics import TimeSeries
 from repro.slo.adaptive_policy import AdaptiveRejuvenationPolicy
 from repro.slo.calibration import CalibrationStore, workload_signature
 from repro.tpcw.application import TpcwDeployment, build_deployment
-from repro.tpcw.mixes import mix_by_name
+from repro.tpcw.mixes import PAGE_PRIORITIES, mix_by_name
 from repro.tpcw.population import PopulationScale
 from repro.tpcw.workload import WorkloadGenerator, WorkloadPhase
 
@@ -92,6 +93,15 @@ class ExperimentConfig:
     #: Pass an explicit signature to namespace otherwise-identical
     #: workloads apart.
     calibration_signature: Optional[str] = None
+    #: Client/server resilience bundle (timeouts + retries client-side,
+    #: circuit breakers, load shedding); ``None`` keeps the legacy
+    #: fire-and-move-on client and an unprotected server, bit-identical to
+    #: older seeded runs.
+    resilience: Optional[ResilienceConfig] = None
+    #: Record per-component response-time series on the server (needed by
+    #: the latency-trend / cascade-aware strategies).  Off by default to
+    #: keep the request hot path unchanged.
+    track_component_latency: bool = False
 
     def effective_phases(self) -> List[WorkloadPhase]:
         """The phase list, defaulting to one constant-EB phase."""
@@ -125,6 +135,17 @@ class ExperimentResult:
     blackbox: Optional[BlackBoxMonitor] = None
     #: Summary of the live rejuvenation controller's activity, when enabled.
     rejuvenation: Optional[RejuvenationReport] = None
+    #: End-to-end request ledger (issued / completions / errors / refusals /
+    #: in-flight plus the retry counters) — validated by
+    #: ``WorkloadGenerator.check_accounting`` before the result is built.
+    accounting: Dict[str, int] = field(default_factory=dict)
+    refused_requests: int = 0
+    issued_requests: int = 0
+    retry_attempts: int = 0
+    client_timeouts: int = 0
+    #: Per-component response-time series (only populated when
+    #: ``track_component_latency`` or ``resilience`` is configured).
+    component_latency: Dict[str, TimeSeries] = field(default_factory=dict)
     #: Live handles for follow-up analysis (kept out of reports).
     deployment: Optional[TpcwDeployment] = None
     framework: Optional[MonitoringFramework] = None
@@ -255,12 +276,23 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         controller.schedule_checks(duration=config.duration, interval=check_interval)
         controller.install_alert_trigger()
 
+    track_latency = config.track_component_latency or config.resilience is not None
+    if track_latency:
+        deployment.server.record_component_latency = True
+    if config.resilience is not None:
+        shedder = config.resilience.build_shedder(
+            config.resilience.priorities or PAGE_PRIORITIES
+        )
+        if shedder is not None:
+            deployment.server.install_load_shedder(shedder)
+
     pinpoint: Optional[PinpointAnalyzer] = None
     generator = WorkloadGenerator(
         engine,
         deployment,
         mix=mix_by_name(config.mix_name),
         think_time_mean=config.think_time_mean,
+        resilience=config.resilience,
     )
     if config.collect_pinpoint_traces:
         pinpoint = PinpointAnalyzer()
@@ -272,6 +304,9 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 
     generator.schedule_phases(config.effective_phases())
     generator.run(config.duration)
+    # Every issued attempt must land in exactly one ledger bucket; a
+    # violation means a refusal or retry was silently dropped somewhere.
+    accounting = generator.check_accounting()
 
     if calibration_signature is not None:
         # The run is over: persist the adaptive policy's converged horizons
@@ -321,6 +356,14 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         pinpoint=pinpoint,
         blackbox=blackbox,
         rejuvenation=controller.report() if controller is not None else None,
+        accounting=accounting,
+        refused_requests=generator.refused_requests,
+        issued_requests=generator.issued_requests,
+        retry_attempts=generator.retry_attempts,
+        client_timeouts=generator.client_timeouts,
+        component_latency=(
+            deployment.server.component_latency_series() if track_latency else {}
+        ),
         deployment=deployment,
         framework=framework,
     )

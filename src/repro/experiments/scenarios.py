@@ -22,9 +22,11 @@ from repro.baselines.rejuvenation import (
     TimeBasedRejuvenationPolicy,
     exposure_seconds,
 )
+from repro.container.resilience import ResilienceConfig
 from repro.container.server import ServerConfig
 from repro.core.resource_map import ResourceComponentMap
 from repro.core.rootcause import (
+    CascadeAwareStrategy,
     PaperMapStrategy,
     RootCauseReport,
     RootCauseStrategy,
@@ -1417,3 +1419,293 @@ def strategy_ablation(
             }
         )
     return rows
+
+
+# --------------------------------------------------------------------------- #
+# Robustness scenarios (fault zoo + retry storm)
+# --------------------------------------------------------------------------- #
+#: Client request timeout of the retry-storm comparison: tight enough that
+#: the slow-downstream fault drives page times past it within the run.
+RETRY_STORM_TIMEOUT_SECONDS = 0.5
+#: Injection countdown of the retry-storm fault (aggressive, like the
+#: rejuvenation leak).
+RETRY_STORM_PERIOD_N = 25
+#: The two client stacks the retry-storm scenario compares.
+RETRY_STORM_MODES = ("naive", "resilient")
+
+#: The five zoo faults, in benchmark order.
+ZOO_FAULT_KINDS = (
+    "gc-pause-storm",
+    "lock-convoy",
+    "slow-downstream",
+    "cache-stampede",
+    "correlated-cascade",
+)
+
+
+def zoo_fault_spec(kind: str, period_n: int = 10, victim: str = COMPONENT_B) -> FaultSpec:
+    """The tuned :class:`FaultSpec` the zoo uses for one fault kind.
+
+    All faults target component A; the cascade additionally degrades
+    ``victim`` (component B by default).  Parameters are aggressive enough
+    that every fault's observable signature (a significant upward latency
+    or resource trend at A) emerges within a short scaled run.
+    """
+    params: Dict[str, object] = {"period_n": period_n}
+    if kind == "gc-pause-storm":
+        params.update(pause_seconds=0.3, growth=0.3, max_pause_seconds=6.0)
+    elif kind == "lock-convoy":
+        params.update(hold_seconds=0.05, growth=0.5, max_hold_seconds=2.0)
+    elif kind == "slow-downstream":
+        params.update(latency_step_seconds=0.05, max_extra_seconds=5.0)
+    elif kind == "cache-stampede":
+        params.update(dogpile_size=12, recompute_seconds=0.08, growth=0.3)
+    elif kind == "correlated-cascade":
+        params.update(
+            victim=victim,
+            leak_bytes=256 * KB,
+            coupling_seconds_per_mb=0.5,
+        )
+    else:
+        raise ValueError(f"unknown zoo fault kind {kind!r} (expected one of {list(ZOO_FAULT_KINDS)})")
+    return FaultSpec(component=COMPONENT_A, kind=kind, params=params)
+
+
+@dataclass
+class RetryStormResult:
+    """Outcome of the naive-retry vs. backoff+breaker comparison.
+
+    Both runs see the same seed and the same slow-downstream fault; the only
+    difference is the client stack.  The claim under test: immediate
+    retries against a degrading dependency amplify their own damage (every
+    retry is another slow call holding a worker thread), while jittered
+    backoff plus a circuit breaker converts expensive failed requests into
+    cheap, fast client-side refusals — a strictly lower SLA cost.
+    """
+
+    #: Mode name ("naive" / "resilient") -> full experiment result.
+    results: Dict[str, ExperimentResult]
+    duration: float
+    timeout_seconds: float
+
+    def result(self, mode: str) -> ExperimentResult:
+        """The run executed under ``mode``."""
+        return self.results[mode]
+
+    def sla_observation(self, mode: str) -> SlaObservation:
+        """Availability currencies of one mode: a client timeout is a failed
+        page view, a breaker/shed refusal is paid refused load."""
+        result = self.results[mode]
+        return SlaObservation(
+            duration_seconds=self.duration,
+            downtime_seconds=0.0,
+            exposure_seconds=0.0,
+            failed_requests=result.error_count + result.client_timeouts,
+            refused_requests=result.refused_requests,
+        )
+
+    def sla_cost(self, mode: str, cost_model: Optional[SlaCostModel] = None) -> float:
+        """Scalar SLA cost of one mode."""
+        model = cost_model or SlaCostModel()
+        return model.score(self.sla_observation(mode))
+
+    def cost_delta(self) -> float:
+        """``cost(naive) - cost(resilient)`` — positive when resilience pays."""
+        return self.sla_cost("naive") - self.sla_cost("resilient")
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One row per mode: ledger, retry behaviour and SLA cost."""
+        rows: List[Dict[str, object]] = []
+        for mode, result in self.results.items():
+            rows.append(
+                {
+                    "mode": mode,
+                    "issued": result.issued_requests,
+                    "completed": result.completed_requests,
+                    "errors": result.error_count,
+                    "timeouts": result.client_timeouts,
+                    "retries": result.retry_attempts,
+                    "refused": result.refused_requests,
+                    "breaker_refusals": result.accounting.get("breaker_refusals", 0),
+                    "mean_rt_s": round(result.mean_response_time, 3),
+                    "sla_cost": round(self.sla_cost(mode), 1),
+                }
+            )
+        return rows
+
+
+def fig_retry_storm(
+    duration_scale: float = 1.0,
+    seed: int = 42,
+    scale: Optional[PopulationScale] = None,
+    ebs: int = LEAK_EXPERIMENT_EBS,
+    period_n: int = RETRY_STORM_PERIOD_N,
+    timeout_seconds: float = RETRY_STORM_TIMEOUT_SECONDS,
+    max_attempts: int = 3,
+) -> RetryStormResult:
+    """Same-seed naive-retry vs. backoff+breaker runs under a degrading DB.
+
+    A slow-downstream fault on component A inflates its JDBC latency a
+    little more on every trigger, pushing A's page times past the client
+    timeout mid-run.  The *naive* client retries immediately (retry storm);
+    the *resilient* client uses jittered exponential backoff plus a
+    per-component circuit breaker.  Both are deterministic per seed.
+    """
+    if duration_scale <= 0:
+        raise ValueError(f"duration_scale must be positive, got {duration_scale}")
+    duration = 3600.0 * duration_scale
+    fault = FaultSpec(
+        component=COMPONENT_A,
+        kind="slow-downstream",
+        params={
+            "period_n": period_n,
+            "latency_step_seconds": 0.1,
+            "max_extra_seconds": 10.0,
+        },
+    )
+    modes: Dict[str, "ResilienceConfig"] = {
+        "naive": ResilienceConfig.naive_retries(
+            timeout_seconds=timeout_seconds, max_attempts=max_attempts
+        ),
+        "resilient": ResilienceConfig.backoff_with_breaker(
+            timeout_seconds=timeout_seconds,
+            max_attempts=max_attempts,
+            breaker_failure_threshold=5,
+            breaker_recovery_seconds=30.0,
+        ),
+    }
+    results: Dict[str, ExperimentResult] = {}
+    for mode, resilience in modes.items():
+        config = ExperimentConfig(
+            name=f"fig-retry-storm-{mode}",
+            seed=seed,
+            scale=scale,
+            constant_ebs=ebs,
+            duration=duration,
+            mix_name="shopping",
+            monitored=False,
+            collect_blackbox_samples=False,
+            faults=[fault],
+            resilience=resilience,
+        )
+        results[mode] = run_experiment(config)
+    return RetryStormResult(
+        results=results, duration=duration, timeout_seconds=timeout_seconds
+    )
+
+
+@dataclass
+class ZooResult:
+    """Outcome of the fault-zoo sweep: one monitored run per fault kind.
+
+    Each run records per-component latency so the post-hoc cascade-aware
+    strategy can attribute latency-mode faults (which the resource map
+    alone cannot see); the cascade fault additionally checks that the
+    *leaking* component A outranks its merely-slowed victim B.
+    """
+
+    #: Fault kind -> full experiment result, in :data:`ZOO_FAULT_KINDS` order.
+    results: Dict[str, ExperimentResult]
+    #: Fault kind -> post-hoc cascade-aware root-cause report.
+    attributions: Dict[str, RootCauseReport]
+    injected_component: str
+    cascade_victim: str
+    duration: float
+
+    def result(self, kind: str) -> ExperimentResult:
+        """The run executed under fault ``kind``."""
+        return self.results[kind]
+
+    def top_component(self, kind: str) -> str:
+        """The component the attribution blames for fault ``kind``."""
+        top = self.attributions[kind].top()
+        return top.component if top is not None else ""
+
+    def verdict_rows(self) -> List[Dict[str, object]]:
+        """Per-fault attribution verdicts (expected: component A, not B)."""
+        rows: List[Dict[str, object]] = []
+        for kind in self.results:
+            report = self.attributions[kind]
+            top = self.top_component(kind)
+            claim = f"{kind}: blamed component is {self.injected_component}"
+            if kind == "correlated-cascade":
+                claim += f" (not victim {self.cascade_victim})"
+            rows.append(
+                {
+                    "claim": claim,
+                    "blamed": top or "(none)",
+                    "victim_rank": (
+                        report.ranking().index(self.cascade_victim) + 1
+                        if kind == "correlated-cascade"
+                        and self.cascade_victim in report.ranking()
+                        else ""
+                    ),
+                    "holds": top == self.injected_component,
+                }
+            )
+        return rows
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One row per fault: load outcome and the fault's own counters."""
+        rows: List[Dict[str, object]] = []
+        for kind, result in self.results.items():
+            rows.append(
+                {
+                    "fault": kind,
+                    "completed": result.completed_requests,
+                    "errors": result.error_count,
+                    "mean_rt_s": round(result.mean_response_time, 3),
+                    "blamed": self.top_component(kind),
+                    "description": "; ".join(result.fault_descriptions),
+                }
+            )
+        return rows
+
+
+def fig_zoo(
+    duration_scale: float = 1.0,
+    seed: int = 42,
+    scale: Optional[PopulationScale] = None,
+    ebs: int = LEAK_EXPERIMENT_EBS,
+    period_n: int = 10,
+    kinds: Optional[List[str]] = None,
+) -> ZooResult:
+    """Run the fault zoo: one monitored, latency-tracked run per fault.
+
+    Every run injects a single zoo fault into component A (the cascade also
+    couples component B) and asks the cascade-aware strategy, post hoc, who
+    is to blame.  Latency-mode faults exercise the latency-trend signal the
+    resource map cannot provide; the cascade exercises attribution *under*
+    correlated degradation.
+    """
+    if duration_scale <= 0:
+        raise ValueError(f"duration_scale must be positive, got {duration_scale}")
+    duration = 3600.0 * duration_scale
+    snapshot_interval = max(2.0, 30.0 * duration_scale)
+    results: Dict[str, ExperimentResult] = {}
+    attributions: Dict[str, RootCauseReport] = {}
+    for kind in kinds if kinds is not None else list(ZOO_FAULT_KINDS):
+        config = ExperimentConfig(
+            name=f"fig-zoo-{kind}",
+            seed=seed,
+            scale=scale,
+            constant_ebs=ebs,
+            duration=duration,
+            mix_name="shopping",
+            monitored=True,
+            collect_blackbox_samples=False,
+            snapshot_interval=snapshot_interval,
+            faults=[zoo_fault_spec(kind, period_n=period_n)],
+            track_component_latency=True,
+        )
+        result = run_experiment(config)
+        results[kind] = result
+        strategy = CascadeAwareStrategy(result.component_latency)
+        attributions[kind] = strategy.analyze(result.framework.manager.map)
+    return ZooResult(
+        results=results,
+        attributions=attributions,
+        injected_component=COMPONENT_A,
+        cascade_victim=COMPONENT_B,
+        duration=duration,
+    )

@@ -16,19 +16,30 @@ to install and remove whole fault plans.
 
 from __future__ import annotations
 
-from repro.faults.base import Fault
+from repro.faults.base import Fault, TriggeredFault
+from repro.faults.cache_stampede import CacheStampedeFault
 from repro.faults.connection_leak import ConnectionLeakFault
+from repro.faults.correlated_cascade import CorrelatedCascadeFault
 from repro.faults.cpu_hog import CpuHogFault
+from repro.faults.gc_pause_storm import GcPauseStormFault
 from repro.faults.injector import FaultInjector, FaultSpec
+from repro.faults.lock_convoy import LockConvoyFault
 from repro.faults.memory_leak import MemoryLeakFault
+from repro.faults.slow_downstream import SlowDownstreamFault
 from repro.faults.thread_leak import ThreadLeakFault
 
 __all__ = [
     "Fault",
+    "TriggeredFault",
     "MemoryLeakFault",
     "CpuHogFault",
     "ThreadLeakFault",
     "ConnectionLeakFault",
+    "GcPauseStormFault",
+    "LockConvoyFault",
+    "SlowDownstreamFault",
+    "CacheStampedeFault",
+    "CorrelatedCascadeFault",
     "FaultInjector",
     "FaultSpec",
 ]

@@ -47,6 +47,43 @@ class Fault:
         return f"{self.kind} (triggered {self.trigger_count}/{self.request_count} visits)"
 
 
+class TriggeredFault(Fault):
+    """A fault driven by the paper's random countdown.
+
+    Most faults share the same firing discipline: lazily build a
+    :class:`RandomCountdownTrigger` the first time the host servlet is seen
+    (the stream name needs the component name, which is only known then) and
+    fire on countdown expiry.  Subclasses set :attr:`kind` and implement
+    ``_inject``; the trigger stream is ``fault.<kind>.<component>`` so two
+    faults of the same kind on different components draw independently.
+    """
+
+    def __init__(
+        self,
+        period_n: int = 100,
+        streams: Optional[RandomStreams] = None,
+        active: bool = True,
+    ) -> None:
+        super().__init__(active=active)
+        if period_n < 0:
+            raise ValueError(f"period N must be >= 0, got {period_n}")
+        self.period_n = int(period_n)
+        self._streams = streams
+        self._trigger: Optional["RandomCountdownTrigger"] = None
+
+    def _ensure_trigger(self, servlet) -> "RandomCountdownTrigger":
+        if self._trigger is None:
+            self._trigger = RandomCountdownTrigger(
+                self.period_n,
+                self._streams,
+                stream_name=f"fault.{self.kind}.{servlet.component_name}",
+            )
+        return self._trigger
+
+    def _should_trigger(self, servlet) -> bool:
+        return self._ensure_trigger(servlet).should_fire()
+
+
 class RandomCountdownTrigger:
     """The paper's trigger: draw ``n ~ U[0, N]``, fire after ``n`` further visits.
 

@@ -1,0 +1,88 @@
+"""Cache-stampede fault: invalidation bursts dogpile recomputation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.base import TriggeredFault
+from repro.sim.random import RandomStreams
+
+
+class CacheStampedeFault(TriggeredFault):
+    """Converts cheap cache hits into dogpiled recomputation bursts.
+
+    Each trigger invalidates the component's hot cache entry; the
+    triggering visit and the next ``dogpile_size - 1`` visits all miss and
+    each recomputes the entry from scratch (none of them waits for the
+    others — the dogpile anti-pattern), charging ``recompute_seconds`` of
+    extra latency per miss.  As the cached dataset ages the recomputation
+    gets more expensive: the per-miss cost grows by ``growth`` per
+    stampede, up to ``max_recompute_seconds``.
+
+    Observable signature: bursty latency spikes on one component, flat
+    resources — between stampedes the component is perfectly healthy, which
+    defeats naive threshold detectors and calls for trend analysis over a
+    window.
+    """
+
+    kind = "cache-stampede"
+
+    def __init__(
+        self,
+        dogpile_size: int = 12,
+        recompute_seconds: float = 0.08,
+        growth: float = 0.25,
+        max_recompute_seconds: float = 1.5,
+        period_n: int = 100,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        super().__init__(period_n=period_n, streams=streams)
+        if dogpile_size < 1:
+            raise ValueError(f"dogpile_size must be >= 1, got {dogpile_size}")
+        if recompute_seconds <= 0:
+            raise ValueError(f"recompute_seconds must be positive, got {recompute_seconds}")
+        if growth < 0:
+            raise ValueError(f"growth must be non-negative, got {growth}")
+        if max_recompute_seconds < recompute_seconds:
+            raise ValueError(
+                f"max_recompute_seconds ({max_recompute_seconds}) must be >= "
+                f"recompute_seconds ({recompute_seconds})"
+            )
+        self.dogpile_size = int(dogpile_size)
+        self.recompute_seconds = float(recompute_seconds)
+        self.growth = float(growth)
+        self.max_recompute_seconds = float(max_recompute_seconds)
+        self._misses_remaining = 0
+        self.stampede_count = 0
+        self.total_recompute_seconds = 0.0
+
+    def current_recompute(self) -> float:
+        """Per-miss recomputation cost (escalates per stampede)."""
+        aged = self.recompute_seconds * (1.0 + self.growth * max(0, self.trigger_count - 1))
+        return min(aged, self.max_recompute_seconds)
+
+    def on_request(self, servlet, request) -> None:
+        """Trigger discipline plus per-visit miss charging during a stampede."""
+        if not self.active:
+            return
+        self.request_count += 1
+        if self._should_trigger(servlet):
+            self.trigger_count += 1
+            self._inject(servlet, request)
+        if self._misses_remaining > 0:
+            self._misses_remaining -= 1
+            cost = self.current_recompute()
+            servlet.charge_fault_latency(cost)
+            self.total_recompute_seconds += cost
+
+    def _inject(self, servlet, request) -> None:
+        # Invalidate: the next dogpile_size visits (this one included) miss.
+        self._misses_remaining = self.dogpile_size
+        self.stampede_count += 1
+
+    def describe(self) -> str:
+        return (
+            f"cache-stampede {self.dogpile_size} misses x ~{self.current_recompute() * 1000:.0f} ms "
+            f"every ~{self.period_n} visits "
+            f"({self.stampede_count} stampedes, {self.total_recompute_seconds:.2f} s recomputed)"
+        )

@@ -4,12 +4,12 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.faults.base import Fault, RandomCountdownTrigger
+from repro.faults.base import TriggeredFault
 from repro.db.jdbc import ConnectionPoolExhaustedError
 from repro.sim.random import RandomStreams
 
 
-class ConnectionLeakFault(Fault):
+class ConnectionLeakFault(TriggeredFault):
     """Borrows a pooled connection and never returns it.
 
     Once the pool bound is hit, subsequent borrows by *any* component fail —
@@ -25,27 +25,12 @@ class ConnectionLeakFault(Fault):
         streams: Optional[RandomStreams] = None,
         max_leaked: int = 10_000,
     ) -> None:
-        super().__init__()
+        super().__init__(period_n=period_n, streams=streams)
         if max_leaked <= 0:
             raise ValueError(f"max_leaked must be positive, got {max_leaked}")
-        self.period_n = int(period_n)
         self.max_leaked = int(max_leaked)
-        self._streams = streams
-        self._trigger: Optional[RandomCountdownTrigger] = None
         self._held: List[object] = []
         self.pool_exhausted_hits = 0
-
-    def _ensure_trigger(self, servlet) -> RandomCountdownTrigger:
-        if self._trigger is None:
-            self._trigger = RandomCountdownTrigger(
-                self.period_n,
-                self._streams,
-                stream_name=f"fault.connection-leak.{servlet.component_name}",
-            )
-        return self._trigger
-
-    def _should_trigger(self, servlet) -> bool:
-        return self._ensure_trigger(servlet).should_fire()
 
     def _inject(self, servlet, request) -> None:
         # Connections force-closed by a rejuvenation recycle drop out of the

@@ -4,11 +4,11 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.faults.base import Fault, RandomCountdownTrigger
+from repro.faults.base import TriggeredFault
 from repro.sim.random import RandomStreams
 
 
-class CpuHogFault(Fault):
+class CpuHogFault(TriggeredFault):
     """Makes a component's CPU demand creep upward over time.
 
     Each triggered injection permanently increases the servlet's base CPU
@@ -27,27 +27,14 @@ class CpuHogFault(Fault):
         streams: Optional[RandomStreams] = None,
         max_extra_seconds: float = 2.0,
     ) -> None:
-        super().__init__()
+        super().__init__(period_n=period_n, streams=streams)
         if increment_seconds <= 0:
             raise ValueError(f"increment_seconds must be positive, got {increment_seconds}")
         if max_extra_seconds <= 0:
             raise ValueError(f"max_extra_seconds must be positive, got {max_extra_seconds}")
         self.increment_seconds = float(increment_seconds)
-        self.period_n = int(period_n)
         self.max_extra_seconds = float(max_extra_seconds)
-        self._streams = streams
-        self._trigger: Optional[RandomCountdownTrigger] = None
         self.extra_seconds_total = 0.0
-
-    def _ensure_trigger(self, servlet) -> RandomCountdownTrigger:
-        if self._trigger is None:
-            self._trigger = RandomCountdownTrigger(
-                self.period_n, self._streams, stream_name=f"fault.cpu-hog.{servlet.component_name}"
-            )
-        return self._trigger
-
-    def _should_trigger(self, servlet) -> bool:
-        return self._ensure_trigger(servlet).should_fire()
 
     def _inject(self, servlet, request) -> None:
         if self.extra_seconds_total >= self.max_extra_seconds:

@@ -1,0 +1,69 @@
+"""GC-pause-storm fault: periodic stop-the-world windows."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.base import TriggeredFault
+from repro.sim.random import RandomStreams
+
+
+class GcPauseStormFault(TriggeredFault):
+    """Injects escalating stop-the-world pauses into the JVM.
+
+    Heap fragmentation and humongous-allocation churn make collections take
+    longer and longer even when *live* memory barely grows — the classic
+    aging mode a pure heap-occupancy monitor misses.  Each trigger queues a
+    pause on the runtime: the triggering request pays it (and holds its
+    worker thread for the whole window, stalling the pool like a real STW
+    collection freezes every mutator), and successive storms grow by
+    ``growth`` until ``max_pause_seconds``.
+
+    Observable signature: ``gc_pause_seconds`` spikes on requests of the
+    faulty component with *flat* heap series; the collection work is
+    attributed to the component's CPU account (the collector's time is
+    dominated by traversing the triggering component's object graph), so the
+    CPU agent and latency-trend detection can both see it.
+    """
+
+    kind = "gc-pause-storm"
+
+    def __init__(
+        self,
+        pause_seconds: float = 0.4,
+        growth: float = 0.25,
+        max_pause_seconds: float = 8.0,
+        period_n: int = 100,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        super().__init__(period_n=period_n, streams=streams)
+        if pause_seconds <= 0:
+            raise ValueError(f"pause_seconds must be positive, got {pause_seconds}")
+        if growth < 0:
+            raise ValueError(f"growth must be non-negative, got {growth}")
+        if max_pause_seconds < pause_seconds:
+            raise ValueError(
+                f"max_pause_seconds ({max_pause_seconds}) must be >= pause_seconds ({pause_seconds})"
+            )
+        self.pause_seconds = float(pause_seconds)
+        self.growth = float(growth)
+        self.max_pause_seconds = float(max_pause_seconds)
+        self.injected_pause_seconds = 0.0
+
+    def current_pause(self) -> float:
+        """The pause the next storm will inject (escalates per trigger)."""
+        aged = self.pause_seconds * (1.0 + self.growth * max(0, self.trigger_count - 1))
+        return min(aged, self.max_pause_seconds)
+
+    def _inject(self, servlet, request) -> None:
+        pause = self.current_pause()
+        servlet.runtime.inject_gc_pause(pause)
+        servlet.runtime.record_cpu_time(servlet.component_name, pause)
+        self.injected_pause_seconds += pause
+
+    def describe(self) -> str:
+        return (
+            f"gc-pause-storm ~{self.pause_seconds * 1000:.0f} ms (+{self.growth:.0%}/storm) "
+            f"every ~{self.period_n} visits "
+            f"(injected {self.trigger_count} storms, {self.injected_pause_seconds:.2f} s paused)"
+        )

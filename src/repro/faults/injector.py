@@ -6,9 +6,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.faults.base import Fault
+from repro.faults.cache_stampede import CacheStampedeFault
 from repro.faults.connection_leak import ConnectionLeakFault
+from repro.faults.correlated_cascade import CorrelatedCascadeFault
 from repro.faults.cpu_hog import CpuHogFault
+from repro.faults.gc_pause_storm import GcPauseStormFault
+from repro.faults.lock_convoy import LockConvoyFault
 from repro.faults.memory_leak import MemoryLeakFault
+from repro.faults.slow_downstream import SlowDownstreamFault
 from repro.faults.thread_leak import ThreadLeakFault
 from repro.sim.random import RandomStreams
 from repro.tpcw.application import TpcwDeployment
@@ -19,6 +24,11 @@ _FAULT_FACTORIES = {
     "cpu-hog": CpuHogFault,
     "thread-leak": ThreadLeakFault,
     "connection-leak": ConnectionLeakFault,
+    "gc-pause-storm": GcPauseStormFault,
+    "lock-convoy": LockConvoyFault,
+    "slow-downstream": SlowDownstreamFault,
+    "cache-stampede": CacheStampedeFault,
+    "correlated-cascade": CorrelatedCascadeFault,
 }
 
 
@@ -51,8 +61,22 @@ class FaultInjector:
 
     # ------------------------------------------------------------------ #
     def inject(self, component: str, fault: Fault) -> Fault:
-        """Attach an already constructed fault to ``component``."""
-        servlet = self.deployment.servlet(component)
+        """Attach an already constructed fault to ``component``.
+
+        Raises
+        ------
+        ValueError
+            If ``component`` names no deployed servlet — installing a fault
+            plan against a misspelled component must fail loudly at install
+            time, not run a silently fault-free experiment.
+        """
+        try:
+            servlet = self.deployment.servlet(component)
+        except KeyError:
+            raise ValueError(
+                f"cannot inject {fault.kind!r} fault: unknown component {component!r} "
+                f"(known components: {sorted(self.deployment.servlets)})"
+            ) from None
         servlet.attach_fault(fault)
         self._injected.append((component, fault))
         return fault
@@ -74,6 +98,10 @@ class FaultInjector:
             if fault in servlet.injected_faults:
                 servlet.detach_fault(fault)
                 removed += 1
+            # Cascade faults plant a shadow on their victim; deactivate it too.
+            detach_shadow = getattr(fault, "detach_shadow", None)
+            if detach_shadow is not None:
+                detach_shadow()
         self._injected.clear()
         return removed
 

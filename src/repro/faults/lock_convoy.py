@@ -1,0 +1,90 @@
+"""Lock-convoy fault: a contended monitor serializes a servlet's visits."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.base import TriggeredFault
+from repro.sim.random import RandomStreams
+
+
+class LockConvoyFault(TriggeredFault):
+    """Serializes the component's requests behind one ever-slower monitor.
+
+    The first trigger poisons the servlet with a coarse-grained lock (think
+    a debug-logging synchronized block left enabled, or a contended cache
+    segment); from then on *every* visit must acquire it.  The monitor is a
+    single-slot resource in virtual time: a request starting at ``t`` waits
+    until the previous holder releases, then holds for ``hold_seconds``
+    (escalating by ``growth`` per further trigger, up to
+    ``max_hold_seconds``).
+
+    Under concurrency the waits queue behind each other, so latency grows
+    *superlinearly* with the arrival rate — while no monitored resource
+    (heap, threads, connections) grows at all.  Detection must come from the
+    component's response-time trend.
+    """
+
+    kind = "lock-convoy"
+
+    def __init__(
+        self,
+        hold_seconds: float = 0.05,
+        growth: float = 0.5,
+        max_hold_seconds: float = 2.0,
+        period_n: int = 100,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        super().__init__(period_n=period_n, streams=streams)
+        if hold_seconds <= 0:
+            raise ValueError(f"hold_seconds must be positive, got {hold_seconds}")
+        if growth < 0:
+            raise ValueError(f"growth must be non-negative, got {growth}")
+        if max_hold_seconds < hold_seconds:
+            raise ValueError(
+                f"max_hold_seconds ({max_hold_seconds}) must be >= hold_seconds ({hold_seconds})"
+            )
+        self.hold_seconds = float(hold_seconds)
+        self.growth = float(growth)
+        self.max_hold_seconds = float(max_hold_seconds)
+        self.contended = False
+        self._lock_free_at = 0.0
+        self.total_wait_seconds = 0.0
+        self.total_hold_seconds = 0.0
+
+    def current_hold(self) -> float:
+        """Monitor hold time per visit (escalates per trigger)."""
+        aged = self.hold_seconds * (1.0 + self.growth * max(0, self.trigger_count - 1))
+        return min(aged, self.max_hold_seconds)
+
+    def on_request(self, servlet, request) -> None:
+        """Trigger discipline plus the per-visit serialization once contended."""
+        if not self.active:
+            return
+        self.request_count += 1
+        if self._should_trigger(servlet):
+            self.trigger_count += 1
+            self._inject(servlet, request)
+        if self.contended:
+            self._serialize(servlet, request)
+
+    def _inject(self, servlet, request) -> None:
+        self.contended = True
+
+    def _serialize(self, servlet, request) -> None:
+        now = float(getattr(request, "arrival_time", 0.0))
+        hold = self.current_hold()
+        start = max(now, self._lock_free_at)
+        wait = start - now
+        self._lock_free_at = start + hold
+        servlet.charge_fault_latency(wait + hold)
+        self.total_wait_seconds += wait
+        self.total_hold_seconds += hold
+
+    def describe(self) -> str:
+        state = "contended" if self.contended else "dormant"
+        return (
+            f"lock-convoy {state}, hold ~{self.current_hold() * 1000:.0f} ms "
+            f"(waited {self.total_wait_seconds:.2f} s, held {self.total_hold_seconds:.2f} s "
+            f"over {self.request_count} visits)"
+        )

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.faults.base import Fault, RandomCountdownTrigger
+from repro.faults.base import TriggeredFault
 from repro.sim.random import RandomStreams
 
 #: Leak sizes used in the paper's experiments (bytes).
@@ -12,7 +12,7 @@ KB = 1024
 MB = 1024 * 1024
 
 
-class MemoryLeakFault(Fault):
+class MemoryLeakFault(TriggeredFault):
     """Leaks ``leak_bytes`` into the component's retained state on average
     once every ``period_n`` visits.
 
@@ -35,26 +35,11 @@ class MemoryLeakFault(Fault):
         period_n: int = 100,
         streams: Optional[RandomStreams] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(period_n=period_n, streams=streams)
         if leak_bytes <= 0:
             raise ValueError(f"leak_bytes must be positive, got {leak_bytes}")
         self.leak_bytes = int(leak_bytes)
-        self.period_n = int(period_n)
-        self._streams = streams
-        self._trigger: Optional[RandomCountdownTrigger] = None
         self.leaked_bytes_total = 0
-
-    def _ensure_trigger(self, servlet) -> RandomCountdownTrigger:
-        if self._trigger is None:
-            self._trigger = RandomCountdownTrigger(
-                self.period_n,
-                self._streams,
-                stream_name=f"fault.memory-leak.{servlet.component_name}",
-            )
-        return self._trigger
-
-    def _should_trigger(self, servlet) -> bool:
-        return self._ensure_trigger(servlet).should_fire()
 
     def _inject(self, servlet, request) -> None:
         leak_object = servlet.runtime.allocate(

@@ -4,12 +4,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.faults.base import Fault, RandomCountdownTrigger
+from repro.faults.base import TriggeredFault
 from repro.jvm.threads import ThreadLimitError
 from repro.sim.random import RandomStreams
 
 
-class ThreadLeakFault(Fault):
+class ThreadLeakFault(TriggeredFault):
     """Spawns a never-terminating thread on behalf of the component.
 
     Unterminated threads are one of the aging vectors the paper lists; each
@@ -31,31 +31,16 @@ class ThreadLeakFault(Fault):
         stack_bytes: int = 256 * 1024,
         max_threads: int = 10_000,
     ) -> None:
-        super().__init__()
+        super().__init__(period_n=period_n, streams=streams)
         if stack_bytes <= 0:
             raise ValueError(f"stack_bytes must be positive, got {stack_bytes}")
         if max_threads <= 0:
             raise ValueError(f"max_threads must be positive, got {max_threads}")
-        self.period_n = int(period_n)
         self.stack_bytes = int(stack_bytes)
         self.max_threads = int(max_threads)
-        self._streams = streams
-        self._trigger: Optional[RandomCountdownTrigger] = None
         self.leaked_threads = 0
         #: Spawns refused because the JVM hit its thread capacity.
         self.thread_limit_hits = 0
-
-    def _ensure_trigger(self, servlet) -> RandomCountdownTrigger:
-        if self._trigger is None:
-            self._trigger = RandomCountdownTrigger(
-                self.period_n,
-                self._streams,
-                stream_name=f"fault.thread-leak.{servlet.component_name}",
-            )
-        return self._trigger
-
-    def _should_trigger(self, servlet) -> bool:
-        return self._ensure_trigger(servlet).should_fire()
 
     def _inject(self, servlet, request) -> None:
         if self.leaked_threads >= self.max_threads:

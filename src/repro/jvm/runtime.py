@@ -102,6 +102,18 @@ class JvmRuntime:
         self._pending_gc_pause += pause
         return pause
 
+    def inject_gc_pause(self, pause_seconds: float) -> None:
+        """Queue an externally induced stop-the-world pause.
+
+        Fault models (e.g. a GC-pause storm) use this to make the *next*
+        request pay a collection pause the allocation model alone would not
+        produce — the worker thread holds its slot for the whole pause, so
+        heavy pauses stall the pool exactly like a real STW collection.
+        """
+        if pause_seconds < 0:
+            raise ValueError(f"pause_seconds must be non-negative, got {pause_seconds}")
+        self._pending_gc_pause += float(pause_seconds)
+
     def consume_pending_gc_pause(self) -> float:
         """Return and clear accumulated GC pause time.
 

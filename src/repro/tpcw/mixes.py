@@ -37,6 +37,27 @@ INTERACTIONS: List[str] = [
     "admin_confirm",
 ]
 
+#: Page-class priorities used by the load shedder: purchase-path pages (the
+#: revenue path) are protected at priority 2, core browsing pages sit at 1,
+#: and discretionary pages (recommendations, reporting) are priority 0 — the
+#: first to be refused when the worker pool saturates.
+PAGE_PRIORITIES: Dict[str, int] = {
+    "home": 1,
+    "new_products": 0,
+    "best_sellers": 0,
+    "product_detail": 1,
+    "search_request": 1,
+    "search_results": 1,
+    "shopping_cart": 2,
+    "customer_registration": 2,
+    "buy_request": 2,
+    "buy_confirm": 2,
+    "order_inquiry": 1,
+    "order_display": 1,
+    "admin_request": 0,
+    "admin_confirm": 0,
+}
+
 
 @dataclass
 class WorkloadMix:

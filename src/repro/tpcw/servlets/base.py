@@ -62,6 +62,7 @@ class TpcwServlet(HttpServlet):
         self._injected_faults: List[Any] = []
         self._request_count = 0
         self._error_count = 0
+        self._pending_fault_latency = 0.0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -177,6 +178,26 @@ class TpcwServlet(HttpServlet):
     def injected_faults(self) -> List[Any]:
         """Currently attached faults."""
         return list(self._injected_faults)
+
+    def charge_fault_latency(self, seconds: float) -> None:
+        """Charge extra wall-clock seconds to the *current* request.
+
+        Latency-mode faults (lock convoys, cache stampedes, cascade
+        coupling) stall a request without consuming a monitored resource;
+        the container drains this per-component account after dispatch and
+        folds it into the request's service demand, which both delays the
+        response and holds the worker thread — so contention compounds under
+        load, and per-component response-time series expose the culprit.
+        """
+        if seconds < 0:
+            raise ValueError(f"fault latency must be non-negative, got {seconds}")
+        self._pending_fault_latency += float(seconds)
+
+    def drain_fault_latency(self) -> float:
+        """Return and clear latency charged by faults during this request."""
+        pending = self._pending_fault_latency
+        self._pending_fault_latency = 0.0
+        return pending
 
     # ------------------------------------------------------------------ #
     # Request handling

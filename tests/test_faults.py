@@ -142,6 +142,17 @@ class TestFaultInjector:
         with pytest.raises(KeyError):
             FaultInjector(tiny_deployment).inject_spec(FaultSpec(component="home", kind="nope"))
 
+    def test_unknown_component_rejected_listing_known(self, tiny_deployment):
+        injector = FaultInjector(tiny_deployment)
+        with pytest.raises(ValueError) as excinfo:
+            injector.inject_spec(FaultSpec(component="checkout", kind="memory-leak"))
+        message = str(excinfo.value)
+        assert "checkout" in message
+        # The error enumerates the deployed components to fail loudly and
+        # helpfully at install time.
+        assert "home" in message and "product_detail" in message
+        assert injector.injected == []
+
     def test_plan_and_remove_all(self, tiny_deployment):
         injector = FaultInjector(tiny_deployment)
         injector.inject_plan(

@@ -1,0 +1,324 @@
+"""Tests for the resilience layer: backoff, breaker, shedding, accounting.
+
+The seeded property tests pin the three behavioural guarantees the
+robustness scenarios rely on:
+
+* backoff delays are deterministic per seed and monotone non-decreasing
+  in the attempt number up to the cap;
+* the circuit breaker admits *exactly one* half-open probe;
+* the request ledger ``completions + errors + refusals + in_flight ==
+  issued`` holds end-to-end, with and without a resilience config.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.container.resilience import (
+    BackoffSchedule,
+    CircuitBreaker,
+    LoadShedder,
+    ResilienceConfig,
+)
+from repro.experiments.reporting import accounting_sanity_check
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.scenarios import zoo_fault_spec
+from repro.sim.random import RandomStreams
+from repro.tpcw.application import TpcwApplication
+from repro.tpcw.population import PopulationScale
+
+
+class TestBackoffSchedule:
+    def test_deterministic_per_seed(self):
+        for seed in (1, 7, 42, 1234):
+            first = BackoffSchedule(
+                base_seconds=0.25, multiplier=2.0, cap_seconds=30.0, jitter=0.25,
+                streams=RandomStreams(seed),
+            )
+            second = BackoffSchedule(
+                base_seconds=0.25, multiplier=2.0, cap_seconds=30.0, jitter=0.25,
+                streams=RandomStreams(seed),
+            )
+            assert [first.delay(k) for k in range(10)] == [
+                second.delay(k) for k in range(10)
+            ]
+
+    def test_different_seeds_differ(self):
+        a = BackoffSchedule(jitter=0.25, streams=RandomStreams(1))
+        b = BackoffSchedule(jitter=0.25, streams=RandomStreams(2))
+        assert [a.delay(k) for k in range(6)] != [b.delay(k) for k in range(6)]
+
+    def test_monotone_in_attempt_up_to_cap(self):
+        # Property over many seeds: jittered delays never decrease with the
+        # attempt number, and the cap is an exact fixed point.
+        for seed in range(20):
+            schedule = BackoffSchedule(
+                base_seconds=0.1, multiplier=2.0, cap_seconds=5.0, jitter=0.5,
+                streams=RandomStreams(seed),
+            )
+            delays = [schedule.delay(k) for k in range(12)]
+            for earlier, later in zip(delays, delays[1:]):
+                assert later >= earlier - 1e-12
+            assert delays[-1] == schedule.cap_seconds
+
+    def test_jitter_bounded_between_raw_and_cap(self):
+        schedule = BackoffSchedule(
+            base_seconds=0.2, multiplier=2.0, cap_seconds=100.0, jitter=0.3,
+            streams=RandomStreams(9),
+        )
+        for attempt in range(8):
+            raw = 0.2 * (2.0 ** attempt)
+            delay = schedule.delay(attempt)
+            assert raw <= delay <= raw * 1.3 + 1e-12
+
+    def test_cap_returned_exactly_without_jitter(self):
+        schedule = BackoffSchedule(
+            base_seconds=1.0, multiplier=2.0, cap_seconds=4.0, jitter=0.25,
+            streams=RandomStreams(3),
+        )
+        # raw(2) = 4.0 >= cap: the cap comes back exactly, no jitter above it.
+        assert schedule.delay(2) == 4.0
+        assert schedule.delay(7) == 4.0
+
+    def test_no_streams_means_raw_exponential(self):
+        schedule = BackoffSchedule(base_seconds=0.5, multiplier=2.0, cap_seconds=30.0)
+        assert [schedule.delay(k) for k in range(4)] == [0.5, 1.0, 2.0, 4.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffSchedule(base_seconds=0.0)
+        with pytest.raises(ValueError):
+            BackoffSchedule(multiplier=0.9)
+        with pytest.raises(ValueError):
+            BackoffSchedule(base_seconds=2.0, cap_seconds=1.0)
+        with pytest.raises(ValueError):
+            BackoffSchedule(jitter=-0.1)
+        # Jitter above multiplier - 1 would break monotonicity: rejected.
+        with pytest.raises(ValueError):
+            BackoffSchedule(multiplier=1.5, jitter=0.75)
+        with pytest.raises(ValueError):
+            BackoffSchedule().delay(-1)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, recovery_seconds=10.0)
+        for t in range(2):
+            breaker.record_failure(float(t))
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure(2.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opened_count == 1
+
+    def test_success_resets_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, recovery_seconds=10.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        breaker.record_success(2.0)
+        breaker.record_failure(3.0)
+        breaker.record_failure(4.0)
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_open_refuses_until_recovery(self):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_seconds=10.0)
+        breaker.record_failure(5.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow(6.0)
+        assert not breaker.allow(14.9)
+        assert breaker.refused_count == 2
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_seconds=10.0)
+        breaker.record_failure(0.0)
+        # Recovery elapsed: the first request becomes the single probe.
+        assert breaker.allow(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        # Every further request is refused while the probe is in flight.
+        assert not breaker.allow(10.5)
+        assert not breaker.allow(11.0)
+        assert breaker.refused_count == 2
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_seconds=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(10.0)
+        breaker.record_success(10.2)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow(10.3)
+
+    def test_probe_failure_retrips(self):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_seconds=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(10.0)
+        breaker.record_failure(10.2)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opened_count == 2
+        # The recovery clock restarts from the re-trip.
+        assert not breaker.allow(15.0)
+        assert breaker.allow(20.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_seconds=0.0)
+
+
+class TestLoadShedder:
+    def test_sheds_low_priority_only_under_pressure(self):
+        shedder = LoadShedder(
+            occupancy_threshold=0.8,
+            priorities={"best_sellers": 0, "buy_confirm": 2},
+            shed_below_priority=1,
+        )
+        # Below the threshold nothing is shed.
+        assert not shedder.should_shed("best_sellers", 0.79)
+        # At/above the threshold only priorities below the floor are shed.
+        assert shedder.should_shed("best_sellers", 0.8)
+        assert not shedder.should_shed("buy_confirm", 1.0)
+
+    def test_unlisted_pages_are_never_shed(self):
+        shedder = LoadShedder(occupancy_threshold=0.5, priorities={}, shed_below_priority=1)
+        assert not shedder.should_shed("mystery_page", 1.0)
+
+    def test_record_shed_counts_by_component(self):
+        shedder = LoadShedder()
+        shedder.record_shed("best_sellers")
+        shedder.record_shed("best_sellers")
+        shedder.record_shed("admin_request")
+        assert shedder.shed_count == 3
+        assert shedder.shed_by_component == {"best_sellers": 2, "admin_request": 1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadShedder(occupancy_threshold=0.0)
+        with pytest.raises(ValueError):
+            LoadShedder(occupancy_threshold=1.1)
+        with pytest.raises(ValueError):
+            LoadShedder(retry_after_seconds=0.0)
+
+    def test_server_sheds_and_accounts_refusals(self, tiny_deployment):
+        app = TpcwApplication(tiny_deployment)
+        server = tiny_deployment.server
+        shedder = LoadShedder(
+            occupancy_threshold=0.5,
+            priorities={"new_products": 0},
+            shed_below_priority=1,
+            retry_after_seconds=5.0,
+        )
+        server.install_load_shedder(shedder)
+        # Force pool pressure: every worker thread looks busy.
+        server.pool_occupancy = lambda at_time: 1.0
+        completed_before = server.completed_requests
+
+        shed = app.visit("new_products", at_time=1.0)
+        assert shed.rejected and shed.refused_by_shedding and shed.refused
+        assert shed.response.status == 503
+        assert shed.retry_after == pytest.approx(6.0)
+
+        kept = app.visit("home")  # unlisted -> priority floor -> never shed
+        assert kept.ok and not kept.refused
+
+        assert server.refused_by_shedding == 1
+        assert shedder.shed_count == 1
+        # A shed request is never a completion or an error.
+        assert server.completed_requests == completed_before + 1
+
+
+class TestResilienceConfig:
+    def test_naive_retries_have_no_backoff(self):
+        config = ResilienceConfig.naive_retries(timeout_seconds=2.0, max_attempts=3)
+        assert config.build_backoff(RandomStreams(1)) is None
+        assert config.build_breaker("home") is None
+        assert config.build_shedder() is None
+        assert config.timeout_seconds == 2.0
+
+    def test_backoff_retries_build_schedule(self):
+        config = ResilienceConfig.backoff_retries()
+        schedule = config.build_backoff(RandomStreams(1))
+        assert isinstance(schedule, BackoffSchedule)
+        assert schedule.cap_seconds == config.backoff_cap_seconds
+
+    def test_backoff_with_breaker_builds_breaker(self):
+        config = ResilienceConfig.backoff_with_breaker(
+            breaker_failure_threshold=4, breaker_recovery_seconds=15.0
+        )
+        breaker = config.build_breaker("product_detail")
+        assert isinstance(breaker, CircuitBreaker)
+        assert breaker.failure_threshold == 4
+        assert breaker.name == "product_detail"
+        assert config.build_shedder() is None
+
+    def test_full_stack_builds_shedder(self):
+        config = ResilienceConfig.full(
+            shed_occupancy_threshold=0.9, priorities={"best_sellers": 0}
+        )
+        shedder = config.build_shedder()
+        assert isinstance(shedder, LoadShedder)
+        assert shedder.occupancy_threshold == 0.9
+        assert shedder.priority_of("best_sellers") == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(max_attempts=0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(timeout_seconds=0.0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(immediate_retry_delay_seconds=-1.0)
+
+
+class TestAccountingInvariant:
+    """End-to-end: every issued attempt lands in exactly one ledger bucket."""
+
+    def _run(self, resilience):
+        config = ExperimentConfig(
+            name="accounting",
+            seed=42,
+            scale=PopulationScale.tiny(),
+            constant_ebs=25,
+            duration=3600.0 * 0.02,
+            mix_name="shopping",
+            monitored=False,
+            collect_blackbox_samples=False,
+            faults=[zoo_fault_spec("slow-downstream", period_n=5)],
+            resilience=resilience,
+        )
+        return run_experiment(config)
+
+    def test_invariant_holds_with_resilient_client(self):
+        result = self._run(
+            ResilienceConfig.backoff_with_breaker(
+                timeout_seconds=0.5,
+                max_attempts=3,
+                breaker_failure_threshold=5,
+                breaker_recovery_seconds=30.0,
+            )
+        )
+        ledger = result.accounting
+        assert ledger["issued"] > 0
+        assert (
+            ledger["completions"] + ledger["errors"] + ledger["refusals"]
+            + ledger["in_flight"]
+            == ledger["issued"]
+        )
+        assert ledger["in_flight"] == 0
+        assert ledger["refusals"] == (
+            ledger["breaker_refusals"]
+            + ledger["shed_refusals"]
+            + ledger["outage_refusals"]
+        )
+        # The reporting-side sanity check accepts the same result.
+        assert accounting_sanity_check(result) == ledger
+
+    def test_invariant_holds_with_legacy_client(self):
+        result = self._run(None)
+        ledger = result.accounting
+        assert ledger["issued"] == result.completed_requests
+        assert ledger["retries"] == 0 and ledger["refusals"] == 0
+        assert (
+            ledger["completions"] + ledger["errors"] + ledger["refusals"]
+            + ledger["in_flight"]
+            == ledger["issued"]
+        )
+        assert ledger["in_flight"] == 0
+        accounting_sanity_check(result)
