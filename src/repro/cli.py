@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 from repro._version import __version__
 from repro.experiments.environment import environment_rows
@@ -30,6 +31,7 @@ from repro.experiments.reporting import (
     adaptive_report,
     fig3_report,
     fig6_report,
+    fleet_report,
     format_table,
     leak_scenario_report,
     learning_report,
@@ -45,6 +47,7 @@ from repro.experiments.scenarios import (
     fig6_manager_map,
     fig7_injection_sizes,
     fig_adaptive,
+    fig_fleet,
     fig_learning,
     fig_mixed,
     fig_rejuvenation,
@@ -273,6 +276,19 @@ def _cmd_storm(args: argparse.Namespace) -> int:
     return 0 if scenario.cost_delta() > 0 else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    scenario = fig_fleet(
+        duration_scale=args.duration_scale,
+        seed=args.seed,
+        scale=_population(args),
+        ebs=args.ebs,
+        shards=args.shards,
+        balancer_policy=args.balancer,
+    )
+    print(fleet_report(scenario))
+    return 0 if scenario.rolling_wins() else 1
+
+
 def _cmd_ablate(args: argparse.Namespace) -> int:
     from repro.experiments.ablation import (
         AblationManifest,
@@ -306,6 +322,7 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
         manifest,
         duration_scale=duration_scale,
         progress=lambda label: print(f"-- running {label} ..."),
+        jobs=args.jobs,
     )
     print()
     print("mechanism importance (SLA cost removed vs. baseline):")
@@ -333,6 +350,79 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+# --------------------------------------------------------------------------- #
+# Scenario registry
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScenarioCommand:
+    """One scenario subcommand: parser shape + handler, in one row.
+
+    New scenarios plug in by appending a row to :data:`SCENARIO_COMMANDS`
+    (or calling :func:`register_scenario`); the parser builder and the
+    dispatcher never change.
+    """
+
+    name: str
+    help: str
+    handler: Callable[[argparse.Namespace], int]
+    #: Whether the subcommand takes the shared ``--ebs`` knob.
+    include_ebs: bool = True
+    #: Hook adding subcommand-specific arguments to its subparser.
+    extra_args: Optional[Callable[[argparse.ArgumentParser], None]] = None
+
+
+def _mixed_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--dual",
+        action="store_true",
+        help="dual-leak variant: the same component leaks heap AND connections",
+    )
+
+
+def _learning_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--runs", type=int, default=4, help="repeated runs per mode (cold/warm)")
+    sub.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="calibration store JSON path (default: a fresh temporary file)",
+    )
+
+
+def _fleet_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--shards", type=int, default=4, help="application-server instances behind the balancer"
+    )
+    sub.add_argument(
+        "--balancer",
+        choices=["sticky", "round-robin", "least-occupancy"],
+        default="sticky",
+        help="load-balancer policy",
+    )
+
+
+SCENARIO_COMMANDS: List[ScenarioCommand] = [
+    ScenarioCommand("fig3", "overhead experiment (monitored vs. unmonitored throughput)", _cmd_fig3, include_ebs=False),
+    ScenarioCommand("fig4", "single-leak experiment", _cmd_fig4),
+    ScenarioCommand("fig5", "four identical leaks (+ the Fig. 6 map)", _cmd_fig5),
+    ScenarioCommand("fig7", "heterogeneous leak sizes", _cmd_fig7),
+    ScenarioCommand("rejuvenation", "live rejuvenation: no action vs. restarts vs. micro-reboots", _cmd_rejuvenation),
+    ScenarioCommand("adaptive", "adaptive rejuvenation & SLA comparison over memory/thread/connection leaks", _cmd_adaptive),
+    ScenarioCommand("mixed", "mixed faults: concurrent heap + connection leaks in different components", _cmd_mixed, extra_args=_mixed_args),
+    ScenarioCommand("learning", "cross-run calibration learning: cold vs. warm-started adaptive", _cmd_learning, extra_args=_learning_args),
+    ScenarioCommand("zoo", "fault zoo: five degradation modes + cascade-aware attribution verdicts", _cmd_zoo),
+    ScenarioCommand("storm", "retry storm: naive immediate retries vs. backoff + circuit breaker", _cmd_storm),
+    ScenarioCommand("fleet", "sharded fleet: rolling vs. simultaneous vs. no-action rejuvenation", _cmd_fleet, extra_args=_fleet_args),
+]
+
+
+def register_scenario(command: ScenarioCommand) -> None:
+    """Add a scenario subcommand to the registry (idempotent by name)."""
+    if any(existing.name == command.name for existing in SCENARIO_COMMANDS):
+        raise ValueError(f"scenario command {command.name!r} is already registered")
+    SCENARIO_COMMANDS.append(command)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -367,37 +457,12 @@ def build_parser() -> argparse.ArgumentParser:
     quickstart_parser.add_argument("--period-n", type=int, default=20, help="injection countdown parameter N")
     quickstart_parser.set_defaults(handler=_cmd_quickstart)
 
-    for name, handler, help_text in [
-        ("fig3", _cmd_fig3, "overhead experiment (monitored vs. unmonitored throughput)"),
-        ("fig4", _cmd_fig4, "single-leak experiment"),
-        ("fig5", _cmd_fig5, "four identical leaks (+ the Fig. 6 map)"),
-        ("fig7", _cmd_fig7, "heterogeneous leak sizes"),
-        ("rejuvenation", _cmd_rejuvenation, "live rejuvenation: no action vs. restarts vs. micro-reboots"),
-        ("adaptive", _cmd_adaptive, "adaptive rejuvenation & SLA comparison over memory/thread/connection leaks"),
-        ("mixed", _cmd_mixed, "mixed faults: concurrent heap + connection leaks in different components"),
-        ("learning", _cmd_learning, "cross-run calibration learning: cold vs. warm-started adaptive"),
-        ("zoo", _cmd_zoo, "fault zoo: five degradation modes + cascade-aware attribution verdicts"),
-        ("storm", _cmd_storm, "retry storm: naive immediate retries vs. backoff + circuit breaker"),
-    ]:
-        sub = subparsers.add_parser(name, help=help_text)
-        add_common(sub, include_ebs=(name != "fig3"))
-        if name == "mixed":
-            sub.add_argument(
-                "--dual",
-                action="store_true",
-                help="dual-leak variant: the same component leaks heap AND connections",
-            )
-        if name == "learning":
-            sub.add_argument(
-                "--runs", type=int, default=4, help="repeated runs per mode (cold/warm)"
-            )
-            sub.add_argument(
-                "--store",
-                metavar="PATH",
-                default=None,
-                help="calibration store JSON path (default: a fresh temporary file)",
-            )
-        sub.set_defaults(handler=handler)
+    for command in SCENARIO_COMMANDS:
+        sub = subparsers.add_parser(command.name, help=command.help)
+        add_common(sub, include_ebs=command.include_ebs)
+        if command.extra_args is not None:
+            command.extra_args(sub)
+        sub.set_defaults(handler=command.handler)
 
     bench_parser = subparsers.add_parser(
         "bench", help="run the perf microbenchmarks (speedups vs. the seed baseline)"
@@ -449,6 +514,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ablate_parser.add_argument(
         "--tiny", action="store_true", help="force the small test database population"
+    )
+    ablate_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for matrix cells (1 = serial; reports are "
+        "byte-identical either way)",
     )
     ablate_parser.set_defaults(handler=_cmd_ablate)
 

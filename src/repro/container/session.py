@@ -79,15 +79,26 @@ class SessionManager:
     session_timeout:
         Idle seconds after which :meth:`expire_idle_sessions` discards a
         session (Tomcat's default is 30 minutes).
+    id_prefix:
+        Prefix of minted session ids.  A clustered deployment gives every
+        server instance a distinct prefix so a session id can never collide
+        with one minted by another shard (ids travel with the client and may
+        be presented to a different shard after a load-balancer failover).
     """
 
     COMPONENT_NAME = "http-sessions"
 
-    def __init__(self, runtime: JvmRuntime, session_timeout: float = 1800.0) -> None:
+    def __init__(
+        self,
+        runtime: JvmRuntime,
+        session_timeout: float = 1800.0,
+        id_prefix: str = "S",
+    ) -> None:
         if session_timeout <= 0:
             raise ValueError(f"session_timeout must be positive, got {session_timeout}")
         self._runtime = runtime
         self.session_timeout = float(session_timeout)
+        self.id_prefix = id_prefix
         self._sessions: Dict[str, HttpSession] = {}
         self._session_objects: Dict[str, Any] = {}
         self._counter = 0
@@ -98,7 +109,7 @@ class SessionManager:
     def new_session(self, timestamp: float) -> HttpSession:
         """Create a fresh session."""
         self._counter += 1
-        session_id = f"S{self._counter:08d}"
+        session_id = f"{self.id_prefix}{self._counter:08d}"
         session = HttpSession(session_id, timestamp, self)
         self._sessions[session_id] = session
         self.created_count += 1

@@ -368,32 +368,69 @@ class AblationRunResult:
         }
 
 
+def _cell_coordinates(manifest: AblationManifest) -> List[Tuple[str, str, str, int]]:
+    """The matrix cells in canonical (reporting) order."""
+    return [
+        (policy, fault, mechanism, seed)
+        for policy in manifest.policies
+        for fault in manifest.faults
+        for mechanism in manifest.mechanisms
+        for seed in manifest.seeds
+    ]
+
+
+def _run_cell_args(args: Tuple[AblationManifest, str, str, str, int, float]) -> Dict[str, object]:
+    """Pool-friendly shim: one picklable tuple in, one cell row out."""
+    manifest, policy, fault, mechanism, seed, scale_factor = args
+    return run_cell(manifest, policy, fault, mechanism, seed, duration_scale=scale_factor)
+
+
 def run_ablation(
     manifest: AblationManifest,
     duration_scale: Optional[float] = None,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> AblationRunResult:
-    """Run every cell of the manifest's matrix, in deterministic order."""
+    """Run every cell of the manifest's matrix, in deterministic order.
+
+    ``jobs > 1`` fans the cells out over a process pool.  Each cell is an
+    independent simulation seeded from its own coordinates, and the pool's
+    ``map`` returns results in submission order, so the merged reports are
+    byte-identical to a serial run — parallelism only changes wall-clock.
+    """
     scale_factor = (
         duration_scale if duration_scale is not None else manifest.duration_scale
     )
-    cells: List[Dict[str, object]] = []
-    for policy in manifest.policies:
-        for fault in manifest.faults:
-            for mechanism in manifest.mechanisms:
-                for seed in manifest.seeds:
-                    if progress is not None:
-                        progress(f"{policy} × {fault} × {mechanism} × seed {seed}")
-                    cells.append(
-                        run_cell(
-                            manifest,
-                            policy,
-                            fault,
-                            mechanism,
-                            seed,
-                            duration_scale=scale_factor,
-                        )
-                    )
+    coordinates = _cell_coordinates(manifest)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(coordinates) <= 1:
+        cells: List[Dict[str, object]] = []
+        for policy, fault, mechanism, seed in coordinates:
+            if progress is not None:
+                progress(f"{policy} × {fault} × {mechanism} × seed {seed}")
+            cells.append(
+                run_cell(
+                    manifest,
+                    policy,
+                    fault,
+                    mechanism,
+                    seed,
+                    duration_scale=scale_factor,
+                )
+            )
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        if progress is not None:
+            for policy, fault, mechanism, seed in coordinates:
+                progress(f"{policy} × {fault} × {mechanism} × seed {seed}")
+        work = [
+            (manifest, policy, fault, mechanism, seed, scale_factor)
+            for policy, fault, mechanism, seed in coordinates
+        ]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+            cells = list(pool.map(_run_cell_args, work))
     return AblationRunResult(
         manifest=manifest, cells=cells, duration_scale=scale_factor
     )

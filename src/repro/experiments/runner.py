@@ -1,15 +1,21 @@
 """Generic experiment runner.
 
 One :func:`run_experiment` call performs everything the paper's evaluation
-needs for a single run: build a fresh deployment, optionally install the
-monitoring framework (Fig. 3 compares a monitored and an unmonitored run of
-the same workload), inject the configured faults, drive the phased EB
-workload, take periodic manager and black-box snapshots, and package every
-series the figures plot into an :class:`ExperimentResult`.
+needs for a single run: build a fresh cluster (a single shard by default),
+optionally install the monitoring framework on every shard (Fig. 3 compares
+a monitored and an unmonitored run of the same workload), inject the
+configured faults, drive the phased EB workload through the load balancer,
+take periodic manager and black-box snapshots, and package every series the
+figures plot into an :class:`ExperimentResult`.
+
+The single-server path *is* the general path: a ``shards=1`` run routes
+through a one-shard cluster whose balancer draws no randomness, so its
+outputs are bit-identical per seed to the pre-cluster harness.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -25,12 +31,19 @@ from repro.core.rejuvenation import (
     build_channels,
 )
 from repro.core.rootcause import RootCauseReport, RootCauseStrategy
+from repro.experiments.cluster import (
+    FleetManager,
+    FleetRejuvenationController,
+    FleetReport,
+    SimulatedCluster,
+    build_cluster,
+)
 from repro.faults.injector import FaultInjector, FaultSpec
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import TimeSeries
 from repro.slo.adaptive_policy import AdaptiveRejuvenationPolicy
 from repro.slo.calibration import CalibrationStore, workload_signature
-from repro.tpcw.application import TpcwDeployment, build_deployment
+from repro.tpcw.application import TpcwDeployment
 from repro.tpcw.mixes import PAGE_PRIORITIES, mix_by_name
 from repro.tpcw.population import PopulationScale
 from repro.tpcw.workload import WorkloadGenerator, WorkloadPhase
@@ -102,6 +115,35 @@ class ExperimentConfig:
     #: the latency-trend / cascade-aware strategies).  Off by default to
     #: keep the request hot path unchanged.
     track_component_latency: bool = False
+    #: Application-server instances behind the load balancer.  ``1`` (the
+    #: default) is the classic single-server run — same path, bit-identical
+    #: outputs per seed.
+    shards: int = 1
+    #: Load-balancer policy: ``"sticky"`` (by session id, the default),
+    #: ``"round-robin"`` or ``"least-occupancy"``; all of them avoid shards
+    #: inside rejuvenation outage windows.
+    balancer_policy: str = "sticky"
+    #: ``"replica"`` gives every shard its own populated database;
+    #: ``"shared"`` mounts shard 0's database on every shard (one primary).
+    shard_db_mode: str = "replica"
+    #: Fleet-level coordination of the per-shard rejuvenation controllers:
+    #: ``"rolling"`` recycles at most one shard at a time, ``"simultaneous"``
+    #: lets every shard act the moment its policy fires, ``None`` keeps the
+    #: controllers fully independent (and, with one shard, the legacy
+    #: alert-triggered behaviour).  Requires ``shards >= 2`` and a
+    #: ``rejuvenation`` policy to use as the per-shard template.
+    fleet_rejuvenation: Optional[str] = None
+    #: Per-shard fault-plan overrides (shard index -> plan).  Shards without
+    #: an entry run the shared ``faults`` plan — heterogeneous aging across
+    #: the fleet is what the :class:`~repro.experiments.cluster.FleetManager`
+    #: exists to localise.
+    shard_faults: Optional[Dict[int, List[FaultSpec]]] = None
+
+    def fault_plan(self, shard_index: int) -> List[FaultSpec]:
+        """The fault plan shard ``shard_index`` runs."""
+        if self.shard_faults is not None and shard_index in self.shard_faults:
+            return self.shard_faults[shard_index]
+        return self.faults
 
     def effective_phases(self) -> List[WorkloadPhase]:
         """The phase list, defaulting to one constant-EB phase."""
@@ -146,9 +188,16 @@ class ExperimentResult:
     #: Per-component response-time series (only populated when
     #: ``track_component_latency`` or ``resilience`` is configured).
     component_latency: Dict[str, TimeSeries] = field(default_factory=dict)
+    #: Fleet-specific outputs (balancer stats, per-shard counters, the
+    #: cross-shard aging rows, fleet rejuvenation report); ``None`` on
+    #: single-shard runs.
+    fleet: Optional[FleetReport] = None
     #: Live handles for follow-up analysis (kept out of reports).
+    #: ``deployment`` / ``framework`` are shard 0's, matching the legacy
+    #: single-server fields; the full fleet hangs off ``cluster``.
     deployment: Optional[TpcwDeployment] = None
     framework: Optional[MonitoringFramework] = None
+    cluster: Optional[SimulatedCluster] = None
 
     def mean_throughput(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
         """Mean of the throughput series restricted to ``[start, end]``."""
@@ -188,14 +237,20 @@ class ExperimentResult:
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Run one experiment as described by ``config``."""
+    if config.fleet_rejuvenation is not None:
+        if config.shards < 2:
+            raise ValueError(
+                "fleet rejuvenation coordinates multiple shards; use the plain "
+                "`rejuvenation` field for a single-server run"
+            )
+        if config.rejuvenation is None:
+            raise ValueError(
+                "fleet rejuvenation needs a `rejuvenation` policy to use as the "
+                "per-shard template"
+            )
     engine = SimulationEngine()
-    scale = config.scale or PopulationScale.standard()
-    deployment = build_deployment(
-        scale=scale,
-        seed=config.seed,
-        config=config.server_config,
-        clock=engine.clock,
-    )
+    cluster = build_cluster(config, engine)
+    primary = cluster.primary.deployment
 
     # Thread/connection rejuvenation channels read series the extended
     # monitoring agents produce, so they imply installing those agents.
@@ -204,44 +259,58 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         and set(config.rejuvenation_channels) - {"heap"}
     )
 
-    framework: Optional[MonitoringFramework] = None
+    # Each stage installs across the whole fleet before the next begins, so
+    # a one-shard run schedules exactly the legacy event sequence.
     if config.monitored:
-        framework_config = FrameworkConfig(
-            sample_cost_seconds=config.sample_cost_seconds,
-            monitor_cpu=config.monitor_extended_resources,
-            monitor_threads=needs_extended,
-            monitor_connections=needs_extended,
-            snapshot_interval=config.snapshot_interval,
-        )
-        framework = MonitoringFramework(
-            deployment, engine=engine, config=framework_config, strategy=config.strategy
-        )
-        framework.install()
-        framework.schedule_snapshots(duration=config.duration, interval=config.snapshot_interval)
-        if config.monitored_components is not None:
-            keep = set(config.monitored_components)
-            for component in deployment.interaction_names():
-                if component not in keep:
-                    framework.disable_component(component)
-
-    injector = FaultInjector(deployment)
-    injector.inject_plan(config.faults)
-
-    blackbox: Optional[BlackBoxMonitor] = None
-    if config.collect_blackbox_samples:
-        blackbox = BlackBoxMonitor(deployment.runtime, deployment.datasource)
-        interval = config.snapshot_interval
-        t = interval
-        while t <= config.duration + 1e-9:
-            engine.schedule_at(
-                t, lambda when=t: blackbox.sample(when), priority=6, name="blackbox.sample"
+        for shard in cluster.shards:
+            framework_config = FrameworkConfig(
+                sample_cost_seconds=config.sample_cost_seconds,
+                monitor_cpu=config.monitor_extended_resources,
+                monitor_threads=needs_extended,
+                monitor_connections=needs_extended,
+                snapshot_interval=config.snapshot_interval,
             )
-            t += interval
+            framework = MonitoringFramework(
+                shard.deployment,
+                engine=engine,
+                config=framework_config,
+                strategy=config.strategy,
+            )
+            framework.install()
+            framework.schedule_snapshots(
+                duration=config.duration, interval=config.snapshot_interval
+            )
+            if config.monitored_components is not None:
+                keep = set(config.monitored_components)
+                for component in shard.deployment.interaction_names():
+                    if component not in keep:
+                        framework.disable_component(component)
+            shard.framework = framework
 
-    controller: Optional[RejuvenationController] = None
+    for shard in cluster.shards:
+        injector = FaultInjector(shard.deployment)
+        injector.inject_plan(config.fault_plan(shard.index))
+        shard.injector = injector
+
+    if config.collect_blackbox_samples:
+        for shard in cluster.shards:
+            blackbox = BlackBoxMonitor(shard.deployment.runtime, shard.deployment.datasource)
+            interval = config.snapshot_interval
+            t = interval
+            while t <= config.duration + 1e-9:
+                engine.schedule_at(
+                    t,
+                    lambda when=t, monitor=blackbox: monitor.sample(when),
+                    priority=6,
+                    name="blackbox.sample",
+                )
+                t += interval
+            shard.blackbox = blackbox
+
+    fleet_controller: Optional[FleetRejuvenationController] = None
     calibration_signature: Optional[str] = None
     if config.rejuvenation is not None:
-        if framework is None:
+        if not config.monitored:
             raise ValueError(
                 "live rejuvenation requires monitored=True (the controller reads "
                 "the manager's heap series and root-cause report)"
@@ -258,38 +327,70 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                 else workload_signature(config, scenario="(workload)")
             )
             record = config.calibration_store.lookup(calibration_signature)
-            if record is not None:
-                config.rejuvenation.apply_warm_start(record)
-        channels = (
-            build_channels(config.rejuvenation_channels)
-            if config.rejuvenation_channels is not None
-            else None
-        )
-        controller = RejuvenationController(
-            deployment, framework.manager, engine, config.rejuvenation, channels=channels
-        )
+        else:
+            record = None
         check_interval = (
             config.rejuvenation_check_interval
             if config.rejuvenation_check_interval is not None
             else config.snapshot_interval
         )
-        controller.schedule_checks(duration=config.duration, interval=check_interval)
-        controller.install_alert_trigger()
+        for shard in cluster.shards:
+            # Shard 0 runs the caller's policy instance (scenarios read its
+            # converged state afterwards); the other shards get independent
+            # copies so per-shard trends never share predictor state.  All
+            # shards of one workload signature warm-start from the same
+            # calibration record.
+            policy = (
+                config.rejuvenation
+                if shard.index == 0
+                else copy.deepcopy(config.rejuvenation)
+            )
+            if record is not None:
+                policy.apply_warm_start(record)
+            channels = (
+                build_channels(config.rejuvenation_channels)
+                if config.rejuvenation_channels is not None
+                else None
+            )
+            shard.controller = RejuvenationController(
+                shard.deployment,
+                shard.framework.manager,
+                engine,
+                policy,
+                channels=channels,
+            )
+        if config.fleet_rejuvenation is None:
+            for shard in cluster.shards:
+                shard.controller.schedule_checks(
+                    duration=config.duration, interval=check_interval
+                )
+                shard.controller.install_alert_trigger()
+        else:
+            fleet_controller = FleetRejuvenationController(
+                cluster,
+                [shard.controller for shard in cluster.shards],
+                engine,
+                mode=config.fleet_rejuvenation,
+            )
+            fleet_controller.schedule_checks(
+                duration=config.duration, interval=check_interval
+            )
 
     track_latency = config.track_component_latency or config.resilience is not None
-    if track_latency:
-        deployment.server.record_component_latency = True
-    if config.resilience is not None:
-        shedder = config.resilience.build_shedder(
-            config.resilience.priorities or PAGE_PRIORITIES
-        )
-        if shedder is not None:
-            deployment.server.install_load_shedder(shedder)
+    for shard in cluster.shards:
+        if track_latency:
+            shard.deployment.server.record_component_latency = True
+        if config.resilience is not None:
+            shedder = config.resilience.build_shedder(
+                config.resilience.priorities or PAGE_PRIORITIES
+            )
+            if shedder is not None:
+                shard.deployment.server.install_load_shedder(shedder)
 
     pinpoint: Optional[PinpointAnalyzer] = None
     generator = WorkloadGenerator(
         engine,
-        deployment,
+        cluster,
         mix=mix_by_name(config.mix_name),
         think_time_mean=config.think_time_mean,
         resilience=config.resilience,
@@ -307,17 +408,27 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     # Every issued attempt must land in exactly one ledger bucket; a
     # violation means a refusal or retry was silently dropped somewhere.
     accounting = generator.check_accounting()
+    # And every issued attempt must have been served by exactly one shard —
+    # re-routed requests included.
+    fleet_ledger = cluster.ledger_check(generator)
 
     if calibration_signature is not None:
-        # The run is over: persist the adaptive policy's converged horizons
-        # and this run's prediction-error statistics, so the next run of the
-        # same workload signature opens warm.
-        config.calibration_store.record_run(calibration_signature, config.rejuvenation)
+        # The run is over: persist each shard policy's converged horizons
+        # and its per-run error statistics under the shared workload
+        # signature, so the next run (any shard of it) opens warm.
+        for shard in cluster.shards:
+            config.calibration_store.record_run(
+                calibration_signature, shard.controller.policy
+            )
         config.calibration_store.save()
 
     # ------------------------------------------------------------------ #
-    # Collect results
+    # Collect results (top-level series are shard 0's, the legacy fields;
+    # the fleet report carries the per-shard picture)
     # ------------------------------------------------------------------ #
+    framework = cluster.primary.framework
+    blackbox = cluster.primary.blackbox
+    controller = cluster.primary.controller
     component_series: Dict[str, TimeSeries] = {}
     heap_series = TimeSeries("heap_used")
     resource_map_rows: List[Dict[str, object]] = []
@@ -325,7 +436,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     overhead_seconds = 0.0
     monitoring_samples = 0
     if framework is not None:
-        for component in deployment.interaction_names():
+        for component in primary.interaction_names():
             component_series[component] = framework.component_series(component)
         heap_series = framework.manager.map.series("<jvm>", "heap_used")
         resource_map_rows = framework.resource_map_rows()
@@ -335,12 +446,25 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     elif blackbox is not None:
         heap_series = blackbox.series["heap_used"]
 
+    fleet: Optional[FleetReport] = None
+    if config.shards > 1:
+        fleet = FleetReport(
+            shards=config.shards,
+            balancer=cluster.balancer.stats(),
+            per_shard=list(fleet_ledger["per_shard"]),
+            root_cause_rows=FleetManager(cluster).rows(),
+            ledger={"issued": fleet_ledger["issued"], "served": fleet_ledger["served"]},
+            rejuvenation=(
+                fleet_controller.report() if fleet_controller is not None else None
+            ),
+        )
+
     return ExperimentResult(
         config=config,
         duration=config.duration,
         completed_requests=generator.completed_requests,
         error_count=generator.error_count,
-        rejected_requests=deployment.server.rejected_requests,
+        rejected_requests=cluster.server.rejected_requests,
         throughput=generator.throughput_series(),
         response_times=generator.response_times,
         interaction_counts=dict(generator.interaction_counts),
@@ -350,8 +474,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         root_cause=root_cause,
         overhead_seconds=overhead_seconds,
         monitoring_samples=monitoring_samples,
-        fault_descriptions=injector.describe(),
-        utilization=deployment.server.utilization_report(config.duration),
+        fault_descriptions=cluster.primary.injector.describe(),
+        utilization=primary.server.utilization_report(config.duration),
         mean_response_time=generator.mean_response_time(),
         pinpoint=pinpoint,
         blackbox=blackbox,
@@ -362,8 +486,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         retry_attempts=generator.retry_attempts,
         client_timeouts=generator.client_timeouts,
         component_latency=(
-            deployment.server.component_latency_series() if track_latency else {}
+            primary.server.component_latency_series() if track_latency else {}
         ),
-        deployment=deployment,
+        fleet=fleet,
+        deployment=primary,
         framework=framework,
+        cluster=cluster,
     )

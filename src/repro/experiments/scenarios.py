@@ -1709,3 +1709,230 @@ def fig_zoo(
         cascade_victim=COMPONENT_B,
         duration=duration,
     )
+
+
+# --------------------------------------------------------------------------- #
+# Fleet rejuvenation comparison (tentpole of ISSUE 7)
+# --------------------------------------------------------------------------- #
+#: Shard count of the fleet comparison.
+FLEET_SHARDS = 4
+
+#: Fleet policy labels, in comparison order.
+FLEET_MODES = ("no-action", "simultaneous", "rolling")
+
+
+@dataclass
+class FleetScenarioResult:
+    """Outcome of the three-mode fleet rejuvenation comparison.
+
+    All three runs drive the same seeded workload through the same sharded
+    cluster; only the fleet coordination of the per-shard restart policy
+    differs.  SLA accounting is fleet-level: *downtime* is the seconds the
+    fleet's available capacity fraction spent below the SLA floor (a rolling
+    recycle never gets there, a simultaneous restart parks the whole fleet
+    below it), *exposure* sums each shard's time above the heap danger line,
+    and failures/refusals are the workload's fleet-wide counters.
+    """
+
+    #: Mode -> full experiment result, in comparison order.
+    results: Dict[str, ExperimentResult]
+    heap_capacity: float
+    duration: float
+    shards: int
+    #: Capacity fraction the fleet must keep serving (``(N-1)/N``: one shard
+    #: may be down at a time, never two).
+    sla_floor: float
+
+    def result(self, mode: str) -> ExperimentResult:
+        """The run executed under ``mode``."""
+        return self.results[mode]
+
+    def below_floor_seconds(self, mode: str) -> float:
+        """Seconds the fleet spent below the SLA capacity floor."""
+        fleet = self.results[mode].fleet
+        if fleet is None or fleet.rejuvenation is None:
+            return 0.0
+        windows = fleet.rejuvenation.windows
+        if not windows:
+            return 0.0
+        boundaries = sorted(
+            {0.0, self.duration}
+            | {min(t, self.duration) for _, start, end in windows for t in (start, end)}
+        )
+        below = 0.0
+        for left, right in zip(boundaries, boundaries[1:]):
+            midpoint = (left + right) / 2.0
+            down = sum(1 for _, start, end in windows if start <= midpoint < end)
+            if (self.shards - down) / self.shards < self.sla_floor - 1e-12:
+                below += right - left
+        return below
+
+    def min_capacity_fraction(self, mode: str) -> float:
+        """The lowest fraction of shards simultaneously serving."""
+        fleet = self.results[mode].fleet
+        if fleet is None or fleet.rejuvenation is None:
+            return 1.0
+        windows = fleet.rejuvenation.windows
+        lowest = 1.0
+        for _, start, _end in windows:
+            midpoint = start + 1e-6
+            down = sum(1 for _, s, e in windows if s <= midpoint < e)
+            lowest = min(lowest, (self.shards - down) / self.shards)
+        return lowest
+
+    def exposure(self, mode: str) -> float:
+        """Summed per-shard seconds above 90 % heap occupancy."""
+        result = self.results[mode]
+        assert result.cluster is not None
+        return sum(
+            exposure_seconds(
+                shard.heap_series(), self.heap_capacity, window_end=self.duration
+            )
+            for shard in result.cluster.shards
+        )
+
+    def sla_observation(self, mode: str) -> SlaObservation:
+        """The raw fleet-level availability currencies of one mode."""
+        result = self.results[mode]
+        return SlaObservation(
+            duration_seconds=self.duration,
+            downtime_seconds=self.below_floor_seconds(mode),
+            exposure_seconds=self.exposure(mode),
+            failed_requests=result.error_count,
+            refused_requests=result.refused_requests,
+        )
+
+    def sla_cost(self, mode: str, cost_model: Optional[SlaCostModel] = None) -> float:
+        """Scalar fleet SLA cost of one mode (see :mod:`repro.slo.cost_model`)."""
+        model = cost_model or SlaCostModel()
+        return model.score(self.sla_observation(mode))
+
+    def rolling_wins(self) -> bool:
+        """Whether rolling rejuvenation wins on fleet SLA cost.
+
+        Rolling must cost no more than *every* alternative and strictly less
+        than at least one.  On full-length runs both comparisons are strict
+        (no-action pays exposure/errors, simultaneous pays the blackout);
+        on very short smoke runs no-action may not have aged into any cost
+        yet, and a 0.0 == 0.0 tie there is not a loss.
+        """
+        rolling = self.sla_cost("rolling")
+        others = [self.sla_cost("simultaneous"), self.sla_cost("no-action")]
+        return all(rolling <= cost for cost in others) and any(
+            rolling < cost for cost in others
+        )
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One row per mode: fleet capacity, downtime, exposure and SLA cost."""
+        cost_model = SlaCostModel()
+        rows: List[Dict[str, object]] = []
+        for mode, result in self.results.items():
+            fleet = result.fleet
+            rejuvenation = fleet.rejuvenation if fleet is not None else None
+            observation = self.sla_observation(mode)
+            rows.append(
+                {
+                    "mode": mode,
+                    "completed": result.completed_requests,
+                    "errors": result.error_count,
+                    "refused": result.refused_requests,
+                    "actions": rejuvenation.actions if rejuvenation is not None else 0,
+                    "deferred": (
+                        rejuvenation.deferred_checks if rejuvenation is not None else 0
+                    ),
+                    "min_capacity_pct": round(100.0 * self.min_capacity_fraction(mode), 1),
+                    "below_floor_s": round(self.below_floor_seconds(mode), 2),
+                    "exposure_s": round(self.exposure(mode), 1),
+                    "failovers": (
+                        fleet.balancer["failovers"] if fleet is not None else 0
+                    ),
+                    "budget_burn": round(cost_model.budget_burn(observation), 2),
+                    "sla_cost": round(cost_model.score(observation), 1),
+                }
+            )
+        return rows
+
+    def root_cause_rows(self, mode: str = "no-action") -> List[Dict[str, object]]:
+        """The fleet manager's ranked (instance, component) aging rows."""
+        fleet = self.results[mode].fleet
+        return list(fleet.root_cause_rows) if fleet is not None else []
+
+
+def fig_fleet(
+    duration_scale: float = 1.0,
+    seed: int = 42,
+    scale: Optional[PopulationScale] = None,
+    shards: int = FLEET_SHARDS,
+    ebs: int = LEAK_EXPERIMENT_EBS,
+    balancer_policy: str = "sticky",
+    leak_bytes: int = REJUVENATION_LEAK_BYTES,
+    period_n: int = REJUVENATION_PERIOD_N,
+) -> FleetScenarioResult:
+    """Three same-seed fleet runs: rolling vs simultaneous vs no action.
+
+    Every shard of the fleet serves its balancer share of the EB population
+    and ages under the same component-A leak, sized so the *no-action* fleet
+    runs each shard's heap toward exhaustion late in the run.  The same
+    workload is then re-run with the per-shard time-based restart policy
+    coordinated two ways: *simultaneous* (every shard restarts the moment
+    its policy fires — they age in lockstep, so the whole fleet goes dark
+    together) and *rolling* (the fleet controller recycles one shard at a
+    time, the balancer failing sticky sessions over to the survivors).  The
+    restart interval is sized so each shard recycles exactly once.
+    """
+    if duration_scale <= 0:
+        raise ValueError(f"duration_scale must be positive, got {duration_scale}")
+    if shards < 2:
+        raise ValueError(f"a fleet comparison needs at least 2 shards, got {shards}")
+    duration = 3600.0 * duration_scale
+    snapshot_interval = max(2.0, 30.0 * duration_scale)
+    # Per-shard sizing: the balancer splits the EB population, so each shard
+    # sees ~1/shards of the measured component-A visit rate.  The fill target
+    # is tighter than the single-server scenario's 0.75 because sticky
+    # balancing splits sessions unevenly — the slower-leaking shards must
+    # still reach the wall within the run for no-action to pay its exposure.
+    visit_rate = _LEAK_VISITS_PER_SECOND * ebs / LEAK_EXPERIMENT_EBS / shards
+    expected_leak = visit_rate / period_n * leak_bytes * duration
+    heap_bytes = int((_BASELINE_LIVE_BYTES + 0.55 * expected_leak) / 0.92)
+    restart_downtime = max(2.0, 120.0 * duration_scale)
+    results: Dict[str, ExperimentResult] = {}
+    for mode in FLEET_MODES:
+        rejuvenation: Optional[RejuvenationPolicy] = None
+        fleet_mode: Optional[str] = None
+        if mode != "no-action":
+            # One restart per shard: a second trigger would land past the end
+            # of the run.
+            rejuvenation = TimeBasedRejuvenationPolicy(
+                interval=0.6 * duration, restart_downtime=restart_downtime
+            )
+            fleet_mode = mode
+        config = ExperimentConfig(
+            name=f"fig-fleet-{mode}",
+            seed=seed,
+            scale=scale,
+            constant_ebs=ebs,
+            duration=duration,
+            mix_name="shopping",
+            monitored=True,
+            faults=[
+                FaultSpec(
+                    component=COMPONENT_A,
+                    kind="memory-leak",
+                    params={"leak_bytes": leak_bytes, "period_n": period_n},
+                )
+            ],
+            snapshot_interval=snapshot_interval,
+            server_config=ServerConfig(heap_bytes=heap_bytes),
+            shards=shards,
+            balancer_policy=balancer_policy,
+            rejuvenation=rejuvenation,
+            fleet_rejuvenation=fleet_mode,
+        )
+        results[mode] = run_experiment(config)
+    return FleetScenarioResult(
+        results=results,
+        heap_capacity=float(heap_bytes),
+        duration=duration,
+        shards=shards,
+        sla_floor=(shards - 1) / shards,
+    )

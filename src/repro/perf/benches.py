@@ -44,6 +44,11 @@ Coverage, mirroring the hottest layers of the reproduction stack:
     End-to-end wall-clock of the cross-run calibration learning comparison
     (cold vs. warm-started adaptive over repeated runs), plus its headline
     verdict metrics (cumulative SLA cost and total recycles per mode).
+``fleet_e2e``
+    End-to-end wall-clock of the sharded-fleet scenario (rolling vs.
+    simultaneous vs. no-action rejuvenation at four shards behind the load
+    balancer), plus its headline verdicts (per-mode SLA cost, rolling
+    minimum capacity, whether rolling wins).
 """
 
 from __future__ import annotations
@@ -755,3 +760,29 @@ def bench_fig4_e2e(options: BenchOptions) -> BenchResult:
         }
 
     return _run_e2e("fig4_e2e", runner, options)
+
+
+@microbench("fleet_e2e")
+def bench_fleet_e2e(options: BenchOptions) -> BenchResult:
+    """Wall-clock + headline verdicts of the sharded-fleet rejuvenation scenario."""
+    from repro.experiments.scenarios import fig_fleet
+    from repro.tpcw.population import PopulationScale
+
+    def runner() -> Dict[str, object]:
+        scenario = fig_fleet(
+            duration_scale=options.duration_scale,
+            seed=options.seed,
+            scale=PopulationScale.tiny(),
+        )
+        return {
+            "shards": scenario.shards,
+            "rolling_sla_cost": round(scenario.sla_cost("rolling"), 1),
+            "simultaneous_sla_cost": round(scenario.sla_cost("simultaneous"), 1),
+            "no_action_sla_cost": round(scenario.sla_cost("no-action"), 1),
+            "rolling_min_capacity_pct": round(
+                100.0 * scenario.min_capacity_fraction("rolling"), 1
+            ),
+            "rolling_wins": scenario.rolling_wins(),
+        }
+
+    return _run_e2e("fleet_e2e", runner, options)

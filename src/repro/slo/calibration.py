@@ -98,6 +98,14 @@ def workload_signature(config, scenario: Optional[str] = None) -> str:
         f"sizing={sizing}",
         f"channels={channels}",
     ]
+    # A sharded fleet splits the EB load N ways, so its per-shard exhaustion
+    # dynamics differ from the same config on one server; every shard of one
+    # fleet shares this signature (the fleet-wide warm start), but fleets of
+    # different widths calibrate apart.  Single-shard runs keep the legacy
+    # signature unchanged.
+    shards = getattr(config, "shards", 1)
+    if shards > 1:
+        parts.append(f"shards={shards}")
     return "|".join(parts)
 
 

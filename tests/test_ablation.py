@@ -226,3 +226,42 @@ class TestAblateCli:
         missing = tmp_path / "nope.json"
         assert main(["ablate", "--manifest", str(missing)]) == 2
         assert "error" in capsys.readouterr().err.lower()
+
+
+class TestParallelAblation:
+    @pytest.fixture(scope="class")
+    def manifest(self):
+        return AblationManifest(
+            name="par",
+            policies=["no-action"],
+            faults=["slow-downstream"],
+            mechanisms=["naive-retry", "backoff-breaker"],
+            seeds=[42],
+            duration_scale=0.01,
+            period_n=3,
+            ebs=20,
+            tiny=True,
+        )
+
+    def test_jobs_must_be_positive(self, manifest):
+        with pytest.raises(ValueError, match="jobs"):
+            run_ablation(manifest, jobs=0)
+
+    def test_process_pool_payload_identical_to_serial(self, manifest):
+        """--jobs N must only change wall-clock, never a single byte.
+
+        Each cell is an independent simulation seeded from its own
+        coordinates, and the pool map preserves submission order, so the
+        merged payload (cells + all three ranked reports) must compare
+        equal to the serial run's.
+        """
+        serial = run_ablation(manifest, jobs=1)
+        parallel = run_ablation(manifest, jobs=2)
+        assert parallel.cells == serial.cells
+        assert parallel.to_payload() == serial.to_payload()
+
+    def test_progress_reports_every_cell_up_front(self, manifest):
+        labels = []
+        run_ablation(manifest, jobs=2, progress=labels.append)
+        assert len(labels) == manifest.cell_count()
+        assert "naive-retry" in labels[0]

@@ -157,3 +157,54 @@ class TestBenchCompareCli:
         new = tmp_path / "new.json"
         self._artifact(new, [self._entry("a", 1.0)])
         assert main(["bench", "--compare", str(old), str(new)]) == 2
+
+
+class TestScenarioRegistry:
+    def test_every_registered_scenario_gets_a_subparser(self):
+        from repro.cli import SCENARIO_COMMANDS
+
+        parser = build_parser()
+        for command in SCENARIO_COMMANDS:
+            args = parser.parse_args([command.name])
+            assert args.handler is command.handler
+            assert args.seed == 42
+            assert hasattr(args, "ebs") == command.include_ebs
+
+    def test_register_scenario_rejects_duplicate_names(self):
+        from repro.cli import SCENARIO_COMMANDS, ScenarioCommand, register_scenario
+
+        existing = SCENARIO_COMMANDS[0]
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(
+                ScenarioCommand(existing.name, "dup", handler=existing.handler)
+            )
+
+    def test_fleet_command_options(self):
+        args = build_parser().parse_args(
+            ["fleet", "--shards", "2", "--balancer", "round-robin", "--tiny"]
+        )
+        assert args.shards == 2
+        assert args.balancer == "round-robin"
+        assert args.tiny
+
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.shards == 4
+        assert args.balancer == "sticky"
+
+    def test_ablate_jobs_option(self):
+        args = build_parser().parse_args(["ablate", "--jobs", "3"])
+        assert args.jobs == 3
+        assert build_parser().parse_args(["ablate"]).jobs == 1
+
+
+class TestFleetCommand:
+    def test_fleet_smoke_run(self, capsys):
+        exit_code = main(
+            ["fleet", "--tiny", "--duration-scale", "0.02", "--shards", "2", "--seed", "42"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "rolling" in out
+        assert "simultaneous" in out
+        assert "served == issued" in out
