@@ -29,6 +29,7 @@ from repro._version import __version__
 from repro.experiments.environment import environment_rows
 from repro.experiments.reporting import (
     adaptive_report,
+    canary_report,
     fig3_report,
     fig6_report,
     fleet_report,
@@ -47,6 +48,7 @@ from repro.experiments.scenarios import (
     fig6_manager_map,
     fig7_injection_sizes,
     fig_adaptive,
+    fig_canary,
     fig_fleet,
     fig_learning,
     fig_mixed,
@@ -202,18 +204,24 @@ def _cmd_bench_compare(old_path: str, new_path: str) -> int:
         return 2
 
     print(f"== bench compare: {old_path} -> {new_path} ==")
-    regressions = 0
+    regressions: List[str] = []
     for row in comparisons:
         old = f"{row.old_speedup:.2f}x" if row.old_speedup is not None else "-"
         new = f"{row.new_speedup:.2f}x" if row.new_speedup is not None else "-"
-        delta = f"{row.delta_percent:+.1f}%" if row.delta_percent is not None else "  n/a"
+        delta = f"{row.delta_percent:+.1f}%" if row.delta_percent is not None else "n/a"
         tiny = "tiny" if row.options.get("tiny") else "full"
         note = f"  [{row.note}]" if row.note else ""
         print(f"{row.name:18s} {tiny:4s}  {old:>8s} -> {new:>8s}  {delta:>8s}{note}")
         if row.regression:
-            regressions += 1
+            regressions.append(f"{row.name}[{tiny}] {delta}")
     if regressions:
-        print(f"{regressions} regression(s) beyond tolerance", file=sys.stderr)
+        # One line naming every regressed (name, options) entry and its
+        # delta, so a CI log tail identifies the culprits without scrolling.
+        print(
+            f"{len(regressions)} regression(s) beyond tolerance: "
+            + ", ".join(regressions),
+            file=sys.stderr,
+        )
         return 1
     print("no regressions beyond tolerance")
     return 0
@@ -287,6 +295,39 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     )
     print(fleet_report(scenario))
     return 0 if scenario.rolling_wins() else 1
+
+
+def _cmd_canary(args: argparse.Namespace) -> int:
+    import json
+
+    scenario = fig_canary(
+        duration_scale=args.duration_scale,
+        seed=args.seed,
+        scale=_population(args),
+        ebs=args.ebs,
+        shards=args.shards,
+        stream_metrics=args.stream_metrics,
+    )
+    print(canary_report(scenario))
+    if args.stream_metrics:
+        # The streamed plane must agree with the post-hoc report: the final
+        # JSONL record's counters are the same ledger the report asserts.
+        with open(args.stream_metrics, encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+        streamed = json.loads(lines[-1])["counters"]
+        ledger = dict(scenario.results["canary"].accounting)
+        if streamed != ledger:
+            print(
+                "error: streamed final counters disagree with the post-hoc "
+                f"ledger\n  stream: {streamed}\n  ledger: {ledger}",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"\nstreamed {len(lines)} metrics records to {args.stream_metrics}; "
+            "final counters match the post-hoc ledger"
+        )
+    return 0 if scenario.canary_wins() else 1
 
 
 def _cmd_ablate(args: argparse.Namespace) -> int:
@@ -403,6 +444,18 @@ def _fleet_args(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _canary_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--shards", type=int, default=3, help="application-server instances behind the balancer"
+    )
+    sub.add_argument(
+        "--stream-metrics",
+        metavar="PATH",
+        default=None,
+        help="stream observability snapshots of the canary run to a JSONL file",
+    )
+
+
 SCENARIO_COMMANDS: List[ScenarioCommand] = [
     ScenarioCommand("fig3", "overhead experiment (monitored vs. unmonitored throughput)", _cmd_fig3, include_ebs=False),
     ScenarioCommand("fig4", "single-leak experiment", _cmd_fig4),
@@ -415,6 +468,7 @@ SCENARIO_COMMANDS: List[ScenarioCommand] = [
     ScenarioCommand("zoo", "fault zoo: five degradation modes + cascade-aware attribution verdicts", _cmd_zoo),
     ScenarioCommand("storm", "retry storm: naive immediate retries vs. backoff + circuit breaker", _cmd_storm),
     ScenarioCommand("fleet", "sharded fleet: rolling vs. simultaneous vs. no-action rejuvenation", _cmd_fleet, extra_args=_fleet_args),
+    ScenarioCommand("canary", "canary deploy of a leaky build: catch + rollback vs. blind rollout", _cmd_canary, extra_args=_canary_args),
 ]
 
 
@@ -527,10 +581,47 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Non-scenario subcommands and their one-line help, for the registry table.
+_UTILITY_COMMANDS = [
+    ("environment", "print Table I (paper vs. reproduction)"),
+    ("quickstart", "install the framework, inject a leak, diagnose"),
+    ("bench", "run the perf microbenchmarks (speedups vs. the seed baseline)"),
+    ("ablate", "run the policy × fault × mechanism × seed ablation matrix"),
+]
+
+
+def _registry_table() -> str:
+    """The full command registry as a table (shown on unknown commands)."""
+    rows = [
+        {"command": name, "what it runs": help_text}
+        for name, help_text in _UTILITY_COMMANDS
+    ]
+    rows += [
+        {"command": command.name, "what it runs": command.help}
+        for command in SCENARIO_COMMANDS
+    ]
+    return format_table(rows, ["command", "what it runs"])
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
-    args = parser.parse_args(argv)
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    # A wrong or missing subcommand prints the scenario registry instead of
+    # argparse's bare "invalid choice" error.  The only pre-subcommand flags
+    # (-h/--help/--version) take no value, so the first non-flag argument is
+    # the attempted command.
+    command = next((arg for arg in arguments if not arg.startswith("-")), None)
+    known = {name for name, _ in _UTILITY_COMMANDS}
+    known.update(command_row.name for command_row in SCENARIO_COMMANDS)
+    wants_help = any(arg in ("-h", "--help", "--version") for arg in arguments)
+    if (command is None and not wants_help) or (command is not None and command not in known):
+        if command is not None:
+            print(f"error: unknown command {command!r}", file=sys.stderr)
+        print("available commands:", file=sys.stderr)
+        print(_registry_table(), file=sys.stderr)
+        return 2
+    args = parser.parse_args(arguments)
     return args.handler(args)
 
 

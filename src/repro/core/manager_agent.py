@@ -78,6 +78,7 @@ class ManagerAgent(MBean, NotificationBroadcaster):
         self._folded_consumption: Dict[str, float] = {}
         self._alerted: set = set()
         self._snapshot_count = 0
+        self._snapshot_listeners: List[Callable[[float, Dict[str, float]], None]] = []
         #: Whether snapshots also poll the heap agent's ``live_bytes`` walk
         #: (an O(live objects) reference-graph closure).  Off by default;
         #: the rejuvenation controller switches it on because its policies
@@ -225,6 +226,8 @@ class ManagerAgent(MBean, NotificationBroadcaster):
                     float(values.get("connections_active", 0.0)),
                 )
         self._snapshot_count += 1
+        for listener in self._snapshot_listeners:
+            listener(when, dict(sizes))
         return sizes
 
     def _check_alert(self, component: str) -> None:
@@ -292,6 +295,18 @@ class ManagerAgent(MBean, NotificationBroadcaster):
             callback(notification.attributes.get("component"), notification)
 
         self.add_notification_listener(_relay, type_filter(AGING_SUSPECT_NOTIFICATION))
+
+    def add_snapshot_listener(
+        self, callback: Callable[[float, Dict[str, float]], None]
+    ) -> None:
+        """Invoke ``callback(when, sizes)`` after every polling snapshot.
+
+        The observability plane's read-only publish hook: listeners receive
+        a *copy* of the component -> object_size mapping each snapshot
+        records, so they can track polling liveness without re-reading the
+        map (and without any way to perturb it).
+        """
+        self._snapshot_listeners.append(callback)
 
     # ------------------------------------------------------------------ #
     # AC control

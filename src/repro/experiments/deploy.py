@@ -1,0 +1,435 @@
+"""Rolling deploys, canary analysis and automated rollback over the fleet.
+
+The continuous-delivery scenario family the sharded cluster makes possible:
+a :class:`DeploymentController` swaps a per-shard :class:`ComponentVersion`
+inside the same outage-window machinery rejuvenation uses (a deploy *is* a
+micro-reboot that comes back up running different code), a
+:class:`CanaryAnalyzer` compares the canary shard's monitored series against
+the baseline shards (Mann–Kendall trend + growth ratio + an SLA-burn delta),
+and a failed verdict rolls the canary back before the fleet is exposed.
+
+Version semantics in the simulation: the servlet *object* stays, what a
+version changes is its fault load — a ``ComponentVersion`` carries the
+:class:`~repro.faults.injector.FaultSpec` list its code exhibits (an empty
+tuple is a healthy build).  Deploying attaches those faults to the shard's
+servlet after clearing the component's retained state; rolling back detaches
+them and clears the state the bad build accumulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.analysis.trend import mann_kendall
+from repro.baselines.rejuvenation import exposure_seconds
+from repro.faults.injector import FaultSpec
+from repro.slo.cost_model import SlaCostModel, SlaObservation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids circular imports)
+    from repro.experiments.cluster import ShardHandle, SimulatedCluster
+    from repro.obs.registry import MetricsRegistry
+    from repro.sim.engine import SimulationEngine
+
+#: Deploys land *before* the manager snapshots (priority 5) of the same
+#: tick, so the first post-deploy poll already sees the new version's state.
+DEPLOY_PRIORITY = 3
+
+#: Canary analysis runs *after* every same-tick monitoring event (manager
+#: snapshot 5, black-box 6, rejuvenation 7/8), so the verdict always reads
+#: fresh series.
+ANALYZE_PRIORITY = 9
+
+#: Version label shards carry before their first deploy.
+BASELINE_VERSION = "baseline"
+
+
+@dataclass(frozen=True)
+class ComponentVersion:
+    """One deployable build of one component."""
+
+    component: str
+    version: str
+    #: The faults this build exhibits (empty = a healthy build).
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        for spec in self.faults:
+            if spec.component != self.component:
+                raise ValueError(
+                    f"fault spec targets {spec.component!r} but the version "
+                    f"deploys {self.component!r}"
+                )
+
+
+@dataclass
+class DeploymentPlan:
+    """How a :class:`ComponentVersion` rolls across the fleet."""
+
+    version: ComponentVersion
+    #: Absolute sim time of the first deploy.
+    start_time: float
+    #: Gap between consecutive shard deploys of a rolling/full rollout.
+    stagger_seconds: float = 60.0
+    #: Outage-window length of each per-shard swap.
+    deploy_downtime_seconds: float = 5.0
+    #: Canary mode: deploy one shard, bake, analyse, then promote or roll
+    #: back.  ``False`` is the blind full rollout.
+    canary: bool = True
+    canary_shard: int = 0
+    #: Seconds the canary bakes before the analyzer rules.
+    bake_seconds: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.start_time < 0:
+            raise ValueError(f"start_time must be >= 0, got {self.start_time}")
+        if self.stagger_seconds < 0:
+            raise ValueError(f"stagger_seconds must be >= 0, got {self.stagger_seconds}")
+        if self.deploy_downtime_seconds <= 0:
+            raise ValueError(
+                f"deploy_downtime_seconds must be positive, got {self.deploy_downtime_seconds}"
+            )
+        if self.canary and self.bake_seconds <= 0:
+            raise ValueError(f"bake_seconds must be positive, got {self.bake_seconds}")
+
+
+@dataclass(frozen=True)
+class CanaryVerdict:
+    """The analyzer's ruling on one baked canary."""
+
+    promote: bool
+    reason: str
+    canary_growth_bytes: float
+    baseline_growth_bytes: float
+    growth_ratio: float
+    p_value: float
+    trending_up: bool
+    canary_exposure_cost: float
+    baseline_exposure_cost: float
+
+
+class CanaryAnalyzer:
+    """Compares the canary shard's series against the baseline shards.
+
+    Three read-only signals over the bake window ``[deploy, now]``, all from
+    the per-shard monitoring the registry exposes:
+
+    - the deployed component's object-size trend on the canary shard must
+      not be a *significant* Mann–Kendall increase, and
+    - its growth must stay under ``growth_ratio_threshold`` times the mean
+      baseline-shard growth of the same component, and
+    - the canary shard's exposure-weighted SLA cost over the window must not
+      exceed the mean baseline shard's by more than ``burn_delta_threshold``.
+    """
+
+    def __init__(
+        self,
+        growth_ratio_threshold: float = 2.0,
+        alpha: float = 0.05,
+        burn_delta_threshold: float = 1.0,
+        cost_model: Optional[SlaCostModel] = None,
+    ) -> None:
+        if growth_ratio_threshold <= 1.0:
+            raise ValueError(
+                f"growth_ratio_threshold must exceed 1.0, got {growth_ratio_threshold}"
+            )
+        self.growth_ratio_threshold = growth_ratio_threshold
+        self.alpha = alpha
+        self.burn_delta_threshold = burn_delta_threshold
+        self.cost_model = cost_model or SlaCostModel()
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _window_values(shard: "ShardHandle", component: str, start: float, end: float) -> List[float]:
+        if shard.framework is None:
+            return []
+        series = shard.framework.manager.map.series(component, "object_size")
+        return [
+            float(value)
+            for t, value in zip(series.times, series.values)
+            if start - 1e-9 <= float(t) <= end + 1e-9
+        ]
+
+    def _exposure_cost(self, shard: "ShardHandle", start: float, end: float) -> float:
+        capacity = float(shard.deployment.runtime.total_memory())
+        exposure = exposure_seconds(shard.heap_series(), capacity, window_end=end)
+        observation = SlaObservation(
+            duration_seconds=max(end - start, 1e-9), exposure_seconds=exposure
+        )
+        return self.cost_model.score(observation)
+
+    def analyze(
+        self,
+        cluster: "SimulatedCluster",
+        component: str,
+        canary_shard: int,
+        deploy_time: float,
+        now: float,
+    ) -> CanaryVerdict:
+        """Rule on the canary baked over ``[deploy_time, now]``."""
+        canary = cluster.shards[canary_shard]
+        baselines = [s for s in cluster.shards if s.index != canary_shard]
+        canary_values = self._window_values(canary, component, deploy_time, now)
+        canary_growth = (
+            canary_values[-1] - canary_values[0] if len(canary_values) >= 2 else 0.0
+        )
+        baseline_growths = []
+        for shard in baselines:
+            values = self._window_values(shard, component, deploy_time, now)
+            baseline_growths.append(
+                values[-1] - values[0] if len(values) >= 2 else 0.0
+            )
+        baseline_growth = (
+            sum(baseline_growths) / len(baseline_growths) if baseline_growths else 0.0
+        )
+        # A flat baseline must not shield a growing canary: the ratio floor
+        # is one injected-allocation's worth of bytes.
+        ratio = canary_growth / max(baseline_growth, 1024.0)
+        trend = mann_kendall(canary_values, alpha=self.alpha)
+        canary_cost = self._exposure_cost(canary, deploy_time, now)
+        baseline_cost = (
+            sum(self._exposure_cost(s, deploy_time, now) for s in baselines)
+            / len(baselines)
+            if baselines
+            else 0.0
+        )
+        burn_delta = canary_cost - baseline_cost
+
+        if trend.trending_up and ratio >= self.growth_ratio_threshold:
+            promote = False
+            reason = (
+                f"{component} object size trends up on the canary "
+                f"(p={trend.p_value:.4f}) at {ratio:.1f}x the baseline growth"
+            )
+        elif burn_delta > self.burn_delta_threshold:
+            promote = False
+            reason = (
+                f"canary SLA burn exceeds the baseline by {burn_delta:.2f} "
+                f"(threshold {self.burn_delta_threshold:g})"
+            )
+        else:
+            promote = True
+            reason = (
+                f"no significant {component} growth "
+                f"(ratio {ratio:.2f}x, p={trend.p_value:.4f}) and burn delta "
+                f"{burn_delta:.2f} within threshold"
+            )
+        return CanaryVerdict(
+            promote=promote,
+            reason=reason,
+            canary_growth_bytes=float(canary_growth),
+            baseline_growth_bytes=float(baseline_growth),
+            growth_ratio=float(ratio),
+            p_value=float(trend.p_value),
+            trending_up=bool(trend.trending_up),
+            canary_exposure_cost=float(canary_cost),
+            baseline_exposure_cost=float(baseline_cost),
+        )
+
+
+@dataclass
+class DeploymentReport:
+    """Summary of one rollout (for results and reports)."""
+
+    version: str
+    component: str
+    canary: bool
+    events: List[Dict[str, object]]
+    rolled_back: bool
+    outage_seconds: float
+    #: Final shard -> version-label map, in shard order.
+    versions: Dict[int, str]
+    verdict: Optional[CanaryVerdict] = None
+
+    def event_rows(self) -> List[Dict[str, object]]:
+        """The event log as printable rows."""
+        return [dict(event) for event in self.events]
+
+
+class DeploymentController:
+    """Executes a :class:`DeploymentPlan` against a running cluster.
+
+    Each per-shard swap reuses the micro-reboot machinery: a component-scoped
+    outage window, the component's retained state cleared and its owned heap
+    reclaimed, then the new version's fault load attached.  Rollback is the
+    same swap in reverse.  Every event is appended to :attr:`events` and
+    published to the metrics registry when one is attached.
+    """
+
+    def __init__(
+        self,
+        cluster: "SimulatedCluster",
+        engine: "SimulationEngine",
+        plan: DeploymentPlan,
+        registry: Optional["MetricsRegistry"] = None,
+        analyzer: Optional[CanaryAnalyzer] = None,
+    ) -> None:
+        if plan.canary and not 0 <= plan.canary_shard < len(cluster.shards):
+            raise ValueError(
+                f"canary shard {plan.canary_shard} outside the cluster "
+                f"(shards: {len(cluster.shards)})"
+            )
+        self.cluster = cluster
+        self.engine = engine
+        self.plan = plan
+        self.registry = registry
+        self.analyzer = analyzer or CanaryAnalyzer()
+        self.events: List[Dict[str, object]] = []
+        self.versions: Dict[int, str] = {
+            shard.index: BASELINE_VERSION for shard in cluster.shards
+        }
+        self.rolled_back = False
+        self.verdict: Optional[CanaryVerdict] = None
+        self.outage_seconds = 0.0
+        self._attached_faults: Dict[int, List[object]] = {}
+        self._deploy_times: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------ #
+    def schedule(self, duration: float) -> None:
+        """Schedule the rollout's events over a run of ``duration`` seconds."""
+        plan = self.plan
+        if plan.start_time >= duration:
+            raise ValueError(
+                f"rollout starts at {plan.start_time} but the run ends at {duration}"
+            )
+        if plan.canary:
+            self.engine.schedule_at(
+                plan.start_time,
+                lambda when=plan.start_time: self._deploy(plan.canary_shard, when),
+                priority=DEPLOY_PRIORITY,
+                name="deploy.canary",
+            )
+            analyze_at = plan.start_time + plan.bake_seconds
+            if analyze_at >= duration:
+                raise ValueError(
+                    f"canary analysis at {analyze_at} lands past the run end {duration}"
+                )
+            self.engine.schedule_at(
+                analyze_at,
+                lambda when=analyze_at: self._analyze(when),
+                priority=ANALYZE_PRIORITY,
+                name="deploy.analyze",
+            )
+        else:
+            for offset, shard in enumerate(self.cluster.shards):
+                at = plan.start_time + offset * plan.stagger_seconds
+                if at >= duration:
+                    break
+                self.engine.schedule_at(
+                    at,
+                    lambda when=at, index=shard.index: self._deploy(index, when),
+                    priority=DEPLOY_PRIORITY,
+                    name="deploy.rollout",
+                )
+
+    # ------------------------------------------------------------------ #
+    def _record(self, event: Dict[str, object]) -> None:
+        self.events.append(event)
+        if self.registry is not None:
+            self.registry.record_deploy_event(event)
+
+    def _swap(self, shard: "ShardHandle", when: float) -> Tuple[int, int]:
+        """The shared deploy/rollback mechanics: outage, clear, reclaim."""
+        component = self.plan.version.component
+        downtime = self.plan.deploy_downtime_seconds
+        shard.deployment.server.begin_outage(when, when + downtime, component=component)
+        self.outage_seconds += downtime
+        shard.deployment.servlet(component).instance_root.clear_references()
+        return shard.deployment.runtime.reclaim_owned(component)
+
+    def _deploy(self, shard_index: int, when: float) -> None:
+        shard = self.cluster.shards[shard_index]
+        version = self.plan.version
+        objects, reclaimed = self._swap(shard, when)
+        servlet = shard.deployment.servlet(version.component)
+        attached: List[object] = []
+        for spec in version.faults:
+            fault = spec.build(shard.deployment.streams)
+            servlet.attach_fault(fault)
+            attached.append(fault)
+        self._attached_faults[shard_index] = attached
+        self._deploy_times[shard_index] = when
+        self.versions[shard_index] = version.version
+        self._record(
+            {
+                "time_s": round(when, 6),
+                "shard": shard_index,
+                "action": "deploy",
+                "version": version.version,
+                "component": version.component,
+                "downtime_s": self.plan.deploy_downtime_seconds,
+                "detail": f"reclaimed {reclaimed} B / {objects} objects from the old build",
+            }
+        )
+
+    def _rollback(self, shard_index: int, when: float, reason: str) -> None:
+        shard = self.cluster.shards[shard_index]
+        component = self.plan.version.component
+        servlet = shard.deployment.servlet(component)
+        for fault in self._attached_faults.pop(shard_index, []):
+            servlet.detach_fault(fault)
+        objects, reclaimed = self._swap(shard, when)
+        self.versions[shard_index] = BASELINE_VERSION
+        self.rolled_back = True
+        self._record(
+            {
+                "time_s": round(when, 6),
+                "shard": shard_index,
+                "action": "rollback",
+                "version": BASELINE_VERSION,
+                "component": component,
+                "downtime_s": self.plan.deploy_downtime_seconds,
+                "detail": f"{reason}; reclaimed {reclaimed} B / {objects} objects",
+            }
+        )
+
+    def _analyze(self, when: float) -> None:
+        plan = self.plan
+        verdict = self.analyzer.analyze(
+            self.cluster,
+            plan.version.component,
+            plan.canary_shard,
+            self._deploy_times[plan.canary_shard],
+            when,
+        )
+        self.verdict = verdict
+        if verdict.promote:
+            self._record(
+                {
+                    "time_s": round(when, 6),
+                    "shard": plan.canary_shard,
+                    "action": "promote",
+                    "version": plan.version.version,
+                    "component": plan.version.component,
+                    "downtime_s": 0.0,
+                    "detail": verdict.reason,
+                }
+            )
+            offset = 1
+            for shard in self.cluster.shards:
+                if shard.index == plan.canary_shard:
+                    continue
+                at = when + offset * plan.stagger_seconds
+                self.engine.schedule_at(
+                    at,
+                    lambda when=at, index=shard.index: self._deploy(index, when),
+                    priority=DEPLOY_PRIORITY,
+                    name="deploy.promote",
+                )
+                offset += 1
+        else:
+            self._rollback(plan.canary_shard, when, verdict.reason)
+
+    # ------------------------------------------------------------------ #
+    def report(self) -> DeploymentReport:
+        """Summarise the rollout."""
+        return DeploymentReport(
+            version=self.plan.version.version,
+            component=self.plan.version.component,
+            canary=self.plan.canary,
+            events=[dict(event) for event in self.events],
+            rolled_back=self.rolled_back,
+            outage_seconds=self.outage_seconds,
+            versions=dict(self.versions),
+            verdict=self.verdict,
+        )

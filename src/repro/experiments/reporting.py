@@ -8,11 +8,14 @@ the same renderers.
 
 from __future__ import annotations
 
+import csv
+import io
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.runner import ExperimentResult
 from repro.experiments.scenarios import (
     AdaptiveScenarioResult,
+    CanaryScenarioResult,
     Fig3Result,
     FleetScenarioResult,
     LeakScenarioResult,
@@ -44,6 +47,69 @@ def format_table(rows: Sequence[Dict[str, object]], columns: Optional[List[str]]
     for row in rows:
         lines.append("  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns))
     return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    """One cell of a machine-readable artifact.
+
+    Floats are fixed to 6 decimal places (never ``repr`` — the artifact must
+    not change bytes across Python versions); everything else is ``str``.
+    """
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.6f}"
+    return str(value)
+
+
+def _artifact_columns(
+    rows: Sequence[Dict[str, object]], columns: Optional[List[str]]
+) -> List[str]:
+    if columns is not None:
+        return list(columns)
+    keys = set()
+    for row in rows:
+        keys.update(row)
+    return sorted(str(key) for key in keys)
+
+
+def rows_to_markdown(
+    rows: Sequence[Dict[str, object]], columns: Optional[List[str]] = None
+) -> str:
+    """Render dict rows as a GitHub-flavored Markdown table.
+
+    Column order defaults to the sorted union of row keys and floats are
+    fixed to 6 decimal places, so the output is byte-stable per input —
+    suitable for golden-snapshot tests and checked-in artifacts.
+    """
+    rows = list(rows)
+    columns = _artifact_columns(rows, columns)
+    if not columns:
+        return "(no data)\n"
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_format_cell(row.get(column, "")) for column in columns) + " |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def rows_to_csv(
+    rows: Sequence[Dict[str, object]], columns: Optional[List[str]] = None
+) -> str:
+    """Render dict rows as CSV with the same byte-stability discipline
+    as :func:`rows_to_markdown` (sorted default columns, 6dp floats)."""
+    rows = list(rows)
+    columns = _artifact_columns(rows, columns)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(columns)
+    for row in rows:
+        writer.writerow([_format_cell(row.get(column, "")) for column in columns])
+    return buffer.getvalue()
 
 
 def downsample_series(series: TimeSeries, points: int = 20) -> List[Dict[str, float]]:
@@ -265,6 +331,95 @@ def fleet_report(scenario: FleetScenarioResult) -> str:
         ),
     ]
     return "\n".join(lines)
+
+
+def fleet_report_artifacts(scenario: FleetScenarioResult) -> Dict[str, str]:
+    """Machine-readable per-mode summary of the fleet comparison
+    (``{"markdown", "csv"}``, byte-stable per seed)."""
+    rows = scenario.summary_rows()
+    return {"markdown": rows_to_markdown(rows), "csv": rows_to_csv(rows)}
+
+
+# --------------------------------------------------------------------------- #
+# Canary deployment comparison
+# --------------------------------------------------------------------------- #
+def canary_report(scenario: CanaryScenarioResult) -> str:
+    """Per-strategy rollout outcome, canary verdict and the SLA-cost claim."""
+    for result in scenario.results.values():
+        accounting_sanity_check(result)
+    lines = [
+        f"== Canary deployment at {scenario.shards} shards: "
+        "no-deploy vs. canary+rollback vs. blind rollout ==",
+        f"expectation: the '{scenario.version}' build of {scenario.component} "
+        "leaks; the canary strategy catches the leak from the observability "
+        "plane's shard-level object-size series during the bake window and "
+        "rolls back before any other shard is exposed, while the blind "
+        "rollout ships the leak fleet-wide — canary wins on fleet SLA cost",
+        f"per-shard heap capacity: {scenario.heap_capacity / (1024.0 * 1024.0):.2f} MB, "
+        f"run length: {scenario.duration:.0f} s",
+        "",
+        "per-strategy rollout outcome and SLA cost:",
+        format_table(scenario.summary_rows()),
+    ]
+    events = []
+    for mode in ("canary", "blind"):
+        rollout = scenario.results[mode].rollout
+        if rollout is None:
+            continue
+        for event in rollout.events:
+            events.append(
+                {
+                    "strategy": mode,
+                    "time_s": round(float(event["time_s"]), 1),
+                    "shard": event["shard"],
+                    "action": event["action"],
+                    "version": event["version"],
+                    "downtime_s": round(float(event["downtime_s"]), 2),
+                }
+            )
+    if events:
+        lines += ["", "deployment events:", format_table(events)]
+    verdict = scenario.verdict()
+    if verdict is not None:
+        lines += [
+            "",
+            "canary analyzer verdict:",
+            format_table(
+                [
+                    {
+                        "promote": verdict.promote,
+                        "growth_ratio": round(verdict.growth_ratio, 1),
+                        "p_value": round(verdict.p_value, 4),
+                        "trending_up": verdict.trending_up,
+                        "canary_growth_kb": kb(verdict.canary_growth_bytes),
+                        "baseline_growth_kb": kb(verdict.baseline_growth_bytes),
+                    }
+                ]
+            ),
+            f"reason: {verdict.reason}",
+        ]
+    lines += [
+        "",
+        format_table(
+            [
+                {
+                    "claim": "canary+rollback SLA cost < blind rollout",
+                    "no_deploy": round(scenario.sla_cost("no-deploy"), 1),
+                    "canary": round(scenario.sla_cost("canary"), 1),
+                    "blind": round(scenario.sla_cost("blind"), 1),
+                    "holds": scenario.canary_wins(),
+                }
+            ]
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def canary_report_artifacts(scenario: CanaryScenarioResult) -> Dict[str, str]:
+    """Machine-readable per-strategy summary of the canary comparison
+    (``{"markdown", "csv"}``, byte-stable per seed)."""
+    rows = scenario.summary_rows()
+    return {"markdown": rows_to_markdown(rows), "csv": rows_to_csv(rows)}
 
 
 # --------------------------------------------------------------------------- #

@@ -38,7 +38,14 @@ from repro.experiments.cluster import (
     SimulatedCluster,
     build_cluster,
 )
+from repro.experiments.deploy import (
+    DeploymentController,
+    DeploymentPlan,
+    DeploymentReport,
+)
 from repro.faults.injector import FaultInjector, FaultSpec
+from repro.obs.registry import MetricsRegistry
+from repro.obs.transports import JsonlMetricsStream
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import TimeSeries
 from repro.slo.adaptive_policy import AdaptiveRejuvenationPolicy
@@ -138,6 +145,20 @@ class ExperimentConfig:
     #: the fleet is what the :class:`~repro.experiments.cluster.FleetManager`
     #: exists to localise.
     shard_faults: Optional[Dict[int, List[FaultSpec]]] = None
+    #: Mid-run rollout of a :class:`~repro.experiments.deploy.ComponentVersion`
+    #: across the fleet (canary or blind, see
+    #: :class:`~repro.experiments.deploy.DeploymentPlan`); ``None`` deploys
+    #: nothing.  Canary plans require ``monitored`` — the analyzer reads the
+    #: per-shard manager series.
+    rollout: Optional[DeploymentPlan] = None
+    #: Live observability registry to attach to this run (see
+    #: :mod:`repro.obs`).  Strictly an observer: attaching one never changes
+    #: the run's outputs.
+    metrics_registry: Optional[MetricsRegistry] = None
+    #: Stream canonical JSONL snapshots to this path during the run (one
+    #: record per ``snapshot_interval`` plus a final end-of-run record).
+    #: Auto-creates a registry when ``metrics_registry`` is unset.
+    stream_metrics: Optional[str] = None
 
     def fault_plan(self, shard_index: int) -> List[FaultSpec]:
         """The fault plan shard ``shard_index`` runs."""
@@ -192,6 +213,13 @@ class ExperimentResult:
     #: cross-shard aging rows, fleet rejuvenation report); ``None`` on
     #: single-shard runs.
     fleet: Optional[FleetReport] = None
+    #: Rollout summary when the run deployed a component version
+    #: (``deployment`` was already taken by the TPC-W handle below).
+    rollout: Optional[DeploymentReport] = None
+    #: The observability registry that watched this run, when one was
+    #: attached — still readable post-run (its snapshot reflects the end
+    #: state).
+    metrics: Optional[MetricsRegistry] = None
     #: Live handles for follow-up analysis (kept out of reports).
     #: ``deployment`` / ``framework`` are shard 0's, matching the legacy
     #: single-server fields; the full fleet hangs off ``cluster``.
@@ -376,6 +404,25 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                 duration=config.duration, interval=check_interval
             )
 
+    # Observability plane: the registry is created before the deployment
+    # controller so rollout events can publish into it; it attaches its
+    # read-only listeners once the workload generator exists (below).
+    registry = config.metrics_registry
+    if registry is None and config.stream_metrics is not None:
+        registry = MetricsRegistry()
+
+    deploy_controller: Optional[DeploymentController] = None
+    if config.rollout is not None:
+        if config.rollout.canary and not config.monitored:
+            raise ValueError(
+                "a canary rollout requires monitored=True (the analyzer reads "
+                "the per-shard manager series)"
+            )
+        deploy_controller = DeploymentController(
+            cluster, engine, config.rollout, registry=registry
+        )
+        deploy_controller.schedule(config.duration)
+
     track_latency = config.track_component_latency or config.resilience is not None
     for shard in cluster.shards:
         if track_latency:
@@ -403,6 +450,20 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 
         generator.on_request = _trace
 
+    metrics_stream: Optional[JsonlMetricsStream] = None
+    if registry is not None:
+        registry.attach_run(
+            cluster=cluster,
+            generator=generator,
+            config=config,
+            rollout=deploy_controller,
+        )
+        if config.stream_metrics is not None:
+            metrics_stream = JsonlMetricsStream(registry, config.stream_metrics)
+            metrics_stream.schedule(
+                engine, config.duration, interval=config.snapshot_interval
+            )
+
     generator.schedule_phases(config.effective_phases())
     generator.run(config.duration)
     # Every issued attempt must land in exactly one ledger bucket; a
@@ -411,6 +472,12 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     # And every issued attempt must have been served by exactly one shard —
     # re-routed requests included.
     fleet_ledger = cluster.ledger_check(generator)
+
+    if metrics_stream is not None:
+        # The final record is written after the ledger checks passed, so the
+        # stream's last line always equals the post-hoc report's counters.
+        metrics_stream.emit(at=config.duration)
+        metrics_stream.close()
 
     if calibration_signature is not None:
         # The run is over: persist each shard policy's converged horizons
@@ -489,6 +556,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             primary.server.component_latency_series() if track_latency else {}
         ),
         fleet=fleet,
+        rollout=deploy_controller.report() if deploy_controller is not None else None,
+        metrics=registry,
         deployment=primary,
         framework=framework,
         cluster=cluster,

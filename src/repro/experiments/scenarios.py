@@ -33,8 +33,15 @@ from repro.core.rootcause import (
     TrendStrategy,
     WeightedCompositeStrategy,
 )
+from repro.experiments.deploy import (
+    BASELINE_VERSION,
+    CanaryVerdict,
+    ComponentVersion,
+    DeploymentPlan,
+)
 from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
 from repro.faults.injector import FaultSpec
+from repro.obs.registry import MetricsRegistry
 from repro.faults.memory_leak import KB, MB
 from repro.slo.adaptive_policy import AdaptiveRejuvenationPolicy
 from repro.slo.analytic import (
@@ -117,12 +124,17 @@ def fig3_overhead(
     high_ebs: int = 200,
     scale: Optional[PopulationScale] = None,
     sample_cost_seconds: float = 2.5e-3,
+    metrics_registry=None,
+    stream_metrics: Optional[str] = None,
 ) -> Fig3Result:
     """Reproduce Fig. 3: TPC-W throughput with and without monitoring.
 
     The paper's schedule: 2 minutes at 50 EBs (warm-up), 30 minutes at
     100 EBs, 30 minutes at 200 EBs, all under the shopping mix, no fault
     injected.  Both runs use the same seed so they see the same workload.
+    ``metrics_registry`` / ``stream_metrics`` attach the observability plane
+    to the *monitored* leg (the ``obs_overhead`` bench drives this to bound
+    the plane's cost).
     """
     if duration_scale <= 0:
         raise ValueError(f"duration_scale must be positive, got {duration_scale}")
@@ -146,7 +158,15 @@ def fig3_overhead(
         sample_cost_seconds=sample_cost_seconds,
     )
     unmonitored = run_experiment(ExperimentConfig(name="fig3-unmonitored", monitored=False, **common))
-    monitored = run_experiment(ExperimentConfig(name="fig3-monitored", monitored=True, **common))
+    monitored = run_experiment(
+        ExperimentConfig(
+            name="fig3-monitored",
+            monitored=True,
+            metrics_registry=metrics_registry,
+            stream_metrics=stream_metrics,
+            **common,
+        )
+    )
     return Fig3Result(
         monitored=monitored,
         unmonitored=unmonitored,
@@ -1935,4 +1955,237 @@ def fig_fleet(
         duration=duration,
         shards=shards,
         sla_floor=(shards - 1) / shards,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Canary deployment comparison (tentpole of ISSUE 8)
+# --------------------------------------------------------------------------- #
+#: Shard count of the canary comparison.
+CANARY_SHARDS = 3
+
+#: Deployment strategy labels, in comparison order.
+CANARY_MODES = ("no-deploy", "canary", "blind")
+
+#: The leaky build's injection countdown.  Far more aggressive than the
+#: paper's N=100 — a botched release that trips over itself within minutes,
+#: so the canary bake window sees several injections even on the CI smoke
+#: scale (``duration_scale=0.02``).
+CANARY_PERIOD_N = 2
+
+#: Bytes each injection of the leaky build retains.
+CANARY_LEAK_BYTES = 128 * KB
+
+#: Version label of the leaky release under test.
+CANARY_VERSION = "v2-leaky"
+
+
+@dataclass
+class CanaryScenarioResult:
+    """Outcome of the three-strategy deployment comparison.
+
+    All three runs drive the same seeded workload through the same sharded
+    cluster; only the rollout strategy for the (secretly leaky) v2 build of
+    component A differs: *no-deploy* keeps the baseline everywhere (a
+    control — no feature shipped, no cost), *canary* deploys to one shard,
+    bakes, and lets the :class:`~repro.experiments.deploy.CanaryAnalyzer`
+    decide from the observability plane's shard-level series, *blind* rolls
+    the build to every shard on a stagger with no analysis.  SLA accounting
+    mirrors the fleet scenario: deploy-outage downtime is capacity-weighted,
+    exposure sums each shard's time above the heap danger line.
+    """
+
+    #: Mode -> full experiment result, in comparison order.
+    results: Dict[str, ExperimentResult]
+    heap_capacity: float
+    duration: float
+    shards: int
+    component: str
+    version: str
+
+    def result(self, mode: str) -> ExperimentResult:
+        """The run executed under ``mode``."""
+        return self.results[mode]
+
+    def verdict(self) -> Optional[CanaryVerdict]:
+        """The canary run's analyzer verdict (None only if analysis never ran)."""
+        rollout = self.results["canary"].rollout
+        return rollout.verdict if rollout is not None else None
+
+    def deploy_downtime(self, mode: str) -> float:
+        """Capacity-weighted deploy-outage seconds (outage time / shards)."""
+        rollout = self.results[mode].rollout
+        if rollout is None:
+            return 0.0
+        return rollout.outage_seconds / self.shards
+
+    def leaky_shards(self, mode: str) -> int:
+        """Shards still running the leaky build at the end of the run."""
+        rollout = self.results[mode].rollout
+        if rollout is None:
+            return 0
+        return sum(1 for v in rollout.versions.values() if v != BASELINE_VERSION)
+
+    def exposure(self, mode: str) -> float:
+        """Summed per-shard seconds above 90 % heap occupancy."""
+        result = self.results[mode]
+        assert result.cluster is not None
+        return sum(
+            exposure_seconds(
+                shard.heap_series(), self.heap_capacity, window_end=self.duration
+            )
+            for shard in result.cluster.shards
+        )
+
+    def sla_observation(self, mode: str) -> SlaObservation:
+        """The raw fleet-level availability currencies of one mode."""
+        result = self.results[mode]
+        return SlaObservation(
+            duration_seconds=self.duration,
+            downtime_seconds=self.deploy_downtime(mode),
+            exposure_seconds=self.exposure(mode),
+            failed_requests=result.error_count,
+            refused_requests=result.refused_requests,
+        )
+
+    def sla_cost(self, mode: str, cost_model: Optional[SlaCostModel] = None) -> float:
+        """Scalar fleet SLA cost of one mode (see :mod:`repro.slo.cost_model`)."""
+        model = cost_model or SlaCostModel()
+        return model.score(self.sla_observation(mode))
+
+    def canary_wins(self) -> bool:
+        """Whether canary-then-rollback strictly beats the blind rollout.
+
+        Strict, at any duration scale: even if the run is too short for the
+        leak to cost exposure or errors, the blind rollout pays a deploy
+        outage on *every* shard while the caught canary pays only two
+        (deploy + rollback) on one shard — ``2/shards < 1`` of the blind
+        downtime whenever ``shards >= 3``.
+        """
+        return self.sla_cost("canary") < self.sla_cost("blind")
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One row per mode: rollout outcome, downtime, exposure, SLA cost."""
+        cost_model = SlaCostModel()
+        rows: List[Dict[str, object]] = []
+        for mode, result in self.results.items():
+            rollout = result.rollout
+            observation = self.sla_observation(mode)
+            rows.append(
+                {
+                    "mode": mode,
+                    "completed": result.completed_requests,
+                    "errors": result.error_count,
+                    "refused": result.refused_requests,
+                    "deploys": (
+                        sum(1 for e in rollout.events if e["action"] == "deploy")
+                        if rollout is not None
+                        else 0
+                    ),
+                    "rolled_back": rollout.rolled_back if rollout is not None else False,
+                    "leaky_shards": self.leaky_shards(mode),
+                    "downtime_s": round(self.deploy_downtime(mode), 2),
+                    "exposure_s": round(self.exposure(mode), 1),
+                    "budget_burn": round(cost_model.budget_burn(observation), 2),
+                    "sla_cost": round(cost_model.score(observation), 1),
+                }
+            )
+        return rows
+
+
+def fig_canary(
+    duration_scale: float = 1.0,
+    seed: int = 42,
+    scale: Optional[PopulationScale] = None,
+    shards: int = CANARY_SHARDS,
+    ebs: int = LEAK_EXPERIMENT_EBS,
+    leak_bytes: int = CANARY_LEAK_BYTES,
+    period_n: int = CANARY_PERIOD_N,
+    stream_metrics: Optional[str] = None,
+) -> CanaryScenarioResult:
+    """Three same-seed deploy runs: no-deploy vs canary vs blind rollout.
+
+    The build under test is a *leaky* v2 of component A (its fault spec
+    rides on the :class:`~repro.experiments.deploy.ComponentVersion`).  The
+    baseline fleet runs clean; the deployment starts a quarter into the run.
+    The canary strategy deploys v2 to the last shard only, bakes while the
+    observability plane accumulates shard-level object-size series, and the
+    analyzer compares the canary's component-A growth (Mann–Kendall trend +
+    growth ratio vs the baseline shards + SLA-burn delta) to decide; a
+    rejected canary is rolled back before any other shard is exposed.  The
+    blind strategy staggers v2 across every shard with no analysis.  Every
+    run gets a fresh :class:`~repro.obs.registry.MetricsRegistry`;
+    ``stream_metrics`` additionally streams the canary run's snapshots to a
+    JSONL file.
+    """
+    if duration_scale <= 0:
+        raise ValueError(f"duration_scale must be positive, got {duration_scale}")
+    if shards < 3:
+        raise ValueError(
+            f"a canary comparison needs at least 3 shards "
+            f"(canary + >=2 baselines), got {shards}"
+        )
+    duration = 3600.0 * duration_scale
+    snapshot_interval = max(2.0, 30.0 * duration_scale)
+    deploy_start = 0.25 * duration
+    bake = 0.15 * duration
+    stagger = 0.05 * duration
+    deploy_downtime = max(1.0, 30.0 * duration_scale)
+    # Heap sizing mirrors fig_fleet, over the post-deploy window: the blind
+    # rollout's per-shard leak must reach the wall within the run so blind
+    # pays exposure/errors, while the caught canary (leaking on one shard for
+    # only the bake window, ~a fifth of the deployed time) stays safe.
+    visit_rate = _LEAK_VISITS_PER_SECOND * ebs / LEAK_EXPERIMENT_EBS / shards
+    leak_window = duration - deploy_start
+    expected_leak = visit_rate / period_n * leak_bytes * leak_window
+    heap_bytes = int((_BASELINE_LIVE_BYTES + 0.55 * expected_leak) / 0.92)
+    version = ComponentVersion(
+        component=COMPONENT_A,
+        version=CANARY_VERSION,
+        faults=(
+            FaultSpec(
+                component=COMPONENT_A,
+                kind="memory-leak",
+                params={"leak_bytes": leak_bytes, "period_n": period_n},
+            ),
+        ),
+    )
+    results: Dict[str, ExperimentResult] = {}
+    for mode in CANARY_MODES:
+        rollout: Optional[DeploymentPlan] = None
+        if mode != "no-deploy":
+            rollout = DeploymentPlan(
+                version=version,
+                start_time=deploy_start,
+                stagger_seconds=stagger,
+                deploy_downtime_seconds=deploy_downtime,
+                canary=(mode == "canary"),
+                canary_shard=shards - 1,
+                bake_seconds=bake,
+            )
+        config = ExperimentConfig(
+            name=f"fig-canary-{mode}",
+            seed=seed,
+            scale=scale,
+            constant_ebs=ebs,
+            duration=duration,
+            mix_name="shopping",
+            monitored=True,
+            faults=[],
+            snapshot_interval=snapshot_interval,
+            server_config=ServerConfig(heap_bytes=heap_bytes),
+            shards=shards,
+            balancer_policy="sticky",
+            rollout=rollout,
+            metrics_registry=MetricsRegistry(),
+            stream_metrics=stream_metrics if mode == "canary" else None,
+        )
+        results[mode] = run_experiment(config)
+    return CanaryScenarioResult(
+        results=results,
+        heap_capacity=float(heap_bytes),
+        duration=duration,
+        shards=shards,
+        component=COMPONENT_A,
+        version=CANARY_VERSION,
     )

@@ -1,0 +1,178 @@
+"""Transports over the metrics registry: HTTP endpoint and JSONL stream.
+
+Both are strictly observers.  The HTTP server runs on a daemon thread and
+answers every request from the registry's pure-read snapshot methods; the
+JSONL stream schedules snapshot events at :data:`OBS_STREAM_PRIORITY` — a
+priority *after* every sim actor at the same timestamp, so a stream record
+always sees the deploys, alerts and manager snapshots of its own tick, and
+the extra events shift same-time sequence numbers uniformly without
+reordering any actor pair.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.registry import MetricsRegistry, canonical_value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import SimulationEngine
+
+#: Event priority of stream snapshots: after the manager snapshots (5), the
+#: black-box samples (6), the rejuvenation checks (7/8) and the canary
+#: analysis (9) of the same timestamp, so every record reflects its tick.
+OBS_STREAM_PRIORITY = 10
+
+
+class JsonlMetricsStream:
+    """Append one canonical snapshot line per interval to a JSONL file."""
+
+    def __init__(self, registry: MetricsRegistry, path: str) -> None:
+        self.registry = registry
+        self.path = path
+        self._file = None
+        self.records_written = 0
+
+    def emit(self, at: Optional[float] = None) -> None:
+        """Write one snapshot record (opens the file on first use)."""
+        if self._file is None:
+            self._file = open(self.path, "w", encoding="utf-8")
+        self._file.write(self.registry.snapshot_json(at=at) + "\n")
+        self._file.flush()
+        self.records_written += 1
+
+    def schedule(
+        self, engine: "SimulationEngine", duration: float, interval: float
+    ) -> int:
+        """Schedule periodic snapshot events; returns how many were scheduled.
+
+        Stops strictly before ``duration``: the runner emits the final
+        end-of-run record itself (after the ledger checks), so the last
+        line of the stream always equals the post-hoc report's counters.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        count = 0
+        t = interval
+        while t < duration - 1e-9:
+            engine.schedule_at(
+                t,
+                lambda when=t: self.emit(at=when),
+                priority=OBS_STREAM_PRIORITY,
+                name="obs.stream",
+            )
+            count += 1
+            t += interval
+        return count
+
+    def close(self) -> None:
+        """Close the sink (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+# --------------------------------------------------------------------------- #
+# HTTP endpoint
+# --------------------------------------------------------------------------- #
+_SERIES_ROUTE = re.compile(r"^/shards/(\d+)/series/([A-Za-z0-9_.<>-]+)$")
+
+
+class MetricsHttpServer:
+    """Stdlib JSON endpoint over a registry.
+
+    Routes::
+
+        GET /metrics                     full snapshot
+        GET /shards/<i>/series/<name>    one shard's series as [t, v] pairs
+        GET /alerts                      aging alerts fired so far
+        GET /slo                         rolling SLA burn
+
+    ``port=0`` (the default) binds an ephemeral port; read :attr:`port`
+    after construction.  The server thread is a daemon, so a forgotten
+    :meth:`stop` cannot hang interpreter shutdown.
+    """
+
+    def __init__(
+        self, registry: MetricsRegistry, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.registry = registry
+        handler = _make_handler(registry)
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsHttpServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever, name="obs-http", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down (idempotent)."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+def _make_handler(registry: MetricsRegistry):
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, *args) -> None:  # silence per-request stderr
+            pass
+
+        def do_GET(self) -> None:
+            try:
+                payload = self._payload(self.path.split("?", 1)[0])
+            except LookupError as error:
+                body = json.dumps({"error": str(error)}).encode("utf-8")
+                self.send_response(404)
+            else:
+                body = json.dumps(
+                    canonical_value(payload), sort_keys=True, separators=(",", ":")
+                ).encode("utf-8")
+                self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _payload(self, path: str):
+            if path in ("", "/", "/metrics"):
+                return registry.snapshot()
+            if path == "/alerts":
+                return {"alerts": registry.alerts()}
+            if path == "/slo":
+                return registry.slo()
+            match = _SERIES_ROUTE.match(path)
+            if match:
+                index = int(match.group(1))
+                name = match.group(2)
+                return {
+                    "shard": index,
+                    "series": name,
+                    "points": registry.series(index, name),
+                }
+            raise KeyError(f"no route for {path!r}")
+
+    return Handler

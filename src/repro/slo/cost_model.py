@@ -138,3 +138,24 @@ class SlaCostModel:
             "burn_cost": self.burn_weight * max(0.0, burn - 1.0),
             "budget_burn": burn,
         }
+
+    def report(self, observation: SlaObservation) -> Dict[str, float]:
+        """Flat sorted-key export of the model's verdict on one observation.
+
+        The serialisable form the observability plane streams and the JSON
+        artifacts embed: the raw currencies, the budget accounting and the
+        per-term cost breakdown, every value a plain float and the keys
+        sorted so downstream serialisation is canonical.
+        """
+        row = {
+            "duration_s": observation.duration_seconds,
+            "downtime_s": observation.downtime_seconds,
+            "exposure_s": observation.exposure_seconds,
+            "failed": float(observation.failed_requests),
+            "refused": float(observation.refused_requests),
+            "error_budget_s": self.error_budget_seconds(observation.duration_seconds),
+            "unavailable_s": self.unavailable_seconds(observation),
+            "sla_cost": self.score(observation),
+        }
+        row.update(self.breakdown(observation))
+        return {key: float(row[key]) for key in sorted(row)}

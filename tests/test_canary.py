@@ -1,0 +1,187 @@
+"""Tests for the deployment controller, canary analyzer and the fig_canary
+scenario (catch + rollback vs. blind rollout)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.deploy import (
+    BASELINE_VERSION,
+    CanaryAnalyzer,
+    ComponentVersion,
+    DeploymentPlan,
+)
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.scenarios import (
+    CANARY_MODES,
+    COMPONENT_A,
+    fig_canary,
+)
+from repro.faults.injector import FaultSpec
+from repro.tpcw.population import PopulationScale
+
+
+class TestPlanValidation:
+    def test_component_version_rejects_mismatched_fault_specs(self):
+        with pytest.raises(ValueError, match="fault spec targets"):
+            ComponentVersion(
+                component="home",
+                version="v2",
+                faults=(FaultSpec(component="search", kind="memory-leak", params={}),),
+            )
+
+    def test_plan_rejects_bad_parameters(self):
+        version = ComponentVersion(component="home", version="v2")
+        with pytest.raises(ValueError, match="start_time"):
+            DeploymentPlan(version=version, start_time=-1.0)
+        with pytest.raises(ValueError, match="deploy_downtime_seconds"):
+            DeploymentPlan(version=version, start_time=0.0, deploy_downtime_seconds=0.0)
+        with pytest.raises(ValueError, match="bake_seconds"):
+            DeploymentPlan(version=version, start_time=0.0, bake_seconds=0.0)
+
+    def test_analyzer_rejects_trivial_ratio_threshold(self):
+        with pytest.raises(ValueError, match="growth_ratio_threshold"):
+            CanaryAnalyzer(growth_ratio_threshold=1.0)
+
+    def test_canary_rollout_requires_monitoring(self):
+        version = ComponentVersion(component="home", version="v2")
+        with pytest.raises(ValueError, match="monitored"):
+            run_experiment(
+                ExperimentConfig(
+                    name="unmonitored-canary",
+                    seed=1,
+                    scale=PopulationScale.tiny(),
+                    constant_ebs=10,
+                    duration=30.0,
+                    monitored=False,
+                    shards=2,
+                    rollout=DeploymentPlan(version=version, start_time=5.0, bake_seconds=10.0),
+                )
+            )
+
+
+class TestHealthyPromotion:
+    def test_clean_build_is_promoted_to_every_shard(self):
+        """A canary with no fault load bakes clean and rolls fleet-wide."""
+        version = ComponentVersion(component="home", version="v2-clean")
+        config = ExperimentConfig(
+            name="promote-test",
+            seed=9,
+            scale=PopulationScale.tiny(),
+            constant_ebs=30,
+            duration=120.0,
+            mix_name="shopping",
+            monitored=True,
+            shards=3,
+            snapshot_interval=5.0,
+            rollout=DeploymentPlan(
+                version=version,
+                start_time=20.0,
+                stagger_seconds=10.0,
+                deploy_downtime_seconds=1.0,
+                canary=True,
+                canary_shard=2,
+                bake_seconds=30.0,
+            ),
+        )
+        result = run_experiment(config)
+        rollout = result.rollout
+        assert rollout is not None
+        assert rollout.verdict is not None and rollout.verdict.promote
+        assert not rollout.rolled_back
+        assert set(rollout.versions.values()) == {"v2-clean"}
+        actions = [event["action"] for event in rollout.events]
+        assert actions.count("deploy") == 3
+        assert "promote" in actions and "rollback" not in actions
+
+
+class TestFigCanary:
+    @pytest.fixture(scope="class")
+    def scenario(self, tmp_path_factory):
+        stream = tmp_path_factory.mktemp("obs") / "stream.jsonl"
+        result = fig_canary(
+            duration_scale=0.05,
+            seed=42,
+            scale=PopulationScale.tiny(),
+            stream_metrics=str(stream),
+        )
+        return result, stream
+
+    def test_modes_and_validation(self, scenario):
+        result, _ = scenario
+        assert tuple(result.results) == CANARY_MODES
+        with pytest.raises(ValueError, match="duration_scale"):
+            fig_canary(duration_scale=0.0)
+        with pytest.raises(ValueError, match="shards"):
+            fig_canary(shards=2)
+
+    def test_canary_is_caught_and_rolled_back(self, scenario):
+        result, _ = scenario
+        verdict = result.verdict()
+        assert verdict is not None
+        assert not verdict.promote
+        assert verdict.trending_up
+        assert verdict.growth_ratio > 2.0
+        rollout = result.results["canary"].rollout
+        assert rollout.rolled_back
+        # Only the canary shard ever saw the leaky build, and it is back on
+        # baseline by the end of the run.
+        assert set(rollout.versions.values()) == {BASELINE_VERSION}
+        touched = {event["shard"] for event in rollout.events}
+        assert touched == {result.shards - 1}
+        assert result.leaky_shards("canary") == 0
+
+    def test_blind_rollout_ships_the_leak_fleet_wide(self, scenario):
+        result, _ = scenario
+        rollout = result.results["blind"].rollout
+        assert not rollout.rolled_back
+        assert result.leaky_shards("blind") == result.shards
+        assert sum(1 for e in rollout.events if e["action"] == "deploy") == result.shards
+
+    def test_canary_strictly_beats_blind_on_sla_cost(self, scenario):
+        result, _ = scenario
+        assert result.canary_wins()
+        assert result.sla_cost("canary") < result.sla_cost("blind")
+        # The caught canary pays two outage windows on one shard; the blind
+        # rollout pays one on every shard.
+        assert result.deploy_downtime("canary") < result.deploy_downtime("blind")
+
+    def test_scenario_is_deterministic_per_seed(self, scenario):
+        result, _ = scenario
+        rerun = fig_canary(duration_scale=0.05, seed=42, scale=PopulationScale.tiny())
+        assert rerun.summary_rows() == result.summary_rows()
+        first = result.results["canary"].metrics.snapshot_json(at=result.duration)
+        second = rerun.results["canary"].metrics.snapshot_json(at=rerun.duration)
+        assert first == second
+
+    def test_stream_final_record_matches_post_hoc_ledger(self, scenario):
+        result, stream = scenario
+        records = [json.loads(line) for line in stream.read_text().splitlines() if line]
+        assert len(records) > 1
+        assert records[-1]["time_s"] == pytest.approx(result.duration)
+        assert records[-1]["counters"] == dict(result.results["canary"].accounting)
+        deploys = records[-1]["deploys"]
+        assert [event["action"] for event in deploys] == ["deploy", "rollback"]
+
+
+class TestCanaryCli:
+    def test_canary_command_smoke(self, tmp_path, capsys):
+        stream = tmp_path / "stream.jsonl"
+        exit_code = main(
+            [
+                "canary",
+                "--tiny",
+                "--duration-scale", "0.02",
+                "--seed", "42",
+                "--stream-metrics", str(stream),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "canary+rollback SLA cost < blind rollout" in out
+        assert "True" in out
+        assert "final counters match the post-hoc ledger" in out
+        assert stream.exists()

@@ -158,6 +158,34 @@ class TestBenchCompareCli:
         self._artifact(new, [self._entry("a", 1.0)])
         assert main(["bench", "--compare", str(old), str(new)]) == 2
 
+    def test_compare_failure_summary_names_every_regressed_entry(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        self._artifact(
+            old,
+            [
+                self._entry("a", 3.0, passed=True),
+                self._entry("b", 2.0, passed=True),
+                self._entry("c", 1.5, passed=True),
+            ],
+        )
+        self._artifact(
+            new,
+            [
+                self._entry("a", 2.0, passed=True),  # -33 %
+                self._entry("b", 1.0, passed=True),  # -50 %
+                self._entry("c", 1.5, passed=True),  # unchanged
+            ],
+        )
+        assert main(["bench", "--compare", str(old), str(new)]) == 1
+        err = capsys.readouterr().err
+        summary = [line for line in err.splitlines() if "regression(s)" in line]
+        assert len(summary) == 1, err
+        # One line, naming each regressed (name, options) entry with its delta.
+        assert "a[tiny] -33.3%" in summary[0]
+        assert "b[tiny] -50.0%" in summary[0]
+        assert "c[tiny]" not in summary[0]
+
 
 class TestScenarioRegistry:
     def test_every_registered_scenario_gets_a_subparser(self):
@@ -196,6 +224,40 @@ class TestScenarioRegistry:
         args = build_parser().parse_args(["ablate", "--jobs", "3"])
         assert args.jobs == 3
         assert build_parser().parse_args(["ablate"]).jobs == 1
+
+    def test_canary_command_options(self):
+        args = build_parser().parse_args(
+            ["canary", "--shards", "4", "--stream-metrics", "out.jsonl", "--tiny"]
+        )
+        assert args.shards == 4
+        assert args.stream_metrics == "out.jsonl"
+        assert args.tiny
+        defaults = build_parser().parse_args(["canary"])
+        assert defaults.shards == 3
+        assert defaults.stream_metrics is None
+
+
+class TestUnknownCommand:
+    def test_unknown_command_prints_registry_table(self, capsys):
+        assert main(["frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown command 'frobnicate'" in err
+        # The registry table, not argparse's bare "invalid choice" error.
+        assert "invalid choice" not in err
+        for name in ("environment", "bench", "ablate", "fig3", "fleet", "canary"):
+            assert name in err
+
+    def test_no_command_prints_registry_table(self, capsys):
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        assert "available commands" in err
+        assert "canary" in err
+
+    def test_help_and_version_still_reach_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "usage" in capsys.readouterr().out
 
 
 class TestFleetCommand:
