@@ -39,6 +39,7 @@ from repro.experiments.reporting import (
     mixed_report,
     rejuvenation_report,
     retry_storm_report,
+    scale_report,
     zoo_report,
 )
 from repro.experiments.scenarios import (
@@ -54,6 +55,7 @@ from repro.experiments.scenarios import (
     fig_mixed,
     fig_rejuvenation,
     fig_retry_storm,
+    fig_scale,
     fig_zoo,
 )
 from repro.tpcw.population import PopulationScale
@@ -330,6 +332,20 @@ def _cmd_canary(args: argparse.Namespace) -> int:
     return 0 if scenario.canary_wins() else 1
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    scenario = fig_scale(
+        duration_scale=args.duration_scale,
+        seed=args.seed,
+        scale=_population(args),
+        ebs=args.ebs,
+        shards=args.shards,
+        population_factor=args.population_factor,
+        tracer_fraction=args.tracer_fraction,
+    )
+    print(scale_report(scenario))
+    return 0 if scenario.within_bands() else 1
+
+
 def _cmd_ablate(args: argparse.Namespace) -> int:
     from repro.experiments.ablation import (
         AblationManifest,
@@ -456,6 +472,24 @@ def _canary_args(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _scale_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--shards", type=int, default=2, help="application-server instances behind the balancer"
+    )
+    sub.add_argument(
+        "--population-factor",
+        type=int,
+        default=100,
+        help="bulk-population multiplier of the scaled hybrid run",
+    )
+    sub.add_argument(
+        "--tracer-fraction",
+        type=float,
+        default=0.02,
+        help="fraction of EBs kept on the discrete servlet/SQL path",
+    )
+
+
 SCENARIO_COMMANDS: List[ScenarioCommand] = [
     ScenarioCommand("fig3", "overhead experiment (monitored vs. unmonitored throughput)", _cmd_fig3, include_ebs=False),
     ScenarioCommand("fig4", "single-leak experiment", _cmd_fig4),
@@ -469,6 +503,7 @@ SCENARIO_COMMANDS: List[ScenarioCommand] = [
     ScenarioCommand("storm", "retry storm: naive immediate retries vs. backoff + circuit breaker", _cmd_storm),
     ScenarioCommand("fleet", "sharded fleet: rolling vs. simultaneous vs. no-action rejuvenation", _cmd_fleet, extra_args=_fleet_args),
     ScenarioCommand("canary", "canary deploy of a leaky build: catch + rollback vs. blind rollout", _cmd_canary, extra_args=_canary_args),
+    ScenarioCommand("scale", "hybrid fluid/discrete engine: 1x validation bands + scaled population", _cmd_scale, extra_args=_scale_args),
 ]
 
 

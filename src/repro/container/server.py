@@ -161,6 +161,11 @@ class ApplicationServer:
         #: pay for series the classic scenarios never read; the latency-mode
         #: fault scenarios switch it on for trend-based attribution.
         self.record_component_latency = False
+        #: Occupancy contributed by the fluid bulk population in hybrid
+        #: simulation mode (fraction of worker threads, additive on top of
+        #: the discrete tracers').  Zero in pure discrete runs, so the
+        #: balancer and shedders behave exactly as before.
+        self.fluid_occupancy = 0.0
 
     # ------------------------------------------------------------------ #
     # Rejuvenation outages
@@ -209,10 +214,21 @@ class ApplicationServer:
         self.dispatcher.load_shedder = shedder
 
     def pool_occupancy(self, at_time: float) -> float:
-        """Fraction of worker threads busy at ``at_time`` (0.0 — 1.0+queue)."""
+        """Fraction of worker threads busy at ``at_time`` (0.0 — 1.0+queue).
+
+        Includes the fluid bulk population's share in hybrid mode
+        (:attr:`fluid_occupancy`, zero otherwise), so least-occupancy
+        balancing and load shedding see the whole simulated load, not just
+        the discrete tracers.
+        """
         if self.config.max_threads <= 0:
             return 0.0
-        return self.thread_pool.resource.busy_servers(at_time) / float(self.config.max_threads)
+        occupancy = self.thread_pool.resource.busy_servers(at_time) / float(
+            self.config.max_threads
+        )
+        if self.fluid_occupancy:
+            occupancy += self.fluid_occupancy
+        return occupancy
 
     # ------------------------------------------------------------------ #
     def add_external_cost_provider(self, provider: Callable[[], float]) -> None:

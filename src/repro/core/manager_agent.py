@@ -167,6 +167,22 @@ class ManagerAgent(MBean, NotificationBroadcaster):
             self._known_components.append(component)
         self._map.register_component(component)
 
+    @operation
+    def record_external_series(
+        self, component: str, metric: str, when: float, value: float
+    ) -> None:
+        """Record a metric point produced outside the polled agents.
+
+        Hybrid simulation uses this to publish the fluid bulk population's
+        per-component series (cumulative bulk visits, modelled resource
+        growth) into the same :class:`ResourceComponentMap` the discrete
+        tracers feed, so attribution and trend analysis see one combined
+        picture.  Unknown components are registered on first use.
+        """
+        if component not in self._known_set:
+            self.register_component(component)
+        self._map.record_observation(component, metric, float(when), float(value))
+
     # ------------------------------------------------------------------ #
     # Polling
     # ------------------------------------------------------------------ #

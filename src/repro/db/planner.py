@@ -49,6 +49,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.db.sql import Aggregate, ColumnRef, Condition, SelectStatement
 from repro.db.table import Table, _SecondaryIndex
 
+#: Evaluate GROUP BY aggregates by streaming folds (one pass, per-group
+#: accumulators) instead of materialising per-group member lists.  Both
+#: paths produce identical rows, order and errors; the flag exists for the
+#: ``group_by`` A/B benchmark and as an escape hatch.
+STREAMING_AGGREGATES = True
+
 #: Cached ``repro.db.engine.SqlExecutionError`` (imported lazily: the engine
 #: imports this module, so a top-level import would be circular).
 _SQL_ERROR_CLASS = None
@@ -317,6 +323,7 @@ class CompiledSelect:
         # Aggregation.
         self._group_key: Optional[Callable] = None
         self._aggregate_items: List[Tuple[str, str, Any]] = []
+        stream_specs: List[Tuple[str, Optional[str]]] = []
         if self.is_aggregate:
             if self.star:
                 raise _sql_error("SELECT * cannot be combined with aggregates")
@@ -332,14 +339,15 @@ class CompiledSelect:
                 expression = item.expression
                 if isinstance(expression, ColumnRef):
                     name = item.alias or expression.name
-                    extractor = self._make_fn(
-                        "lambda row: "
-                        + self._accessor(positions[resolve_qualifier(expression)], expression.name)
+                    source = self._accessor(
+                        positions[resolve_qualifier(expression)], expression.name
                     )
+                    extractor = self._make_fn("lambda row: " + source)
                     valid = not statement.group_by or expression.name in group_names
                     self._aggregate_items.append(
                         ("column", name, (extractor, valid, expression.name))
                     )
+                    stream_specs.append(("column", source))
                 else:
                     name = item.alias or expression.default_name()
                     if expression.argument is None:
@@ -348,17 +356,31 @@ class CompiledSelect:
                                 f"{expression.function} requires a column argument"
                             )
                         extractor = None
+                        stream_specs.append(("count_star", None))
                     else:
-                        extractor = self._make_fn(
-                            "lambda row: "
-                            + self._accessor(
-                                positions[resolve_qualifier(expression.argument)],
-                                expression.argument.name,
-                            )
+                        source = self._accessor(
+                            positions[resolve_qualifier(expression.argument)],
+                            expression.argument.name,
                         )
+                        extractor = self._make_fn("lambda row: " + source)
+                        stream_specs.append((expression.function.lower(), source))
                     self._aggregate_items.append(
                         ("aggregate", name, (expression.function, extractor))
                     )
+        # Streaming-fold companions of ``_aggregate_items``: per-item
+        # accumulator modes for the finalise pass, the first invalid plain
+        # column (raised at execution, matching the interpreter), and the
+        # code-generated first-row/fold functions with the accessors inlined
+        # — a per-row interpretive dispatch loop loses to the materialised
+        # path's builtin passes, inlining wins it back.
+        self._stream_modes: List[str] = [mode for mode, _ in stream_specs]
+        self._invalid_group_column: Optional[str] = None
+        for kind, _name, spec in self._aggregate_items:
+            if kind == "column":
+                _extractor, valid, column_name = spec
+                if not valid and self._invalid_group_column is None:
+                    self._invalid_group_column = column_name
+        self._new_state_fn, self._fold_fn = self._compile_stream_fold(stream_specs)
 
         # ORDER BY keys (non-aggregate path; aggregate ordering runs over the
         # small result dicts exactly like the interpreter).
@@ -557,6 +579,134 @@ class CompiledSelect:
 
     # ------------------------------------------------------------------ #
     def _aggregate_rows(self, filtered: List[Any]) -> List[Dict[str, Any]]:
+        """GROUP BY + aggregate evaluation over the filtered rows.
+
+        Streams by default (:data:`STREAMING_AGGREGATES`): one fold pass
+        maintaining per-group accumulators instead of materialising a member
+        list per group.  Result rows, their order (first-seen group order)
+        and every error are identical to the materialised evaluation, which
+        is preserved for A/B benchmarking.
+        """
+        if STREAMING_AGGREGATES:
+            return self._aggregate_rows_streaming(filtered)
+        return self._aggregate_rows_materialized(filtered)
+
+    def _aggregate_rows_streaming(self, filtered: List[Any]) -> List[Dict[str, Any]]:
+        group_key = self._group_key
+        # The materialised path raises for a non-grouped plain column while
+        # building the first group's result row — i.e. whenever at least one
+        # group exists (always, without GROUP BY: the implicit ``()`` group).
+        if self._invalid_group_column is not None and (group_key is None or filtered):
+            raise _sql_error(
+                f"column {self._invalid_group_column!r} must appear in GROUP BY"
+            )
+        new_state = self._new_state_fn
+        fold = self._fold_fn
+        states: Dict[Tuple, List[Any]] = {}
+        if group_key is not None:
+            get = states.get
+            for row in filtered:
+                key = group_key(row)
+                state = get(key)
+                if state is None:
+                    states[key] = new_state(row)
+                else:
+                    fold(state, row)
+        else:
+            state = None
+            for row in filtered:
+                if state is None:
+                    state = new_state(row)
+                else:
+                    fold(state, row)
+            states[()] = state if state is not None else self._empty_group_state()
+
+        result: List[Dict[str, Any]] = []
+        names = [name for _, name, _ in self._aggregate_items]
+        for state in states.values():
+            out: Dict[str, Any] = {}
+            for index, mode in enumerate(self._stream_modes):
+                value = state[index]
+                if mode == "sum":
+                    out[names[index]] = value[0] if value[1] else None
+                elif mode == "avg":
+                    out[names[index]] = value[0] / value[1] if value[1] else None
+                else:  # column / count_star / count / min / max
+                    out[names[index]] = value
+            result.append(out)
+        return result
+
+    @staticmethod
+    def _compile_stream_fold(
+        specs: List[Tuple[str, Optional[str]]]
+    ) -> Tuple[Callable, Callable]:
+        """Code-generate the streaming accumulators for one statement.
+
+        ``_new_state`` builds a group's accumulator list from its first row,
+        ``_fold`` folds one more member row in place.  Each item's column
+        accessor is inlined into the generated source (the same technique as
+        the compiled projection/filter lambdas), so the per-row cost is a
+        single function call rather than a dispatch loop over item modes.
+        """
+        new_lines = ["def _new_state(row):", "    state = []"]
+        fold_lines = ["def _fold(state, row):"]
+        for index, (mode, source) in enumerate(specs):
+            if mode == "column":
+                # Captured from the first row only; never folded again.
+                new_lines.append(f"    state.append({source})")
+            elif mode == "count_star":
+                new_lines.append("    state.append(1)")
+                fold_lines.append(f"    state[{index}] += 1")
+            elif mode == "count":
+                new_lines.append(f"    state.append(1 if {source} is not None else 0)")
+                fold_lines.append(f"    if {source} is not None:")
+                fold_lines.append(f"        state[{index}] += 1")
+            elif mode in ("sum", "avg"):
+                # ``0 + value`` reproduces ``sum([value])`` exactly (the
+                # int-0 start matters for mixed numeric types).
+                new_lines.append(f"    v{index} = {source}")
+                new_lines.append(
+                    f"    state.append([0 + v{index}, 1] if v{index} is not None"
+                    " else [0, 0])"
+                )
+                fold_lines.append(f"    v{index} = {source}")
+                fold_lines.append(f"    if v{index} is not None:")
+                fold_lines.append(f"        s{index} = state[{index}]")
+                fold_lines.append(f"        s{index}[0] = s{index}[0] + v{index}")
+                fold_lines.append(f"        s{index}[1] += 1")
+            elif mode in ("min", "max"):
+                # ``value < current`` mirrors ``min()``'s comparison order.
+                operator = "<" if mode == "min" else ">"
+                new_lines.append(f"    state.append({source})")
+                fold_lines.append(f"    v{index} = {source}")
+                fold_lines.append(f"    if v{index} is not None:")
+                fold_lines.append(f"        c{index} = state[{index}]")
+                fold_lines.append(
+                    f"        if c{index} is None or v{index} {operator} c{index}:"
+                )
+                fold_lines.append(f"            state[{index}] = v{index}")
+            else:  # pragma: no cover - parser admits only the modes above
+                raise _sql_error(f"unsupported aggregate {mode.upper()!r}")
+        new_lines.append("    return state")
+        if len(fold_lines) == 1:
+            fold_lines.append("    pass")
+        namespace: Dict[str, Any] = {}
+        exec("\n".join(new_lines + fold_lines), namespace)
+        return namespace["_new_state"], namespace["_fold"]
+
+    def _empty_group_state(self) -> List[Any]:
+        """Accumulator slots of the implicit empty group (no GROUP BY)."""
+        state: List[Any] = []
+        for mode in self._stream_modes:
+            if mode in ("count_star", "count"):
+                state.append(0)
+            elif mode in ("sum", "avg"):
+                state.append([0, 0])
+            else:  # column / min / max over no rows
+                state.append(None)
+        return state
+
+    def _aggregate_rows_materialized(self, filtered: List[Any]) -> List[Dict[str, Any]]:
         group_key = self._group_key
         groups: Dict[Tuple, List[Any]] = {}
         if group_key is not None:

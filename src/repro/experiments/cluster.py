@@ -69,6 +69,14 @@ BALANCER_POLICIES = ("sticky", "round-robin", "least-occupancy")
 #: per-shard controllers, the pre-fleet behaviour).
 FLEET_REJUVENATION_MODES = ("rolling", "simultaneous")
 
+#: Cross-shard contention charge on a shared primary database: extra query
+#: seconds per *other* concurrently-borrowed connection of the shared pool
+#: (lock waits + buffer-pool pressure, linearised).  Replica mode charges
+#: nothing (each shard owns its database), matching the pre-PR behaviour;
+#: a single-shard "shared" run also charges nothing — there is no *cross*
+#: -shard contention to model.
+SHARED_PRIMARY_CONTENTION_SECONDS = 2e-4
+
 
 @dataclass
 class ShardHandle:
@@ -380,6 +388,18 @@ def build_cluster(config: "ExperimentConfig", engine: SimulationEngine) -> Simul
         if index > 0:
             deployment.server.sessions.id_prefix = f"S{index}-"
         shards.append(ShardHandle(index=index, deployment=deployment))
+    if config.shard_db_mode == "shared" and config.shards > 1:
+        # Each deployment builds its own DataSource (per-shard pool) over the
+        # one shared Database; the contention charge models the shared
+        # storage engine underneath, so every shard's datasource charges it
+        # and counts the *whole group's* active connections.
+        group = [shard.deployment.datasource for shard in shards]
+        for shard in shards:
+            datasource = shard.deployment.datasource
+            datasource.contention_seconds_per_connection = (
+                SHARED_PRIMARY_CONTENTION_SECONDS
+            )
+            datasource.contention_pool_group = group
     uri_components = {
         shards[0].deployment.url_for(name): name
         for name in shards[0].deployment.interaction_names()

@@ -47,6 +47,7 @@ from repro.faults.injector import FaultInjector, FaultSpec
 from repro.obs.registry import MetricsRegistry
 from repro.obs.transports import JsonlMetricsStream
 from repro.sim.engine import SimulationEngine
+from repro.sim.fluid import FluidProcess, FluidReport, split_phases
 from repro.sim.metrics import TimeSeries
 from repro.slo.adaptive_policy import AdaptiveRejuvenationPolicy
 from repro.slo.calibration import CalibrationStore, workload_signature
@@ -159,6 +160,19 @@ class ExperimentConfig:
     #: record per ``snapshot_interval`` plus a final end-of-run record).
     #: Auto-creates a registry when ``metrics_registry`` is unset.
     stream_metrics: Optional[str] = None
+    #: ``"discrete"`` simulates every browser event-by-event (the classic
+    #: path, bit-identical per seed to older runs); ``"hybrid"`` evolves the
+    #: bulk of the population as a vectorised fluid process
+    #: (:mod:`repro.sim.fluid`) while a ``tracer_fraction`` slice keeps
+    #: flowing through the real servlet/SQL/monitoring path.
+    simulation_mode: str = "discrete"
+    #: Fraction of each phase's browsers simulated discretely as tracers in
+    #: hybrid mode (at least one per non-empty phase).
+    tracer_fraction: float = 0.05
+    #: Seconds between fluid updates in hybrid mode; ``None`` derives it
+    #: from ``snapshot_interval`` (half of it, floored at one second) so
+    #: every monitoring snapshot sees a fresh bulk contribution.
+    fluid_update_interval: Optional[float] = None
 
     def fault_plan(self, shard_index: int) -> List[FaultSpec]:
         """The fault plan shard ``shard_index`` runs."""
@@ -220,6 +234,11 @@ class ExperimentResult:
     #: attached — still readable post-run (its snapshot reflects the end
     #: state).
     metrics: Optional[MetricsRegistry] = None
+    #: Fluid-side summary of a hybrid run (``None`` on discrete runs).
+    fluid: Optional[FluidReport] = None
+    #: Discrete events the engine executed during the run — the hybrid
+    #: mode's cost metric (hybrid wins by executing fewer of these).
+    executed_events: int = 0
     #: Live handles for follow-up analysis (kept out of reports).
     #: ``deployment`` / ``framework`` are shard 0's, matching the legacy
     #: single-server fields; the full fleet hangs off ``cluster``.
@@ -265,6 +284,11 @@ class ExperimentResult:
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Run one experiment as described by ``config``."""
+    if config.simulation_mode not in ("discrete", "hybrid"):
+        raise ValueError(
+            f"unknown simulation_mode {config.simulation_mode!r} "
+            "(expected 'discrete' or 'hybrid')"
+        )
     if config.fleet_rejuvenation is not None:
         if config.shards < 2:
             raise ValueError(
@@ -464,7 +488,33 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                 engine, config.duration, interval=config.snapshot_interval
             )
 
-    generator.schedule_phases(config.effective_phases())
+    fluid: Optional[FluidProcess] = None
+    if config.simulation_mode == "hybrid":
+        # Split the phase schedule: tracers stay discrete, the remainder
+        # becomes the fluid bulk population.  The fluid process reads the
+        # tracers' response times and feeds completions / occupancy / DB
+        # concurrency / manager series back, so the rest of the harness
+        # runs unchanged.
+        tracer_phases, bulk_phases = split_phases(
+            config.effective_phases(), config.tracer_fraction
+        )
+        update_interval = (
+            config.fluid_update_interval
+            if config.fluid_update_interval is not None
+            else max(1.0, config.snapshot_interval / 2.0)
+        )
+        fluid = FluidProcess(
+            engine,
+            cluster,
+            generator,
+            bulk_phases,
+            tracer_fraction=config.tracer_fraction,
+            update_interval=update_interval,
+        )
+        fluid.schedule_updates(config.duration)
+        generator.schedule_phases(tracer_phases)
+    else:
+        generator.schedule_phases(config.effective_phases())
     generator.run(config.duration)
     # Every issued attempt must land in exactly one ledger bucket; a
     # violation means a refusal or retry was silently dropped somewhere.
@@ -556,6 +606,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             primary.server.component_latency_series() if track_latency else {}
         ),
         fleet=fleet,
+        fluid=fluid.report if fluid is not None else None,
+        executed_events=engine.executed_events,
         rollout=deploy_controller.report() if deploy_controller is not None else None,
         metrics=registry,
         deployment=primary,

@@ -45,7 +45,12 @@ from repro.obs.registry import MetricsRegistry
 from repro.faults.memory_leak import KB, MB
 from repro.slo.adaptive_policy import AdaptiveRejuvenationPolicy
 from repro.slo.analytic import (
+    HYBRID_DECISION_COUNT_SLACK,
+    HYBRID_DECISION_TIME_FACTOR,
+    HYBRID_THROUGHPUT_TOLERANCE,
+    HYBRID_TTE_TOLERANCE_FACTOR,
     LeakWorkloadModel,
+    extrapolated_exhaustion_time,
     mmc_metrics,
     realized_exhaustion_time,
     within_tolerance,
@@ -2188,4 +2193,286 @@ def fig_canary(
         shards=shards,
         component=COMPONENT_A,
         version=CANARY_VERSION,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Hybrid fluid/discrete scale validation (tentpole of ISSUE 9)
+# --------------------------------------------------------------------------- #
+#: Shard count of the scale comparison (two shards exercise the balancer and
+#: per-shard fluid feeds without inflating the discrete reference run).
+SCALE_SHARDS = 2
+
+#: Run labels, in comparison order.
+SCALE_MODES = ("discrete", "hybrid", "hybrid-scaled")
+
+#: Population multiplier of the scaled hybrid run.
+SCALE_POPULATION_FACTOR = 100
+
+#: Tracer fraction of both hybrid runs.  2 % keeps the scaled run's discrete
+#: tracer population (and hence its event count) small enough that the
+#: extrapolated event-reduction target is met with head-room.
+SCALE_TRACER_FRACTION = 0.02
+
+#: Minimum extrapolated discrete-event reduction the scaled hybrid run must
+#: deliver: ``discrete-1x events * factor / scaled hybrid events``.
+SCALE_EVENT_REDUCTION_TARGET = 20.0
+
+
+@dataclass
+class ScaleScenarioResult:
+    """Outcome of the three-run hybrid scale validation.
+
+    The *discrete* and *hybrid* runs drive the identical seeded workload at
+    1x population; their agreement (throughput, heap exhaustion trend,
+    rejuvenation decisions) is what licenses the *hybrid-scaled* run, which
+    multiplies the bulk population by :data:`SCALE_POPULATION_FACTOR` while
+    only the tracer slice flows through the discrete servlet/SQL path.  The
+    scaled run's claim is an event-count one: it must execute at least
+    :data:`SCALE_EVENT_REDUCTION_TARGET` times fewer discrete events than a
+    full-discrete run at the same population would (extrapolated linearly
+    from the measured 1x event count — discrete event volume is dominated by
+    per-request events and scales with the EB population).
+    """
+
+    #: Mode -> full experiment result, in :data:`SCALE_MODES` order.
+    results: Dict[str, ExperimentResult]
+    heap_capacity: float
+    scaled_heap_capacity: float
+    duration: float
+    shards: int
+    ebs: int
+    population_factor: int
+
+    def result(self, mode: str) -> ExperimentResult:
+        """The run executed under ``mode``."""
+        return self.results[mode]
+
+    def rejuvenation_action_times(self, mode: str) -> List[float]:
+        """Sorted action times across every shard's controller."""
+        result = self.results[mode]
+        assert result.cluster is not None
+        times: List[float] = []
+        for shard in result.cluster.shards:
+            if shard.controller is None:
+                continue
+            times.extend(event.time for event in shard.controller.report().events)
+        return sorted(times)
+
+    def throughput_rel_diff(self) -> float:
+        """Relative 1x throughput disagreement, ``|hybrid - discrete| / discrete``."""
+        reference = self.results["discrete"].mean_throughput()
+        if reference <= 0.0:
+            return 0.0
+        return abs(self.results["hybrid"].mean_throughput() - reference) / reference
+
+    def exhaustion_time(self, mode: str) -> Optional[float]:
+        """Earliest per-shard (realized or extrapolated) heap exhaustion time."""
+        result = self.results[mode]
+        assert result.cluster is not None
+        capacity = (
+            self.scaled_heap_capacity if mode == "hybrid-scaled" else self.heap_capacity
+        )
+        times = [
+            extrapolated_exhaustion_time(shard.heap_series(), capacity)
+            for shard in result.cluster.shards
+        ]
+        times = [t for t in times if t is not None]
+        return min(times) if times else None
+
+    def event_reduction(self) -> float:
+        """Extrapolated discrete-event reduction of the scaled hybrid run."""
+        scaled_events = self.results["hybrid-scaled"].executed_events
+        if scaled_events <= 0:
+            return 0.0
+        extrapolated = self.results["discrete"].executed_events * self.population_factor
+        return extrapolated / scaled_events
+
+    # -- tolerance bands ---------------------------------------------------- #
+    def throughput_within_band(self) -> bool:
+        """1x throughput agreement within :data:`HYBRID_THROUGHPUT_TOLERANCE`."""
+        return self.throughput_rel_diff() <= HYBRID_THROUGHPUT_TOLERANCE
+
+    def exhaustion_within_band(self) -> bool:
+        """1x exhaustion-trend agreement within the factor-of-two band.
+
+        Vacuously true when *neither* run shows an exhaustion trend (a smoke
+        run may end before the leak produces a usable slope); a trend visible
+        in exactly one of the two runs is a disagreement.
+        """
+        discrete = self.exhaustion_time("discrete")
+        hybrid = self.exhaustion_time("hybrid")
+        if discrete is None and hybrid is None:
+            return True
+        if discrete is None or hybrid is None:
+            return False
+        return within_tolerance(discrete, hybrid, HYBRID_TTE_TOLERANCE_FACTOR)
+
+    def decisions_within_band(self) -> bool:
+        """1x rejuvenation-decision agreement (count slack + first-action time)."""
+        discrete = self.rejuvenation_action_times("discrete")
+        hybrid = self.rejuvenation_action_times("hybrid")
+        if abs(len(discrete) - len(hybrid)) > HYBRID_DECISION_COUNT_SLACK:
+            return False
+        if discrete and hybrid:
+            return within_tolerance(
+                discrete[0], hybrid[0], HYBRID_DECISION_TIME_FACTOR
+            )
+        return True
+
+    def reduction_within_band(self) -> bool:
+        """Scaled-run event reduction meets :data:`SCALE_EVENT_REDUCTION_TARGET`."""
+        return self.event_reduction() >= SCALE_EVENT_REDUCTION_TARGET
+
+    def within_bands(self) -> bool:
+        """Every validation band at once (the CI gate)."""
+        return (
+            self.throughput_within_band()
+            and self.exhaustion_within_band()
+            and self.decisions_within_band()
+            and self.reduction_within_band()
+        )
+
+    def band_rows(self) -> List[Dict[str, object]]:
+        """One row per validation band: measured value, bound, verdict."""
+        discrete_tte = self.exhaustion_time("discrete")
+        hybrid_tte = self.exhaustion_time("hybrid")
+        discrete_actions = self.rejuvenation_action_times("discrete")
+        hybrid_actions = self.rejuvenation_action_times("hybrid")
+        return [
+            {
+                "band": "throughput",
+                "measured": round(self.throughput_rel_diff(), 4),
+                "bound": f"rel diff <= {HYBRID_THROUGHPUT_TOLERANCE}",
+                "ok": self.throughput_within_band(),
+            },
+            {
+                "band": "exhaustion",
+                "measured": (
+                    f"discrete={discrete_tte and round(discrete_tte, 1)} "
+                    f"hybrid={hybrid_tte and round(hybrid_tte, 1)}"
+                ),
+                "bound": f"factor <= {HYBRID_TTE_TOLERANCE_FACTOR}",
+                "ok": self.exhaustion_within_band(),
+            },
+            {
+                "band": "decisions",
+                "measured": (
+                    f"discrete={len(discrete_actions)} hybrid={len(hybrid_actions)}"
+                ),
+                "bound": (
+                    f"count +-{HYBRID_DECISION_COUNT_SLACK}, "
+                    f"first-action factor <= {HYBRID_DECISION_TIME_FACTOR}"
+                ),
+                "ok": self.decisions_within_band(),
+            },
+            {
+                "band": "event-reduction",
+                "measured": round(self.event_reduction(), 1),
+                "bound": f">= {SCALE_EVENT_REDUCTION_TARGET}x",
+                "ok": self.reduction_within_band(),
+            },
+        ]
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One row per run: population, events, throughput, fluid activity."""
+        rows: List[Dict[str, object]] = []
+        for mode, result in self.results.items():
+            fluid = result.fluid
+            rows.append(
+                {
+                    "mode": mode,
+                    "ebs": result.config.constant_ebs,
+                    "completed": result.completed_requests,
+                    "executed_events": result.executed_events,
+                    "throughput_rps": round(result.mean_throughput(), 3),
+                    "actions": len(self.rejuvenation_action_times(mode)),
+                    "bulk_completions": (
+                        round(fluid.bulk_completions, 1) if fluid is not None else 0.0
+                    ),
+                    "fluid_updates": fluid.updates if fluid is not None else 0,
+                }
+            )
+        return rows
+
+
+def fig_scale(
+    duration_scale: float = 1.0,
+    seed: int = 42,
+    scale: Optional[PopulationScale] = None,
+    shards: int = SCALE_SHARDS,
+    ebs: int = LEAK_EXPERIMENT_EBS,
+    population_factor: int = SCALE_POPULATION_FACTOR,
+    tracer_fraction: float = SCALE_TRACER_FRACTION,
+    leak_bytes: int = REJUVENATION_LEAK_BYTES,
+    period_n: int = REJUVENATION_PERIOD_N,
+) -> ScaleScenarioResult:
+    """Three same-seed runs validating the hybrid engine, then scaling it.
+
+    The first two runs are the 1x cross-check: a full-discrete fleet and a
+    hybrid fleet (bulk population as a fluid process, ``tracer_fraction`` of
+    the EBs on the real servlet/SQL path), both aging under the same
+    component-A leak with the proactive micro-reboot policy live.  The third
+    run multiplies the hybrid population by ``population_factor`` (heap
+    scaled with it, so exhaustion dynamics stay comparable) — a population
+    no practical full-discrete run could serve, which is exactly the claim
+    the event-reduction band quantifies.
+    """
+    if duration_scale <= 0:
+        raise ValueError(f"duration_scale must be positive, got {duration_scale}")
+    if shards < 2:
+        raise ValueError(f"the scale comparison needs at least 2 shards, got {shards}")
+    if population_factor < 2:
+        raise ValueError(f"population_factor must be >= 2, got {population_factor}")
+    duration = 3600.0 * duration_scale
+    snapshot_interval = max(2.0, 30.0 * duration_scale)
+    # Heap sizing mirrors fig_fleet: each shard's balancer share of the
+    # component-A visit rate leaks toward the wall late in the run, so the
+    # proactive policy has a real trend to act on in every mode.
+    visit_rate = _LEAK_VISITS_PER_SECOND * ebs / LEAK_EXPERIMENT_EBS / shards
+    expected_leak = visit_rate / period_n * leak_bytes * duration
+    heap_bytes = int((_BASELINE_LIVE_BYTES + 0.55 * expected_leak) / 0.92)
+    scaled_heap_bytes = int(
+        (_BASELINE_LIVE_BYTES + 0.55 * expected_leak * population_factor) / 0.92
+    )
+    results: Dict[str, ExperimentResult] = {}
+    for mode in SCALE_MODES:
+        scaled = mode == "hybrid-scaled"
+        config = ExperimentConfig(
+            name=f"fig-scale-{mode}",
+            seed=seed,
+            scale=scale,
+            constant_ebs=ebs * population_factor if scaled else ebs,
+            duration=duration,
+            mix_name="shopping",
+            monitored=True,
+            faults=[
+                FaultSpec(
+                    component=COMPONENT_A,
+                    kind="memory-leak",
+                    params={"leak_bytes": leak_bytes, "period_n": period_n},
+                )
+            ],
+            snapshot_interval=snapshot_interval,
+            server_config=ServerConfig(
+                heap_bytes=scaled_heap_bytes if scaled else heap_bytes
+            ),
+            shards=shards,
+            balancer_policy="sticky",
+            rejuvenation=ProactiveRejuvenationPolicy(
+                horizon=0.5 * duration,
+                microreboot_downtime=max(0.5, 2.0 * duration_scale),
+            ),
+            simulation_mode="discrete" if mode == "discrete" else "hybrid",
+            tracer_fraction=tracer_fraction,
+        )
+        results[mode] = run_experiment(config)
+    return ScaleScenarioResult(
+        results=results,
+        heap_capacity=float(heap_bytes),
+        scaled_heap_capacity=float(scaled_heap_bytes),
+        duration=duration,
+        shards=shards,
+        ebs=ebs,
+        population_factor=population_factor,
     )

@@ -265,28 +265,46 @@ class SimulationEngine:
             time = entry[0]
             if time > end_time:
                 break
-            event = entry[3]
-            if event.__class__ is Event:
-                if event.cancelled:
-                    pop(heap)
-                    continue
-                event._engine = None
-                callback = event.callback
-                if trace_enabled and event.name:
-                    self._trace.append(event.name)
-            else:
-                callback = event
-            pop(heap)
-            self._live -= 1
+            # Batched delivery: advance the clock once, then drain every
+            # entry carrying exactly this timestamp in one heap pass.  The
+            # heap top is re-read after every callback (callbacks may push
+            # further same-time events, which must still fire in (priority,
+            # seq) order), so execution order is identical to the one-pop-
+            # per-iteration loop — only the redundant end-time comparisons
+            # and clock writes are skipped.
             if fast_clock:
                 clock.now = time
             else:
                 clock.advance_to(time)
-            self._executed += 1
-            try:
-                callback()
-            except StopSimulation:
-                self._stopped = True
+            while True:
+                event = entry[3]
+                if event.__class__ is Event:
+                    if event.cancelled:
+                        pop(heap)
+                        if not heap:
+                            break
+                        entry = heap[0]
+                        if entry[0] != time:
+                            break
+                        continue
+                    event._engine = None
+                    callback = event.callback
+                    if trace_enabled and event.name:
+                        self._trace.append(event.name)
+                else:
+                    callback = event
+                pop(heap)
+                self._live -= 1
+                self._executed += 1
+                try:
+                    callback()
+                except StopSimulation:
+                    self._stopped = True
+                if self._stopped or not heap:
+                    break
+                entry = heap[0]
+                if entry[0] != time:
+                    break
         if clock.now < end_time:
             clock.advance_to(end_time)
         return self._executed - executed_before

@@ -15,9 +15,54 @@ unmonitored run of the same workload, as the paper's Fig. 3 does).
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+#: Default number of draws pulled from the generator per buffered refill.
+DEFAULT_DRAW_BATCH = 512
+
+
+class _DrawBuffer:
+    """Batched draws for one (stream, distribution, parameters) triple.
+
+    A numpy ``Generator`` consumes exactly the same underlying bit stream
+    for ``generator.exponential(mean, size=k)`` as for ``k`` successive
+    scalar calls, so serving scalar draws out of a batch array is
+    bit-identical to the unbuffered path — it only amortises the per-call
+    numpy dispatch overhead.  The parameters are pinned at registration:
+    a draw with different parameters would silently consume the wrong
+    distribution, so it raises instead.
+    """
+
+    __slots__ = ("generator", "kind", "params", "batch", "_values", "_index")
+
+    def __init__(
+        self,
+        generator: np.random.Generator,
+        kind: str,
+        params: Tuple[float, ...],
+        batch: int,
+    ) -> None:
+        self.generator = generator
+        self.kind = kind
+        self.params = params
+        self.batch = batch
+        self._values = np.empty(0)
+        self._index = 0
+
+    def next(self) -> float:
+        if self._index >= self._values.shape[0]:
+            if self.kind == "exponential":
+                self._values = self.generator.exponential(self.params[0], size=self.batch)
+            else:  # uniform
+                self._values = self.generator.uniform(
+                    self.params[0], self.params[1], size=self.batch
+                )
+            self._index = 0
+        value = self._values[self._index]
+        self._index += 1
+        return float(value)
 
 
 class RandomStreams:
@@ -34,6 +79,7 @@ class RandomStreams:
             raise TypeError(f"seed must be an int, got {type(seed).__name__}")
         self._seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
+        self._buffers: Dict[str, _DrawBuffer] = {}
 
     @property
     def seed(self) -> int:
@@ -58,12 +104,60 @@ class RandomStreams:
         return sorted(self._streams)
 
     # ------------------------------------------------------------------ #
+    # Batched draws (opt-in, bit-identical)
+    # ------------------------------------------------------------------ #
+    def buffer_stream(
+        self,
+        name: str,
+        kind: str,
+        params: Sequence[float],
+        batch: int = DEFAULT_DRAW_BATCH,
+    ) -> None:
+        """Serve ``name``'s scalar draws from bulk batches of ``batch`` draws.
+
+        Only streams whose distribution parameters never vary may be
+        buffered (``kind`` is ``"exponential"`` with ``(mean,)`` or
+        ``"uniform"`` with ``(low, high)``); a later draw with different
+        parameters raises ``ValueError`` rather than silently consuming a
+        mismatched batch.  Buffered draws are bit-identical to unbuffered
+        ones — numpy's sized draws consume the same underlying bit stream.
+        """
+        if kind not in ("exponential", "uniform"):
+            raise ValueError(f"cannot buffer draws of kind {kind!r}")
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        params = tuple(float(p) for p in params)
+        expected = 1 if kind == "exponential" else 2
+        if len(params) != expected:
+            raise ValueError(f"{kind} draws take {expected} parameter(s), got {len(params)}")
+        existing = self._buffers.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.params != params:
+                raise ValueError(
+                    f"stream {name!r} already buffered as {existing.kind}{existing.params}"
+                )
+            return
+        self._buffers[name] = _DrawBuffer(self.stream(name), kind, params, int(batch))
+
+    def _buffer_mismatch(self, name: str, kind: str, params: Tuple[float, ...]) -> ValueError:
+        buffer = self._buffers[name]
+        return ValueError(
+            f"stream {name!r} is buffered as {buffer.kind}{buffer.params}; "
+            f"cannot draw {kind}{params} from it"
+        )
+
+    # ------------------------------------------------------------------ #
     # Convenience draws used across the code base
     # ------------------------------------------------------------------ #
     def exponential(self, name: str, mean: float) -> float:
         """One draw from an exponential distribution with the given mean."""
         if mean <= 0:
             raise ValueError(f"mean must be positive, got {mean}")
+        buffer = self._buffers.get(name)
+        if buffer is not None:
+            if buffer.kind != "exponential" or buffer.params[0] != mean:
+                raise self._buffer_mismatch(name, "exponential", (float(mean),))
+            return buffer.next()
         return float(self.stream(name).exponential(mean))
 
     def uniform_int(self, name: str, low: int, high: int) -> int:
@@ -76,7 +170,28 @@ class RandomStreams:
         """One float drawn uniformly from ``[low, high)``."""
         if high < low:
             raise ValueError(f"empty range [{low}, {high})")
+        buffer = self._buffers.get(name)
+        if buffer is not None:
+            if buffer.kind != "uniform" or buffer.params != (low, high):
+                raise self._buffer_mismatch(name, "uniform", (float(low), float(high)))
+            return buffer.next()
         return float(self.stream(name).uniform(low, high))
+
+    def uniform_array(self, name: str, low: float, high: float, size: int) -> np.ndarray:
+        """``size`` uniform draws in one call (same stream as scalar draws).
+
+        Used by bulk setup paths (e.g. staggering thousands of browser start
+        times); consuming ``size`` draws here is bit-identical to ``size``
+        scalar :meth:`uniform` calls.  Buffered streams cannot be bulk-drawn
+        (the buffer already owns the stream's read position).
+        """
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high})")
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        if name in self._buffers:
+            raise ValueError(f"stream {name!r} is buffered; use scalar draws")
+        return self.stream(name).uniform(low, high, size)
 
     def choice(self, name: str, options: Sequence, probabilities: Optional[Iterable[float]] = None):
         """Pick one element of ``options`` (optionally weighted)."""

@@ -58,6 +58,17 @@ from repro.sim.metrics import TimeSeries
 #: sanity cross-check against a bursty injector, not a fit.
 TTE_TOLERANCE_FACTOR = 2.0
 
+#: Hybrid-vs-discrete validation bands (methodology in
+#: ``benchmarks/README.md``).  Throughput: relative error of the mean
+#: completed-requests/s.  Exhaustion: multiplicative factor on the
+#: (extrapolated) time-to-exhaustion, reusing the analytic cross-check's
+#: convention.  Decisions: rejuvenation action counts within ±1 and the
+#: first action's time within a factor of the decision tolerance.
+HYBRID_THROUGHPUT_TOLERANCE = 0.15
+HYBRID_TTE_TOLERANCE_FACTOR = 2.0
+HYBRID_DECISION_COUNT_SLACK = 1
+HYBRID_DECISION_TIME_FACTOR = 2.0
+
 
 # --------------------------------------------------------------------------- #
 # M/M/c queueing
@@ -158,6 +169,39 @@ def mmc_metrics(arrival_rate: float, service_rate: float, servers: int) -> MmcMe
         service_rate=float(service_rate),
         servers=int(servers),
     )
+
+
+# --------------------------------------------------------------------------- #
+# Closed-loop fluid rates (hybrid simulation)
+# --------------------------------------------------------------------------- #
+def capped_exponential_mean(mean: float, cap: float) -> float:
+    """Mean of ``min(X, cap)`` for ``X ~ Exp(mean)``.
+
+    The TPC-W think time is a capped exponential (7 s mean, 70 s cap), so
+    the fluid bulk population must cycle at the *capped* mean —
+    ``E[min(X, c)] = m·(1 − e^(−c/m))`` — or it would under-offer load
+    relative to the discrete browsers.
+    """
+    if mean <= 0:
+        raise ValueError(f"mean must be positive, got {mean}")
+    if cap <= 0:
+        raise ValueError(f"cap must be positive, got {cap}")
+    return mean * (1.0 - math.exp(-cap / mean))
+
+
+def closed_loop_rate(population: float, think_mean: float, response_time: float) -> float:
+    """Arrival rate of ``population`` closed-loop clients.
+
+    The interactive response time law ``λ = N / (Z + R)``: each browser
+    cycles through one request plus one think period, so the offered rate
+    is the population over the mean cycle time.
+    """
+    if population < 0:
+        raise ValueError(f"population must be non-negative, got {population}")
+    cycle = think_mean + max(0.0, response_time)
+    if cycle <= 0:
+        raise ValueError(f"cycle time must be positive, got {cycle}")
+    return population / cycle
 
 
 # --------------------------------------------------------------------------- #
@@ -297,6 +341,30 @@ def realized_exhaustion_time(
     if crossed.size == 0:
         return None
     return float(series.times[crossed[0]])
+
+
+def extrapolated_exhaustion_time(
+    series: TimeSeries, capacity: float, fraction: float = 1.0
+) -> Optional[float]:
+    """Exhaustion time, linearly extrapolated when the run ended short.
+
+    Falls back to :func:`realized_exhaustion_time` when the series actually
+    crossed the threshold.  Otherwise fits a line to the observed growth and
+    projects the crossing; ``None`` when the series is too short or not
+    growing.  Hybrid validation compares *extrapolated* times so short
+    smoke runs (which never reach the wall) still check the growth rates.
+    """
+    crossed = realized_exhaustion_time(series, capacity, fraction)
+    if crossed is not None:
+        return crossed
+    if len(series) < 2:
+        return None
+    times = series.times
+    values = series.values
+    slope, intercept = np.polyfit(times, values, 1)
+    if slope <= 0:
+        return None
+    return float((fraction * capacity - intercept) / slope)
 
 
 def within_tolerance(

@@ -284,6 +284,105 @@ def _random_statement(rng, database):
     return sql, params
 
 
+#: Numeric columns per table, for SUM/AVG (MIN/MAX/COUNT take any column).
+AGG_NUMERIC_COLUMNS = {
+    "item": ["i_cost", "i_srp", "i_stock"],
+    "orders": ["o_total"],
+    "order_line": ["ol_qty", "ol_discount"],
+    "customer": ["c_discount"],
+    "shopping_cart_line": ["scl_qty"],
+}
+
+
+def _random_aggregate_statement(rng, database):
+    """One generated aggregate SELECT: GROUP BY 0-2 keys, 1-3 aggregates."""
+    joins = int(rng.integers(0, 3))
+    if joins == 0:
+        base = list(AGG_NUMERIC_COLUMNS)[int(rng.integers(0, len(AGG_NUMERIC_COLUMNS)))]
+        chain = []
+    elif joins == 1:
+        child, fk, parent, pk = FK_EDGES[int(rng.integers(0, len(FK_EDGES)))]
+        base, chain = child, [(parent, pk, fk)]
+    else:
+        base = "order_line"
+        chain = [("item", "i_id", "ol_i_id"), ("author", "a_id", "i_a_id")]
+    names = [base] + [parent for parent, _, _ in chain]
+    aliases = [f"t{i}" for i in range(len(names))]
+
+    def _pick_column(target):
+        cols = INTERESTING_COLUMNS.get(names[target]) or database.table(
+            names[target]
+        ).column_names()
+        return cols[int(rng.integers(0, len(cols)))]
+
+    group_refs = []
+    for _ in range(int(rng.integers(0, 3))):
+        target = int(rng.integers(0, len(names)))
+        group_refs.append(f"{aliases[target]}.{_pick_column(target)}")
+    group_refs = list(dict.fromkeys(group_refs))
+
+    select_items = list(group_refs)
+    order_candidates = [ref.split(".")[1] for ref in group_refs]
+    numeric_targets = [
+        (idx, column)
+        for idx, name in enumerate(names)
+        for column in AGG_NUMERIC_COLUMNS.get(name, [])
+    ]
+    for agg_index in range(1 + int(rng.integers(0, 3))):
+        alias_name = f"agg{agg_index}"
+        choice = int(rng.integers(0, 6))
+        if choice == 0 or (choice in (2, 3) and not numeric_targets):
+            select_items.append(f"COUNT(*) AS {alias_name}")
+        elif choice == 1:
+            target = int(rng.integers(0, len(names)))
+            select_items.append(
+                f"COUNT({aliases[target]}.{_pick_column(target)}) AS {alias_name}"
+            )
+        elif choice in (2, 3):
+            function = "SUM" if choice == 2 else "AVG"
+            target, column = numeric_targets[int(rng.integers(0, len(numeric_targets)))]
+            select_items.append(f"{function}({aliases[target]}.{column}) AS {alias_name}")
+        else:
+            function = "MIN" if choice == 4 else "MAX"
+            target = int(rng.integers(0, len(names)))
+            select_items.append(
+                f"{function}({aliases[target]}.{_pick_column(target)}) AS {alias_name}"
+            )
+        order_candidates.append(alias_name)
+
+    sql = "SELECT " + ", ".join(select_items) + f" FROM {base} {aliases[0]}"
+    prev_alias = aliases[0]
+    for idx, (parent, pk, fk) in enumerate(chain, start=1):
+        sql += f" JOIN {parent} {aliases[idx]} ON {prev_alias}.{fk} = {aliases[idx]}.{pk}"
+        prev_alias = aliases[idx]
+
+    params = []
+    where_terms = []
+    for _ in range(int(rng.integers(0, 3))):
+        target = int(rng.integers(0, len(names)))
+        column = _pick_column(target)
+        value = _sample_value(rng, database.table(names[target]), column)
+        op = ["=", "=", "<", ">", "<=", ">="][int(rng.integers(0, 6))]
+        if op in ("<", ">", "<=", ">=") and not isinstance(value, (int, float)):
+            op = "="
+        if rng.random() < 0.5:
+            where_terms.append(f"{aliases[target]}.{column} {op} ?")
+            params.append(value)
+        else:
+            where_terms.append(f"{aliases[target]}.{column} {op} {_render_value(value)}")
+    if where_terms:
+        sql += " WHERE " + " AND ".join(where_terms)
+    if group_refs:
+        sql += " GROUP BY " + ", ".join(group_refs)
+    if order_candidates and rng.random() < 0.8:
+        key = order_candidates[int(rng.integers(0, len(order_candidates)))]
+        direction = " DESC" if rng.random() < 0.5 else ""
+        sql += f" ORDER BY {key}{direction}"
+        if rng.random() < 0.6:
+            sql += f" LIMIT {int(rng.integers(1, 30))}"
+    return sql, params
+
+
 @pytest.mark.parametrize("corpus_seed", [42, 7, 2026])
 def test_randomized_statement_corpus_equivalent(databases, corpus_seed):
     planned_db, _ = databases
@@ -311,3 +410,46 @@ def test_corpus_exercises_topk_and_lazy_paths(databases):
         )
     assert topk > 5
     assert lazy > 5
+
+
+@pytest.mark.parametrize("corpus_seed", [13, 99, 1234])
+def test_randomized_aggregate_corpus_equivalent(databases, corpus_seed):
+    planned_db, _ = databases
+    rng = np.random.default_rng(corpus_seed)
+    for _ in range(80):
+        sql, params = _random_aggregate_statement(rng, planned_db)
+        assert_equivalent(databases, sql, params)
+
+
+def test_streaming_aggregates_match_materialized(databases):
+    """A/B the streaming fold against the retained materialized path."""
+    import repro.db.planner as planner_module
+
+    planned_db, _ = databases
+    rng = np.random.default_rng(11)
+    statements = [_random_aggregate_statement(rng, planned_db) for _ in range(60)]
+    statements.extend(
+        (sql, params) for sql, params in SERVLET_QUERIES if "GROUP BY" in sql or "(" in sql
+    )
+    original = planner_module.STREAMING_AGGREGATES
+    try:
+        planner_module.STREAMING_AGGREGATES = False
+        expected = [planned_db.execute(sql, params).rows for sql, params in statements]
+        planner_module.STREAMING_AGGREGATES = True
+        actual = [planned_db.execute(sql, params).rows for sql, params in statements]
+    finally:
+        planner_module.STREAMING_AGGREGATES = original
+    assert actual == expected
+
+
+def test_aggregate_corpus_exercises_group_by(databases):
+    """Sanity: the aggregate generator produces real GROUP BY + aggregate mix."""
+    planned_db, _ = databases
+    rng = np.random.default_rng(13)
+    grouped = global_agg = 0
+    for _ in range(80):
+        sql, _params = _random_aggregate_statement(rng, planned_db)
+        grouped += "GROUP BY" in sql
+        global_agg += "GROUP BY" not in sql
+    assert grouped > 10
+    assert global_agg > 10

@@ -1,0 +1,255 @@
+"""Property tests for the hybrid fluid/discrete execution mode (ISSUE 9).
+
+Three families:
+
+* hybrid-vs-discrete tolerance bands — at tiny scale, across seeds, the
+  hybrid run's throughput and heap growth must stay inside the same bands
+  the ``fig_scale`` CI gate enforces;
+* ledger conservation — the tracer population's request accounting must
+  balance exactly under hybrid execution (the fluid bulk feeds the
+  throughput *series* but never the counters);
+* vectorised generation bit-identity — the workload generator's batched
+  RNG draws must reproduce the scalar draw stream bit for bit.
+
+Plus the shared-primary contention charge of the satellite fix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.jdbc import DataSource
+from repro.db.table import Column, ColumnType
+from repro.db.engine import Database
+from repro.experiments.cluster import SHARED_PRIMARY_CONTENTION_SECONDS
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.faults.injector import FaultSpec
+from repro.sim.engine import SimulationEngine
+from repro.sim.fluid import split_phases
+from repro.slo.analytic import HYBRID_THROUGHPUT_TOLERANCE, within_tolerance
+from repro.tpcw.application import build_deployment
+from repro.tpcw.population import PopulationScale
+from repro.tpcw.workload import WorkloadGenerator, WorkloadPhase
+
+COMPONENT = "product_detail"
+
+
+def _leak_config(mode: str, seed: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        name=f"hybrid-prop-{mode}-{seed}",
+        seed=seed,
+        scale=PopulationScale.tiny(),
+        constant_ebs=60,
+        duration=240.0,
+        mix_name="shopping",
+        monitored=True,
+        faults=[
+            FaultSpec(
+                component=COMPONENT,
+                kind="memory-leak",
+                # Leak sized to dominate heap growth over transient request
+                # garbage, so the growth band measures the leak, not GC noise.
+                params={"leak_bytes": 2 * 1024 * 1024, "period_n": 5},
+            )
+        ],
+        snapshot_interval=10.0,
+        simulation_mode=mode,
+        tracer_fraction=0.1,
+    )
+
+
+def _leak_triggers(result) -> int:
+    total = 0
+    for shard in result.cluster.shards:
+        if shard.injector is None:
+            continue
+        for _component, fault in shard.injector.injected:
+            total += fault.trigger_count
+    return total
+
+
+# --------------------------------------------------------------------------- #
+# Tolerance bands across seeds
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", [7, 11, 2026])
+def test_hybrid_matches_discrete_within_bands(seed):
+    discrete = run_experiment(_leak_config("discrete", seed))
+    hybrid = run_experiment(_leak_config("hybrid", seed))
+
+    reference = discrete.mean_throughput()
+    assert reference > 0
+    rel_diff = abs(hybrid.mean_throughput() - reference) / reference
+    assert rel_diff <= HYBRID_THROUGHPUT_TOLERANCE
+
+    # The fluid side must age the heap like the discrete bulk would: the
+    # amplified leak fires within the same factor-of-two band, and with the
+    # leak dominating allocation the observed heap growth tracks it too.
+    assert within_tolerance(
+        _leak_triggers(discrete), _leak_triggers(hybrid), 2.0
+    )
+    discrete_growth = float(discrete.heap_series.values[-1] - discrete.heap_series.values[0])
+    hybrid_growth = float(hybrid.heap_series.values[-1] - hybrid.heap_series.values[0])
+    assert discrete_growth > 0
+    assert within_tolerance(discrete_growth, hybrid_growth, 2.0)
+
+    # The hybrid run exists to execute fewer discrete events.
+    assert hybrid.executed_events < discrete.executed_events
+
+
+def test_hybrid_fluid_report_populated():
+    result = run_experiment(_leak_config("hybrid", 7))
+    fluid = result.fluid
+    assert fluid is not None
+    assert fluid.updates > 0
+    assert fluid.bulk_completions > 0
+    assert fluid.bulk_peak_population > 0
+    # The amplified leak must have fired on the fluid side.
+    assert fluid.amplified_injections.get("memory-leak", 0) > 0
+    # Visits follow the stationary mix: the faulted component is among them.
+    assert fluid.component_visits.get(COMPONENT, 0.0) > 0.0
+
+
+def test_unknown_simulation_mode_rejected():
+    config = _leak_config("discrete", 7)
+    config.simulation_mode = "fluid-only"
+    with pytest.raises(ValueError):
+        run_experiment(config)
+
+
+# --------------------------------------------------------------------------- #
+# Ledger conservation
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", [7, 11])
+def test_tracer_ledger_conserved_under_hybrid(seed):
+    result = run_experiment(_leak_config("hybrid", seed))
+    ledger = result.accounting
+    assert ledger["in_flight"] == 0
+    assert (
+        ledger["completions"] + ledger["errors"] + ledger["refusals"]
+        == ledger["issued"]
+    )
+    # The fluid bulk marks the throughput series but never the counters:
+    # issued stays at tracer volume (~10 % of the discrete run's), while the
+    # series carries the bulk's completions on top.
+    discrete = run_experiment(_leak_config("discrete", seed))
+    assert result.issued_requests < discrete.issued_requests / 2
+    assert result.fluid is not None
+    series_total = result.mean_throughput() * result.config.duration
+    assert series_total > result.completed_requests
+
+
+def test_split_phases_conserves_population():
+    rng = np.random.default_rng(5)
+    for _ in range(200):
+        phases = [
+            WorkloadPhase(start_time=float(index * 60), eb_count=int(rng.integers(0, 500)))
+            for index in range(int(rng.integers(1, 6)))
+        ]
+        fraction = float(rng.uniform(0.01, 0.5))
+        tracers, bulk = split_phases(phases, fraction)
+        assert len(tracers) == len(bulk) == len(phases)
+        for original, tracer, rest in zip(phases, tracers, bulk):
+            assert tracer.eb_count + rest.eb_count == original.eb_count
+            assert tracer.start_time == rest.start_time == original.start_time
+            if original.eb_count:
+                assert tracer.eb_count >= 1
+
+
+# --------------------------------------------------------------------------- #
+# Vectorised generation bit-identity
+# --------------------------------------------------------------------------- #
+def _run_generator(batch_draws: bool) -> WorkloadGenerator:
+    engine = SimulationEngine()
+    deployment = build_deployment(
+        scale=PopulationScale.tiny(), seed=123, clock=engine.clock
+    )
+    generator = WorkloadGenerator(engine, deployment, batch_draws=batch_draws)
+    generator.schedule_phases(
+        [
+            WorkloadPhase(start_time=0.0, eb_count=15),
+            WorkloadPhase(start_time=60.0, eb_count=30),
+            WorkloadPhase(start_time=120.0, eb_count=8),
+        ]
+    )
+    generator.run(180.0)
+    return generator
+
+
+def test_batched_draws_bit_identical_to_scalar():
+    batched = _run_generator(batch_draws=True)
+    scalar = _run_generator(batch_draws=False)
+    assert batched.completed_requests == scalar.completed_requests
+    assert batched.error_count == scalar.error_count
+    assert batched.issued_requests == scalar.issued_requests
+    assert dict(batched.interaction_counts) == dict(scalar.interaction_counts)
+    assert np.array_equal(batched.response_times.times, scalar.response_times.times)
+    assert np.array_equal(batched.response_times.values, scalar.response_times.values)
+
+
+# --------------------------------------------------------------------------- #
+# Shared-primary connection contention
+# --------------------------------------------------------------------------- #
+def _make_datasource() -> DataSource:
+    database = Database("contention")
+    database.create_table(
+        "t", [Column("id", ColumnType.INTEGER, primary_key=True)]
+    )
+    return DataSource(database)
+
+
+def test_shared_primary_contention_charge():
+    primary = _make_datasource()
+    peer = _make_datasource()
+    for datasource in (primary, peer):
+        datasource.contention_seconds_per_connection = SHARED_PRIMARY_CONTENTION_SECONDS
+        datasource.contention_pool_group = [primary, peer]
+
+    # One connection active in each shard's pool: the charged query sees one
+    # *other* active connection across the shared primary.
+    primary.get_connection(owner="a")
+    peer.get_connection(owner="b")
+    before = primary.total_cost_seconds
+    primary.record_cost(0.001)
+    charged = primary.total_cost_seconds - before
+    assert charged == pytest.approx(0.001 + SHARED_PRIMARY_CONTENTION_SECONDS)
+
+    # Fluid bulk connections join the group-wide count.
+    peer.fluid_active_connections = 3.0
+    before = primary.total_cost_seconds
+    primary.record_cost(0.001)
+    charged = primary.total_cost_seconds - before
+    assert charged == pytest.approx(0.001 + 4 * SHARED_PRIMARY_CONTENTION_SECONDS)
+
+
+def test_replica_mode_charges_no_contention():
+    datasource = _make_datasource()
+    datasource.get_connection(owner="a")
+    datasource.get_connection(owner="b")
+    before = datasource.total_cost_seconds
+    datasource.record_cost(0.001)
+    assert datasource.total_cost_seconds - before == pytest.approx(0.001)
+
+
+def test_cluster_wires_contention_only_in_shared_mode():
+    from repro.experiments.cluster import build_cluster
+
+    for db_mode, expected in (("shared", SHARED_PRIMARY_CONTENTION_SECONDS), ("replica", 0.0)):
+        engine = SimulationEngine()
+        config = ExperimentConfig(
+            name=f"contention-{db_mode}",
+            seed=7,
+            scale=PopulationScale.tiny(),
+            duration=60.0,
+            shards=2,
+            shard_db_mode=db_mode,
+        )
+        cluster = build_cluster(config, engine)
+        for shard in cluster.shards:
+            datasource = shard.deployment.datasource
+            assert datasource.contention_seconds_per_connection == expected
+            if db_mode == "shared":
+                assert datasource.contention_pool_group is not None
+                assert len(datasource.contention_pool_group) == 2
+            else:
+                assert datasource.contention_pool_group is None
