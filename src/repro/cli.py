@@ -39,6 +39,7 @@ from repro.experiments.reporting import (
     mixed_report,
     rejuvenation_report,
     retry_storm_report,
+    rollout_report,
     scale_report,
     zoo_report,
 )
@@ -55,6 +56,7 @@ from repro.experiments.scenarios import (
     fig_mixed,
     fig_rejuvenation,
     fig_retry_storm,
+    fig_rollout,
     fig_scale,
     fig_zoo,
 )
@@ -332,6 +334,129 @@ def _cmd_canary(args: argparse.Namespace) -> int:
     return 0 if scenario.canary_wins() else 1
 
 
+def _cmd_rollout(args: argparse.Namespace) -> int:
+    import json
+
+    scenario = fig_rollout(
+        duration_scale=args.duration_scale,
+        seed=args.seed,
+        scale=_population(args),
+        ebs=args.ebs,
+        shards=args.shards,
+        stream_metrics=args.stream_metrics,
+    )
+    print(rollout_report(scenario))
+    if args.stream_metrics:
+        # The streamed plane must agree with the post-hoc report: the final
+        # JSONL record's counters are the same ledger the report asserts.
+        with open(args.stream_metrics, encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+        streamed = json.loads(lines[-1])["counters"]
+        ledger = dict(scenario.results["staged"].accounting)
+        if streamed != ledger:
+            print(
+                "error: streamed final counters disagree with the post-hoc "
+                f"ledger\n  stream: {streamed}\n  ledger: {ledger}",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"\nstreamed {len(lines)} metrics records to {args.stream_metrics}; "
+            "final counters match the post-hoc ledger "
+            "(replay the rulings with: repro replay "
+            f"{args.stream_metrics})"
+        )
+    return 0 if scenario.staged_wins() else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.transports import (
+        load_stream,
+        recorded_verdicts,
+        replay_verdicts,
+        ruling_events,
+    )
+
+    try:
+        records = load_stream(args.stream)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    record = records[-1]
+    events = ruling_events(record)
+    if not events:
+        print(
+            f"{args.stream}: {len(records)} records, no analyzer rulings "
+            "recorded (was the run deployed with analysis?)"
+        )
+        return 0
+
+    overrides = {}
+    if args.growth_ratio_threshold is not None:
+        overrides["growth_ratio_threshold"] = args.growth_ratio_threshold
+    if args.alpha is not None:
+        overrides["alpha"] = args.alpha
+    if args.burn_delta_threshold is not None:
+        overrides["burn_delta_threshold"] = args.burn_delta_threshold
+
+    try:
+        recorded = recorded_verdicts(record)
+        replayed = replay_verdicts(record, overrides or None)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(
+        f"== repro replay: {len(events)} ruling(s) over {len(records)} "
+        f"records from {args.stream} =="
+    )
+    rows = []
+    for event, live, offline in zip(events, recorded, replayed):
+        analysis = event["analysis"]
+        rows.append(
+            {
+                "ruled_at_s": round(float(analysis["ruled_at"]), 1),
+                "stage": event.get("stage", "-"),
+                "trigger": analysis.get("trigger", "-"),
+                "recorded": "promote" if live["promote"] else "rollback",
+                "replayed": "promote" if offline["promote"] else "rollback",
+                "growth_ratio": round(float(offline["growth_ratio"]), 1),
+                "samples": offline["canary_samples"],
+            }
+        )
+    print(format_table(rows))
+
+    if overrides:
+        named = ", ".join(f"{key}={value:g}" for key, value in sorted(overrides.items()))
+        flips = sum(
+            1 for live, offline in zip(recorded, replayed) if live["promote"] != offline["promote"]
+        )
+        print(
+            f"\nre-ruled under tuned thresholds ({named}): "
+            f"{flips} verdict(s) flipped vs. the live run"
+        )
+        return 0
+
+    def _canonical(verdicts):
+        return json.dumps(verdicts, sort_keys=True, separators=(",", ":"))
+
+    if _canonical(recorded) == _canonical(replayed):
+        print("\nreplayed verdicts are byte-identical to the live run's")
+        return 0
+    print("\nerror: replayed verdicts diverge from the recorded ones", file=sys.stderr)
+    for index, (live, offline) in enumerate(zip(recorded, replayed)):
+        for key in live:
+            if live.get(key) != offline.get(key):
+                print(
+                    f"  ruling {index}: {key}: recorded {live.get(key)!r} "
+                    f"!= replayed {offline.get(key)!r}",
+                    file=sys.stderr,
+                )
+    return 1
+
+
 def _cmd_scale(args: argparse.Namespace) -> int:
     scenario = fig_scale(
         duration_scale=args.duration_scale,
@@ -472,6 +597,19 @@ def _canary_args(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _rollout_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--shards", type=int, default=4, help="application-server instances behind the balancer"
+    )
+    sub.add_argument(
+        "--stream-metrics",
+        metavar="PATH",
+        default=None,
+        help="stream observability snapshots of the staged run to a JSONL "
+        "file (replayable with `repro replay`)",
+    )
+
+
 def _scale_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--shards", type=int, default=2, help="application-server instances behind the balancer"
@@ -503,6 +641,7 @@ SCENARIO_COMMANDS: List[ScenarioCommand] = [
     ScenarioCommand("storm", "retry storm: naive immediate retries vs. backoff + circuit breaker", _cmd_storm),
     ScenarioCommand("fleet", "sharded fleet: rolling vs. simultaneous vs. no-action rejuvenation", _cmd_fleet, extra_args=_fleet_args),
     ScenarioCommand("canary", "canary deploy of a leaky build: catch + rollback vs. blind rollout", _cmd_canary, extra_args=_canary_args),
+    ScenarioCommand("rollout", "progressive delivery: staged ladder + alert-driven rollback vs. single canary vs. blind", _cmd_rollout, extra_args=_rollout_args),
     ScenarioCommand("scale", "hybrid fluid/discrete engine: 1x validation bands + scaled population", _cmd_scale, extra_args=_scale_args),
 ]
 
@@ -613,6 +752,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ablate_parser.set_defaults(handler=_cmd_ablate)
 
+    replay_parser = subparsers.add_parser(
+        "replay",
+        help="feed a recorded JSONL metrics stream back through the canary "
+        "analyzer offline (verify byte-identity, or tune thresholds)",
+    )
+    replay_parser.add_argument(
+        "stream", metavar="STREAM.jsonl", help="stream recorded with --stream-metrics"
+    )
+    replay_parser.add_argument(
+        "--growth-ratio-threshold",
+        type=float,
+        default=None,
+        help="re-rule under this growth-ratio threshold instead of the recorded one",
+    )
+    replay_parser.add_argument(
+        "--alpha",
+        type=float,
+        default=None,
+        help="re-rule under this Mann-Kendall significance level",
+    )
+    replay_parser.add_argument(
+        "--burn-delta-threshold",
+        type=float,
+        default=None,
+        help="re-rule under this SLA-burn delta threshold",
+    )
+    replay_parser.set_defaults(handler=_cmd_replay)
+
     return parser
 
 
@@ -622,6 +789,7 @@ _UTILITY_COMMANDS = [
     ("quickstart", "install the framework, inject a leak, diagnose"),
     ("bench", "run the perf microbenchmarks (speedups vs. the seed baseline)"),
     ("ablate", "run the policy × fault × mechanism × seed ablation matrix"),
+    ("replay", "replay a recorded metrics stream through the canary analyzer offline"),
 ]
 
 

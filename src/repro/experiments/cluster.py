@@ -98,6 +98,16 @@ class ShardHandle:
             return self.blackbox.series["heap_used"]
         return TimeSeries("heap_used")
 
+    def heap_capacity(self) -> float:
+        """The shard's total heap capacity in bytes."""
+        return float(self.deployment.runtime.total_memory())
+
+    def object_series(self, component: str) -> TimeSeries:
+        """The component's monitored object-size series (empty when unmonitored)."""
+        if self.framework is not None:
+            return self.framework.manager.map.series(component, "object_size")
+        return TimeSeries("object_size")
+
     def summary(self) -> Dict[str, object]:
         """Server-side counters of this shard, for the fleet report."""
         server = self.deployment.server

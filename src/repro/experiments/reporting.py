@@ -23,6 +23,7 @@ from repro.experiments.scenarios import (
     MixedScenarioResult,
     RejuvenationScenarioResult,
     RetryStormResult,
+    RolloutScenarioResult,
     ScaleScenarioResult,
     ZooResult,
 )
@@ -418,6 +419,102 @@ def canary_report(scenario: CanaryScenarioResult) -> str:
 
 def canary_report_artifacts(scenario: CanaryScenarioResult) -> Dict[str, str]:
     """Machine-readable per-strategy summary of the canary comparison
+    (``{"markdown", "csv"}``, byte-stable per seed)."""
+    rows = scenario.summary_rows()
+    return {"markdown": rows_to_markdown(rows), "csv": rows_to_csv(rows)}
+
+
+# --------------------------------------------------------------------------- #
+# Progressive delivery
+# --------------------------------------------------------------------------- #
+def rollout_report(scenario: RolloutScenarioResult) -> str:
+    """Per-strategy outcome, the staged run's stage ladder and the SLA claim."""
+    for result in scenario.results.values():
+        accounting_sanity_check(result)
+    report = scenario.staged_report()
+    lines = [
+        f"== Progressive delivery at {scenario.shards} shards: "
+        "staged ladder vs. single canary vs. blind rollout ==",
+        f"expectation: the '{scenario.version}' build of {scenario.component} "
+        "leaks; the staged pipeline catches it during stage 1's bake — the "
+        "deployed shard's aging alert triggers the analyzer ruling mid-bake "
+        "— and partial rollback reverts only the deployed shards, so no "
+        "more than the active stage is ever exposed; the blind rollout "
+        "ships the leak fleet-wide",
+        f"stage ladder: {' -> '.join(str(size) for size in report.ladder)} shards, "
+        f"per-shard heap capacity: {scenario.heap_capacity / (1024.0 * 1024.0):.2f} MB, "
+        f"run length: {scenario.duration:.0f} s",
+        "",
+        "per-strategy rollout outcome and SLA cost:",
+        format_table(scenario.summary_rows()),
+    ]
+    stage_rows = []
+    for stage in report.stages:
+        stage_rows.append(
+            {
+                "stage": stage["stage"],
+                "size": stage["size"],
+                "shards": ",".join(str(index) for index in stage["shards"]),
+                "deployed_at_s": round(float(stage["deployed_at"]), 1),
+                "ruled_at_s": (
+                    round(float(stage["ruled_at"]), 1) if "ruled_at" in stage else "-"
+                ),
+                "trigger": stage.get("trigger", "-"),
+                "promote": stage.get("promote", "-"),
+            }
+        )
+    if stage_rows:
+        lines += ["", "staged run's stage ladder:", format_table(stage_rows)]
+    verdict = report.verdict
+    if verdict is not None:
+        lines += [
+            "",
+            "stage analyzer verdict:",
+            format_table(
+                [
+                    {
+                        "promote": verdict.promote,
+                        "growth_ratio": round(verdict.growth_ratio, 1),
+                        "p_value": round(verdict.p_value, 4),
+                        "samples": verdict.canary_samples,
+                        "insufficient_data": verdict.insufficient_data,
+                        "truncated_bake": verdict.truncated_bake,
+                    }
+                ]
+            ),
+            f"reason: {verdict.reason}",
+        ]
+        ruled_at = scenario.ruled_at()
+        deadline_at = scenario.deadline_at()
+        if (
+            scenario.ruling_trigger() == "alert"
+            and ruled_at is not None
+            and deadline_at is not None
+        ):
+            lines.append(
+                f"alert-driven: ruled at {ruled_at:.1f} s, "
+                f"{deadline_at - ruled_at:.1f} s ahead of the bake deadline"
+            )
+    lines += [
+        "",
+        format_table(
+            [
+                {
+                    "claim": "staged <= single-canary <= blind SLA cost, staged < blind",
+                    "staged": round(scenario.sla_cost("staged"), 1),
+                    "single_canary": round(scenario.sla_cost("single-canary"), 1),
+                    "blind": round(scenario.sla_cost("blind"), 1),
+                    "max_exposed": scenario.max_exposed_shards("staged"),
+                    "holds": scenario.staged_wins(),
+                }
+            ]
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def rollout_report_artifacts(scenario: RolloutScenarioResult) -> Dict[str, str]:
+    """Machine-readable per-strategy summary of the rollout comparison
     (``{"markdown", "csv"}``, byte-stable per seed)."""
     rows = scenario.summary_rows()
     return {"markdown": rows_to_markdown(rows), "csv": rows_to_csv(rows)}

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.baselines.blackbox import BlackBoxMonitor
 from repro.baselines.pinpoint import PinpointAnalyzer
@@ -42,6 +42,9 @@ from repro.experiments.deploy import (
     DeploymentController,
     DeploymentPlan,
     DeploymentReport,
+    RolloutController,
+    RolloutPlan,
+    RolloutReport,
 )
 from repro.faults.injector import FaultInjector, FaultSpec
 from repro.obs.registry import MetricsRegistry
@@ -147,11 +150,18 @@ class ExperimentConfig:
     #: exists to localise.
     shard_faults: Optional[Dict[int, List[FaultSpec]]] = None
     #: Mid-run rollout of a :class:`~repro.experiments.deploy.ComponentVersion`
-    #: across the fleet (canary or blind, see
-    #: :class:`~repro.experiments.deploy.DeploymentPlan`); ``None`` deploys
-    #: nothing.  Canary plans require ``monitored`` — the analyzer reads the
-    #: per-shard manager series.
-    rollout: Optional[DeploymentPlan] = None
+    #: across the fleet: a :class:`~repro.experiments.deploy.DeploymentPlan`
+    #: (canary or blind) or a :class:`~repro.experiments.deploy.RolloutPlan`
+    #: (staged progressive delivery); ``None`` deploys nothing.  Analysed
+    #: plans require ``monitored`` — the analyzer reads the per-shard
+    #: manager series.
+    rollout: Optional[Union[DeploymentPlan, RolloutPlan]] = None
+    #: Aging-alert threshold (bytes of per-component consumption) handed to
+    #: every shard's :class:`~repro.core.framework.FrameworkConfig`;
+    #: ``None`` keeps the framework default.  Staged rollouts lower it so
+    #: the aging-suspect notification can trigger an analyzer ruling
+    #: mid-bake (alert-driven rollback).
+    alert_growth_bytes: Optional[float] = None
     #: Live observability registry to attach to this run (see
     #: :mod:`repro.obs`).  Strictly an observer: attaching one never changes
     #: the run's outputs.
@@ -228,8 +238,9 @@ class ExperimentResult:
     #: single-shard runs.
     fleet: Optional[FleetReport] = None
     #: Rollout summary when the run deployed a component version
-    #: (``deployment`` was already taken by the TPC-W handle below).
-    rollout: Optional[DeploymentReport] = None
+    #: (``deployment`` was already taken by the TPC-W handle below);
+    #: a :class:`~repro.experiments.deploy.RolloutReport` for staged plans.
+    rollout: Optional[Union[DeploymentReport, RolloutReport]] = None
     #: The observability registry that watched this run, when one was
     #: attached — still readable post-run (its snapshot reflects the end
     #: state).
@@ -315,13 +326,16 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     # a one-shard run schedules exactly the legacy event sequence.
     if config.monitored:
         for shard in cluster.shards:
-            framework_config = FrameworkConfig(
+            framework_kwargs = dict(
                 sample_cost_seconds=config.sample_cost_seconds,
                 monitor_cpu=config.monitor_extended_resources,
                 monitor_threads=needs_extended,
                 monitor_connections=needs_extended,
                 snapshot_interval=config.snapshot_interval,
             )
+            if config.alert_growth_bytes is not None:
+                framework_kwargs["alert_growth_bytes"] = config.alert_growth_bytes
+            framework_config = FrameworkConfig(**framework_kwargs)
             framework = MonitoringFramework(
                 shard.deployment,
                 engine=engine,
@@ -435,16 +449,26 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     if registry is None and config.stream_metrics is not None:
         registry = MetricsRegistry()
 
-    deploy_controller: Optional[DeploymentController] = None
+    deploy_controller: Optional[Union[DeploymentController, RolloutController]] = None
     if config.rollout is not None:
-        if config.rollout.canary and not config.monitored:
-            raise ValueError(
-                "a canary rollout requires monitored=True (the analyzer reads "
-                "the per-shard manager series)"
+        if isinstance(config.rollout, RolloutPlan):
+            if not config.monitored:
+                raise ValueError(
+                    "a staged rollout requires monitored=True (the analyzer "
+                    "reads the per-shard manager series)"
+                )
+            deploy_controller = RolloutController(
+                cluster, engine, config.rollout, registry=registry
             )
-        deploy_controller = DeploymentController(
-            cluster, engine, config.rollout, registry=registry
-        )
+        else:
+            if config.rollout.canary and not config.monitored:
+                raise ValueError(
+                    "a canary rollout requires monitored=True (the analyzer reads "
+                    "the per-shard manager series)"
+                )
+            deploy_controller = DeploymentController(
+                cluster, engine, config.rollout, registry=registry
+            )
         deploy_controller.schedule(config.duration)
 
     track_latency = config.track_component_latency or config.resilience is not None

@@ -13,7 +13,7 @@ from __future__ import annotations
 import os
 import tempfile
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.rejuvenation import (
     NoActionPolicy,
@@ -38,6 +38,8 @@ from repro.experiments.deploy import (
     CanaryVerdict,
     ComponentVersion,
     DeploymentPlan,
+    RolloutPlan,
+    RolloutReport,
 )
 from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
 from repro.faults.injector import FaultSpec
@@ -2193,6 +2195,304 @@ def fig_canary(
         shards=shards,
         component=COMPONENT_A,
         version=CANARY_VERSION,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Progressive delivery comparison (tentpole of ISSUE 10)
+# --------------------------------------------------------------------------- #
+#: Shard count of the staged-rollout comparison (the default ladder resolves
+#: to 1 → 2 → 4 shards).
+ROLLOUT_SHARDS = 4
+
+#: Rollout strategy labels, in comparison order.
+ROLLOUT_MODES = ("staged", "single-canary", "blind")
+
+#: Fraction of the leak the bake window is expected to accumulate before the
+#: aging alert fires: the per-shard alert threshold is this fraction of the
+#: leak growth one full bake window produces, so the alert-driven ruling
+#: lands mid-bake (ahead of the deadline) at any duration scale.
+ROLLOUT_ALERT_BAKE_FRACTION = 0.5
+
+
+@dataclass
+class RolloutScenarioResult:
+    """Outcome of the three-strategy progressive-delivery comparison.
+
+    All three runs drive the same seeded workload through the same sharded
+    cluster; only the rollout strategy for the (secretly leaky) v2 build of
+    component A differs: *staged* walks the
+    :class:`~repro.experiments.deploy.RolloutPlan` ladder with per-stage
+    analysis and alert-driven rollback, *single-canary* is PR 8's
+    one-canary-then-fleet :class:`~repro.experiments.deploy.DeploymentPlan`,
+    *blind* staggers the build across every shard with no analysis.  SLA
+    accounting mirrors the canary scenario: deploy-outage downtime is
+    capacity-weighted, exposure sums each shard's time above the heap danger
+    line.
+    """
+
+    #: Mode -> full experiment result, in comparison order.
+    results: Dict[str, ExperimentResult]
+    heap_capacity: float
+    duration: float
+    shards: int
+    component: str
+    version: str
+    ladder: Tuple[int, ...]
+
+    def result(self, mode: str) -> ExperimentResult:
+        """The run executed under ``mode``."""
+        return self.results[mode]
+
+    def staged_report(self) -> RolloutReport:
+        """The staged run's rollout report."""
+        rollout = self.results["staged"].rollout
+        assert isinstance(rollout, RolloutReport)
+        return rollout
+
+    def ruling_trigger(self) -> Optional[str]:
+        """What fired the staged run's first ruling (``"alert"``/``"deadline"``)."""
+        for stage in self.staged_report().stages:
+            if "trigger" in stage:
+                return str(stage["trigger"])
+        return None
+
+    def ruled_at(self) -> Optional[float]:
+        """Sim time of the staged run's first ruling."""
+        for stage in self.staged_report().stages:
+            if "ruled_at" in stage:
+                return float(stage["ruled_at"])
+        return None
+
+    def deadline_at(self) -> Optional[float]:
+        """When the staged run's first stage deadline would have ruled."""
+        report = self.staged_report()
+        stages = report.stages
+        if not stages:
+            return None
+        bake = None
+        config = self.results["staged"].config
+        if isinstance(config.rollout, RolloutPlan):
+            bake = config.rollout.stage_bake_seconds
+        if bake is None:
+            return None
+        return float(stages[0]["deployed_at"]) + bake
+
+    def max_exposed_shards(self, mode: str = "staged") -> int:
+        """Most shards simultaneously on the new build under ``mode``."""
+        rollout = self.results[mode].rollout
+        return rollout.max_concurrent_deploys() if rollout is not None else 0
+
+    def deploy_downtime(self, mode: str) -> float:
+        """Capacity-weighted deploy-outage seconds (outage time / shards)."""
+        rollout = self.results[mode].rollout
+        if rollout is None:
+            return 0.0
+        return rollout.outage_seconds / self.shards
+
+    def leaky_shards(self, mode: str) -> int:
+        """Shards still running the leaky build at the end of the run."""
+        rollout = self.results[mode].rollout
+        if rollout is None:
+            return 0
+        return sum(1 for v in rollout.versions.values() if v != BASELINE_VERSION)
+
+    def exposure(self, mode: str) -> float:
+        """Summed per-shard seconds above 90 % heap occupancy."""
+        result = self.results[mode]
+        assert result.cluster is not None
+        return sum(
+            exposure_seconds(
+                shard.heap_series(), self.heap_capacity, window_end=self.duration
+            )
+            for shard in result.cluster.shards
+        )
+
+    def sla_observation(self, mode: str) -> SlaObservation:
+        """The raw fleet-level availability currencies of one mode."""
+        result = self.results[mode]
+        return SlaObservation(
+            duration_seconds=self.duration,
+            downtime_seconds=self.deploy_downtime(mode),
+            exposure_seconds=self.exposure(mode),
+            failed_requests=result.error_count,
+            refused_requests=result.refused_requests,
+        )
+
+    def sla_cost(self, mode: str, cost_model: Optional[SlaCostModel] = None) -> float:
+        """Scalar fleet SLA cost of one mode (see :mod:`repro.slo.cost_model`)."""
+        model = cost_model or SlaCostModel()
+        return model.score(self.sla_observation(mode))
+
+    def blast_radius_ok(self) -> bool:
+        """Whether the staged run never exposed more than the active stage.
+
+        The bad build must be caught while only stage 1's shards carry it,
+        so the peak concurrent deployment of the staged run is bounded by
+        the first rung of the ladder.
+        """
+        return self.max_exposed_shards("staged") <= self.ladder[0]
+
+    def staged_wins(self) -> bool:
+        """staged <= single-canary <= blind on SLA cost, staged strictly best.
+
+        The staged pipeline pays at most the single-canary's price (same
+        first-stage blast radius, and the alert ruling can only shorten the
+        bad build's residence time) while the blind rollout pays a deploy
+        outage *and* the leak on every shard.
+        """
+        staged = self.sla_cost("staged")
+        single = self.sla_cost("single-canary")
+        blind = self.sla_cost("blind")
+        return staged <= single <= blind and staged < blind and self.blast_radius_ok()
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One row per mode: rollout outcome, blast radius, downtime, SLA cost."""
+        cost_model = SlaCostModel()
+        rows: List[Dict[str, object]] = []
+        for mode, result in self.results.items():
+            rollout = result.rollout
+            observation = self.sla_observation(mode)
+            rows.append(
+                {
+                    "mode": mode,
+                    "completed": result.completed_requests,
+                    "errors": result.error_count,
+                    "refused": result.refused_requests,
+                    "deploys": (
+                        sum(1 for e in rollout.events if e["action"] == "deploy")
+                        if rollout is not None
+                        else 0
+                    ),
+                    "rolled_back": rollout.rolled_back if rollout is not None else False,
+                    "max_exposed": self.max_exposed_shards(mode),
+                    "leaky_shards": self.leaky_shards(mode),
+                    "downtime_s": round(self.deploy_downtime(mode), 2),
+                    "exposure_s": round(self.exposure(mode), 1),
+                    "budget_burn": round(cost_model.budget_burn(observation), 2),
+                    "sla_cost": round(cost_model.score(observation), 1),
+                }
+            )
+        return rows
+
+
+def fig_rollout(
+    duration_scale: float = 1.0,
+    seed: int = 42,
+    scale: Optional[PopulationScale] = None,
+    shards: int = ROLLOUT_SHARDS,
+    ebs: int = LEAK_EXPERIMENT_EBS,
+    leak_bytes: int = CANARY_LEAK_BYTES,
+    period_n: int = CANARY_PERIOD_N,
+    stream_metrics: Optional[str] = None,
+) -> RolloutScenarioResult:
+    """Three same-seed deploy runs: staged ladder vs single canary vs blind.
+
+    The build under test is the same leaky v2 of component A the canary
+    scenario ships.  The *staged* strategy walks the default 1 → ⌈N/2⌉ → N
+    ladder with per-stage analysis; its per-shard aging-alert threshold is
+    lowered to :data:`ROLLOUT_ALERT_BAKE_FRACTION` of one bake window's
+    expected leak, so the deployed shard's manager crosses it mid-bake and
+    the aging-suspect notification triggers the analyzer ruling *before*
+    the bake deadline (alert-driven rollback) — the not-yet-deployed shards
+    never cross it in a clean run.  ``stream_metrics`` records the staged
+    run's snapshots (including the ``rollout_series`` replay block) to a
+    JSONL file for `repro replay`.
+    """
+    if duration_scale <= 0:
+        raise ValueError(f"duration_scale must be positive, got {duration_scale}")
+    if shards < 3:
+        raise ValueError(
+            f"a staged-rollout comparison needs at least 3 shards "
+            f"(a stage + >=2 baselines), got {shards}"
+        )
+    duration = 3600.0 * duration_scale
+    snapshot_interval = max(2.0, 30.0 * duration_scale)
+    deploy_start = 0.25 * duration
+    bake = 0.15 * duration
+    stagger = 0.05 * duration
+    deploy_downtime = max(1.0, 30.0 * duration_scale)
+    # Heap and leak sizing mirror fig_canary at this shard count.
+    visit_rate = _LEAK_VISITS_PER_SECOND * ebs / LEAK_EXPERIMENT_EBS / shards
+    leak_window = duration - deploy_start
+    expected_leak = visit_rate / period_n * leak_bytes * leak_window
+    heap_bytes = int((_BASELINE_LIVE_BYTES + 0.55 * expected_leak) / 0.92)
+    # One bake window's worth of leak on the deployed shard, scaled down so
+    # the alert fires while the stage is still baking.
+    leak_rate = visit_rate / period_n * leak_bytes
+    alert_bytes = ROLLOUT_ALERT_BAKE_FRACTION * leak_rate * bake
+    version = ComponentVersion(
+        component=COMPONENT_A,
+        version=CANARY_VERSION,
+        faults=(
+            FaultSpec(
+                component=COMPONENT_A,
+                kind="memory-leak",
+                params={"leak_bytes": leak_bytes, "period_n": period_n},
+            ),
+        ),
+    )
+    ladder = RolloutPlan(version=version, start_time=deploy_start).ladder(shards)
+    results: Dict[str, ExperimentResult] = {}
+    for mode in ROLLOUT_MODES:
+        rollout: Optional[object] = None
+        if mode == "staged":
+            rollout = RolloutPlan(
+                version=version,
+                start_time=deploy_start,
+                stage_bake_seconds=bake,
+                stagger_seconds=stagger,
+                deploy_downtime_seconds=deploy_downtime,
+                alert_rollback=True,
+            )
+        elif mode == "single-canary":
+            rollout = DeploymentPlan(
+                version=version,
+                start_time=deploy_start,
+                stagger_seconds=stagger,
+                deploy_downtime_seconds=deploy_downtime,
+                canary=True,
+                canary_shard=shards - 1,
+                bake_seconds=bake,
+            )
+        else:
+            rollout = DeploymentPlan(
+                version=version,
+                start_time=deploy_start,
+                stagger_seconds=stagger,
+                deploy_downtime_seconds=deploy_downtime,
+                canary=False,
+            )
+        config = ExperimentConfig(
+            name=f"fig-rollout-{mode}",
+            seed=seed,
+            scale=scale,
+            constant_ebs=ebs,
+            duration=duration,
+            mix_name="shopping",
+            monitored=True,
+            faults=[],
+            snapshot_interval=snapshot_interval,
+            server_config=ServerConfig(heap_bytes=heap_bytes),
+            shards=shards,
+            balancer_policy="sticky",
+            rollout=rollout,
+            # Every mode runs the same framework settings so the runs differ
+            # only in rollout strategy; the lowered alert threshold changes
+            # behaviour only where a listener acts on it (the staged run).
+            alert_growth_bytes=alert_bytes,
+            metrics_registry=MetricsRegistry(),
+            stream_metrics=stream_metrics if mode == "staged" else None,
+        )
+        results[mode] = run_experiment(config)
+    return RolloutScenarioResult(
+        results=results,
+        heap_capacity=float(heap_bytes),
+        duration=duration,
+        shards=shards,
+        component=COMPONENT_A,
+        version=CANARY_VERSION,
+        ladder=ladder,
     )
 
 

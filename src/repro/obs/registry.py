@@ -250,6 +250,44 @@ class MetricsRegistry:
         )
         return canonical_value(self.cost_model.report(observation))
 
+    def rollout_series(self, at: Optional[float] = None) -> Dict[str, object]:
+        """Per-shard series a stream replay of the rollout rulings needs.
+
+        Only meaningful when a deployment/rollout controller is attached:
+        for each monitored shard, the deployed component's object-size
+        series, the heap series and the heap capacity, all truncated to
+        samples at or before ``at``.  A
+        :class:`~repro.obs.transports.ReplaySource` over the recorded
+        stream serves the analyzer the exact window every live ruling saw.
+        """
+        cluster = self._require_attached()
+        component = getattr(self._rollout, "component", None)
+        if component is None:
+            return {}
+        now = float(at) if at is not None else self.now()
+        out: Dict[str, object] = {}
+        for shard in cluster.shards:
+            if shard.framework is None:
+                continue
+            objects = shard.object_series(component)
+            heap = shard.heap_series()
+            out[str(shard.index)] = {
+                "heap_capacity": shard.heap_capacity(),
+                "objects": {
+                    component: [
+                        [float(t), float(v)]
+                        for t, v in zip(objects.times, objects.values)
+                        if float(t) <= now + 1e-9
+                    ]
+                },
+                "heap_used": [
+                    [float(t), float(v)]
+                    for t, v in zip(heap.times, heap.values)
+                    if float(t) <= now + 1e-9
+                ],
+            }
+        return out
+
     def shard_rows(self) -> List[Dict[str, object]]:
         """One live summary row per shard (server counters + manager state)."""
         cluster = self._require_attached()
@@ -281,7 +319,7 @@ class MetricsRegistry:
     def snapshot(self, at: Optional[float] = None) -> Dict[str, object]:
         """The full observability snapshot at ``at`` (default: now)."""
         now = float(at) if at is not None else self.now()
-        return {
+        snapshot: Dict[str, object] = {
             "time_s": now,
             "counters": self.counters(),
             "shards": self.shard_rows(),
@@ -290,6 +328,11 @@ class MetricsRegistry:
             "slo": self.slo(at=now),
             "calibration": self.calibration(),
         }
+        if self._rollout is not None:
+            # Only rollout runs pay for the replay series; the key's absence
+            # keeps non-deploy snapshots byte-identical to older streams.
+            snapshot["rollout_series"] = self.rollout_series(at=now)
+        return snapshot
 
     def snapshot_json(self, at: Optional[float] = None) -> str:
         """The snapshot in canonical JSON (sorted keys, 6dp floats).

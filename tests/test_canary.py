@@ -167,6 +167,68 @@ class TestFigCanary:
         assert [event["action"] for event in deploys] == ["deploy", "rollback"]
 
 
+class TestCanaryEdgeCases:
+    """Regression tests for the three canary edge-case fixes."""
+
+    def _config(self, **rollout_kwargs):
+        version = rollout_kwargs.pop(
+            "version", ComponentVersion(component="home", version="v2-clean")
+        )
+        defaults = dict(
+            version=version,
+            start_time=20.0,
+            canary=True,
+            canary_shard=2,
+            deploy_downtime_seconds=1.0,
+        )
+        defaults.update(rollout_kwargs)
+        return ExperimentConfig(
+            name="edge-case",
+            seed=7,
+            scale=PopulationScale.tiny(),
+            constant_ebs=30,
+            duration=60.0,
+            monitored=True,
+            shards=3,
+            snapshot_interval=5.0,
+            rollout=DeploymentPlan(**defaults),
+        )
+
+    def test_negative_canary_shard_is_rejected_at_plan_construction(self):
+        """A negative index used to wrap silently onto the last shard."""
+        version = ComponentVersion(component="home", version="v2")
+        with pytest.raises(ValueError, match="canary_shard must be >= 0"):
+            DeploymentPlan(version=version, start_time=0.0, canary=True, canary_shard=-1)
+
+    def test_out_of_range_canary_shard_names_the_shard_count(self):
+        with pytest.raises(ValueError, match=r"canary shard 5 outside the cluster \(shards: 3\)"):
+            run_experiment(self._config(canary_shard=5))
+
+    def test_bake_past_run_end_rules_at_end_of_run_as_truncated(self):
+        """A bake window past the run end used to leave the canary unruled."""
+        result = run_experiment(self._config(bake_seconds=500.0))
+        rollout = result.rollout
+        assert rollout.verdict is not None
+        assert rollout.verdict.truncated_bake
+        # A clean build still promotes on the shortened evidence.
+        assert rollout.verdict.promote
+        assert not rollout.rolled_back
+
+    def test_starved_bake_window_refuses_to_rule_and_rolls_back(self):
+        """Fewer than two samples used to promote on no evidence at all."""
+        config = self._config(bake_seconds=4.0)
+        config.snapshot_interval = 15.0
+        result = run_experiment(config)
+        rollout = result.rollout
+        verdict = rollout.verdict
+        assert verdict is not None
+        assert verdict.insufficient_data
+        assert not verdict.promote
+        assert "refusing to rule" in verdict.reason
+        assert rollout.rolled_back
+        assert set(rollout.versions.values()) == {BASELINE_VERSION}
+
+
 class TestCanaryCli:
     def test_canary_command_smoke(self, tmp_path, capsys):
         stream = tmp_path / "stream.jsonl"
